@@ -1,0 +1,57 @@
+// Command benchtables regenerates the paper's tables:
+//
+//	benchtables -table 1   — the qualitative framework overview (Table 1)
+//	benchtables -table 2   — measured characteristics of the eight
+//	                         real-world search spaces (Table 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"searchspace/internal/harness"
+	"searchspace/internal/report"
+	"searchspace/internal/workloads"
+)
+
+func main() {
+	table := flag.Int("table", 2, "table to regenerate (1 or 2)")
+	flag.Parse()
+	switch *table {
+	case 1:
+		fmt.Println("Table 1: Overview of constraint support and search space construction methods")
+		fmt.Println()
+		fmt.Print(harness.Table1())
+	case 2:
+		rows, mean, err := harness.ComputeTable2(workloads.RealWorld())
+		if err != nil {
+			log.Fatal(err)
+		}
+		headers := []string{
+			"Name", "Cartesian size", "Valid configs", "#params", "#constraints",
+			"Avg unique params/con", "Domain range", "% valid", "Avg constraint evals",
+		}
+		var cells [][]string
+		for _, r := range append(rows, mean) {
+			cells = append(cells, []string{
+				r.Name,
+				fmt.Sprintf("%.0f", r.Cartesian),
+				fmt.Sprintf("%d", r.Valid),
+				fmt.Sprintf("%d", r.NumParams),
+				fmt.Sprintf("%d", r.NumCons),
+				fmt.Sprintf("%.3f", r.AvgUniqueVars),
+				fmt.Sprintf("%d - %d", r.MinDomain, r.MaxDomain),
+				fmt.Sprintf("%.3f", r.PctValid),
+				fmt.Sprintf("%.0f", r.AvgEvals),
+			})
+		}
+		fmt.Println("Table 2: Characteristics of the real-world search spaces")
+		fmt.Println()
+		fmt.Print(report.Table(headers, cells))
+	default:
+		fmt.Fprintln(os.Stderr, "unknown table; use -table 1 or -table 2")
+		os.Exit(2)
+	}
+}

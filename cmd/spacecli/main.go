@@ -1,0 +1,171 @@
+// Command spacecli builds a constrained search space described in a JSON
+// file and reports on it: size, true bounds, samples, or the full
+// enumeration.
+//
+// JSON schema:
+//
+//	{
+//	  "name": "hotspot",
+//	  "params": [
+//	    {"name": "block_size_x", "values": [1, 2, 4, 8, 16, 32]},
+//	    {"name": "layout", "values": ["row", "col"]}
+//	  ],
+//	  "constraints": ["32 <= block_size_x * block_size_x <= 1024"]
+//	}
+//
+// Usage:
+//
+//	spacecli -in space.json [-method optimized] [-action stats|sample|list]
+//	spacecli -workload Hotspot -action stats        (built-in workloads)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/model"
+	"searchspace/internal/report"
+	"searchspace/internal/workloads"
+)
+
+type jsonSpace struct {
+	Name   string `json:"name"`
+	Params []struct {
+		Name   string `json:"name"`
+		Values []any  `json:"values"`
+	} `json:"params"`
+	Constraints []string `json:"constraints"`
+}
+
+func main() {
+	in := flag.String("in", "", "JSON search-space definition file")
+	workload := flag.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM, \"ATF PRL 2x2\")")
+	methodName := flag.String("method", "optimized", "construction method: optimized|original|brute-force|chain-of-trees|chain-of-trees-interpreted|iterative-sat")
+	action := flag.String("action", "stats", "stats | sample | list")
+	k := flag.Int("k", 10, "sample size for -action sample")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "sampling seed")
+	flag.Parse()
+
+	var prob *searchspace.Problem
+	switch {
+	case *workload != "":
+		def, ok := workloads.ByName(*workload)
+		if !ok {
+			log.Fatalf("unknown workload %q; available: Dedispersion, ExpDist, Hotspot, GEMM, MicroHH, ATF PRL 2x2/4x4/8x8", *workload)
+		}
+		prob = problemFromDefinition(def)
+	case *in != "":
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var js jsonSpace
+		if err := json.Unmarshal(raw, &js); err != nil {
+			log.Fatal(err)
+		}
+		prob = searchspace.NewProblem(js.Name)
+		for _, p := range js.Params {
+			vals := make([]any, len(p.Values))
+			for i, v := range p.Values {
+				// JSON numbers arrive as float64; keep integral ones as ints
+				// so constraints using % behave as users expect.
+				if f, ok := v.(float64); ok && f == float64(int64(f)) {
+					vals[i] = int64(f)
+					continue
+				}
+				vals[i] = v
+			}
+			prob.AddParam(p.Name, vals...)
+		}
+		for _, c := range js.Constraints {
+			prob.AddConstraint(c)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -in file.json or -workload name")
+		os.Exit(2)
+	}
+
+	method, ok := parseMethod(*methodName)
+	if !ok {
+		log.Fatalf("unknown method %q", *methodName)
+	}
+	ss, stats, err := prob.BuildTimed(method)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *action {
+	case "stats":
+		fmt.Printf("space:        %s\n", prob.Name())
+		fmt.Printf("method:       %s\n", method)
+		fmt.Printf("construction: %s\n", report.Seconds(stats.Duration.Seconds()))
+		fmt.Printf("cartesian:    %s\n", report.Count(stats.Cartesian))
+		fmt.Printf("valid:        %s (%.3f%%)\n", report.Count(float64(stats.Valid)),
+			100*float64(stats.Valid)/stats.Cartesian)
+		fmt.Println("\ntrue parameter bounds over valid configurations:")
+		var rows [][]string
+		for _, b := range ss.TrueBounds() {
+			if b.Numeric {
+				rows = append(rows, []string{b.Name, fmt.Sprintf("%g", b.Min),
+					fmt.Sprintf("%g", b.Max), fmt.Sprintf("%d", b.DistinctValues)})
+			} else {
+				rows = append(rows, []string{b.Name, "-", "-", fmt.Sprintf("%d", b.DistinctValues)})
+			}
+		}
+		fmt.Print(report.Table([]string{"param", "min", "max", "#values"}, rows))
+	case "sample":
+		rng := rand.New(rand.NewSource(*seed))
+		for _, row := range ss.SampleUniform(rng, *k) {
+			printConfig(ss, row)
+		}
+	case "list":
+		for row := 0; row < ss.Size(); row++ {
+			printConfig(ss, row)
+		}
+	default:
+		log.Fatalf("unknown action %q", *action)
+	}
+}
+
+func printConfig(ss *searchspace.SearchSpace, row int) {
+	names := ss.Names()
+	vals := ss.GetValues(row)
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = fmt.Sprintf("%s=%v", names[i], vals[i])
+	}
+	fmt.Println(strings.Join(parts, " "))
+}
+
+func parseMethod(name string) (searchspace.Method, bool) {
+	for _, m := range searchspace.Methods() {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// problemFromDefinition lowers an internal workload definition into the
+// public builder (values converted to native Go types).
+func problemFromDefinition(def *model.Definition) *searchspace.Problem {
+	p := searchspace.NewProblem(def.Name)
+	for _, prm := range def.Params {
+		vals := make([]any, len(prm.Values))
+		for i, v := range prm.Values {
+			vals[i] = v.Native()
+		}
+		p.AddParam(prm.Name, vals...)
+	}
+	for _, c := range def.Constraints {
+		p.AddConstraint(c)
+	}
+	return p
+}

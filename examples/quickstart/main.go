@@ -1,0 +1,57 @@
+// Quickstart: declare two tunable parameters and the thread-block
+// constraint from the paper's §2 running example, build the search space
+// with the optimized CSP solver, and poke at the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"searchspace"
+)
+
+func main() {
+	p := searchspace.NewProblem("quickstart")
+
+	// Thread block dimensions of a GPU kernel (Listing 3 of the paper).
+	xs := []int{1, 2, 4, 8, 16}
+	for i := 1; i <= 32; i++ {
+		xs = append(xs, 32*i)
+	}
+	p.AddParamInts("block_size_x", xs)
+	p.AddParam("block_size_y", 1, 2, 4, 8, 16, 32)
+
+	// At least one warp, at most the hardware's thread limit.
+	p.AddConstraint("32 <= block_size_x * block_size_y <= 1024")
+
+	ss, stats, err := p.BuildTimed(searchspace.Optimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constructed %d of %.0f candidate configurations in %v\n",
+		ss.Size(), stats.Cartesian, stats.Duration)
+
+	// Membership is an O(1) lookup on the resolved space.
+	fmt.Println("contains 32x2:", ss.Contains(searchspace.Config{
+		"block_size_x": 32, "block_size_y": 2,
+	}))
+	fmt.Println("contains 1x1: ", ss.Contains(searchspace.Config{
+		"block_size_x": 1, "block_size_y": 1,
+	}))
+
+	// True bounds are tighter than the declared domains once constraints
+	// have been applied.
+	for _, b := range ss.TrueBounds() {
+		fmt.Printf("%-14s spans [%g, %g] over %d values\n", b.Name, b.Min, b.Max, b.DistinctValues)
+	}
+
+	// Draw a reproducible sample.
+	rng := rand.New(rand.NewSource(42))
+	fmt.Println("five random valid configurations:")
+	for _, row := range ss.SampleUniform(rng, 5) {
+		fmt.Printf("  %v\n", ss.Get(row))
+	}
+}

@@ -1,0 +1,107 @@
+package searchspace
+
+import (
+	"testing"
+
+	"searchspace/internal/bruteforce"
+	"searchspace/internal/harness"
+	"searchspace/internal/model"
+	"searchspace/internal/workloads"
+)
+
+// TestAllMethodsAgreeOnWorkloads validates every construction method
+// against brute force on the real-world spaces that fit a CI budget,
+// mirroring §5's "results of each solver were validated against a
+// brute-force solution".
+func TestAllMethodsAgreeOnWorkloads(t *testing.T) {
+	defs := []*model.Definition{
+		workloads.Dedispersion(),
+		workloads.PRL(2),
+		workloads.GEMM(),
+		workloads.MicroHH(),
+	}
+	if !testing.Short() {
+		defs = append(defs, workloads.ExpDist(), workloads.PRL(4))
+	}
+	for _, def := range defs {
+		bf, err := bruteforce.Count(def)
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		methods := []harness.Method{
+			harness.Optimized, harness.Original, harness.ChainCompiled, harness.ChainInterp,
+		}
+		for _, m := range methods {
+			col, err := harness.Construct(def, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", def.Name, m, err)
+			}
+			if col.NumSolutions() != bf.Valid {
+				t.Errorf("%s/%s: %d solutions, brute force found %d",
+					def.Name, m, col.NumSolutions(), bf.Valid)
+			}
+		}
+	}
+}
+
+// TestAllMethodsAgreeOnSyntheticSample cross-validates the methods on a
+// deterministic sample of the synthetic suite.
+func TestAllMethodsAgreeOnSyntheticSample(t *testing.T) {
+	suite := workloads.SyntheticSuite()
+	stride := 13
+	if testing.Short() {
+		stride = 26
+	}
+	for i := 0; i < len(suite); i += stride {
+		def := suite[i]
+		base, err := harness.Construct(def, harness.Optimized)
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		for _, m := range []harness.Method{harness.BruteForce, harness.Original, harness.ChainCompiled} {
+			col, err := harness.Construct(def, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", def.Name, m, err)
+			}
+			if col.NumSolutions() != base.NumSolutions() {
+				t.Errorf("%s/%s: %d solutions, optimized found %d",
+					def.Name, m, col.NumSolutions(), base.NumSolutions())
+			}
+		}
+	}
+}
+
+// TestPublicAPIOnHotspot runs the paper's flagship space end to end
+// through the public API.
+func TestPublicAPIOnHotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("constructs a 22.2M-candidate space")
+	}
+	def := workloads.Hotspot()
+	p := NewProblem(def.Name)
+	for _, prm := range def.Params {
+		vals := make([]any, len(prm.Values))
+		for i, v := range prm.Values {
+			vals[i] = v.Native()
+		}
+		p.AddParam(prm.Name, vals...)
+	}
+	for _, c := range def.Constraints {
+		p.AddConstraint(c)
+	}
+	ss, stats, err := p.BuildTimed(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Size() != 347628 {
+		t.Errorf("hotspot size = %d, want 347628", ss.Size())
+	}
+	if stats.Duration.Seconds() > 30 {
+		t.Errorf("construction took %v; expected sub-second-to-seconds", stats.Duration)
+	}
+	// §2's example configuration must be valid.
+	cfg := ss.Get(0)
+	if !ss.Contains(cfg) {
+		t.Error("first configuration should be contained")
+	}
+}

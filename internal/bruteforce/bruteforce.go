@@ -1,0 +1,142 @@
+// Package bruteforce implements the baseline the paper compares against
+// first (§3): enumerate the full Cartesian product of all parameter values
+// and filter each combination through the raw, un-optimized constraints.
+// Constraints are evaluated by the tree-walking interpreter, mirroring the
+// Python-level evaluation of user lambdas that brute-force construction
+// performs in existing frameworks.
+package bruteforce
+
+import (
+	"fmt"
+
+	"searchspace/internal/core"
+	"searchspace/internal/expr"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+// Stats reports work counters from one brute-force run; EvalCount feeds
+// the "avg. number of constraint evaluations" column of Table 2.
+type Stats struct {
+	// Candidates is the number of Cartesian combinations visited.
+	Candidates float64
+	// EvalCount is the total number of constraint evaluations performed.
+	EvalCount float64
+	// Valid is the number of combinations that satisfied all constraints.
+	Valid int
+}
+
+// Solve enumerates all valid configurations of def in columnar form.
+func Solve(def *model.Definition) (*core.Columnar, *Stats, error) {
+	out := &core.Columnar{
+		Names: make([]string, len(def.Params)),
+		Cols:  make([][]int32, len(def.Params)),
+	}
+	for i, p := range def.Params {
+		out.Names[i] = p.Name
+	}
+	stats, err := forEach(def, func(idx []int32) bool {
+		for vi, di := range idx {
+			out.Cols[vi] = append(out.Cols[vi], di)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// Count enumerates without storing and returns only the statistics.
+func Count(def *model.Definition) (*Stats, error) {
+	return forEach(def, func([]int32) bool { return true })
+}
+
+// forEach runs the odometer over the Cartesian product, invoking yield
+// with the per-parameter value indices for each valid combination.
+func forEach(def *model.Definition, yield func(idx []int32) bool) (*Stats, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	nodes, err := def.ParsedConstraints()
+	if err != nil {
+		return nil, err
+	}
+	n := len(def.Params)
+	if n == 0 {
+		return &Stats{}, nil
+	}
+
+	// Pre-bind the environment once; odometer updates overwrite slots.
+	env := make(expr.MapEnv, n)
+	idx := make([]int32, n)
+	for _, p := range def.Params {
+		env[p.Name] = p.Values[0]
+	}
+
+	// Go-func constraints receive values in their declared order.
+	type goCon struct {
+		fn      func([]value.Value) bool
+		argPos  []int
+		scratch []value.Value
+	}
+	goCons := make([]goCon, len(def.GoConstraints))
+	for i, gc := range def.GoConstraints {
+		pos := make([]int, len(gc.Vars))
+		for j, name := range gc.Vars {
+			pi, ok := def.ParamIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("bruteforce: unknown parameter %q", name)
+			}
+			pos[j] = pi
+		}
+		goCons[i] = goCon{fn: gc.Fn, argPos: pos, scratch: make([]value.Value, len(gc.Vars))}
+	}
+
+	stats := &Stats{}
+	for {
+		stats.Candidates++
+		ok := true
+		for _, node := range nodes {
+			stats.EvalCount++
+			valid, err := expr.EvalBool(node, env)
+			if err != nil || !valid {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, gc := range goCons {
+				stats.EvalCount++
+				for j, pi := range gc.argPos {
+					gc.scratch[j] = def.Params[pi].Values[idx[pi]]
+				}
+				if !gc.fn(gc.scratch) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			stats.Valid++
+			if !yield(idx) {
+				return stats, nil
+			}
+		}
+		// Odometer increment, last parameter fastest.
+		k := n - 1
+		for k >= 0 {
+			idx[k]++
+			if int(idx[k]) < len(def.Params[k].Values) {
+				env[def.Params[k].Name] = def.Params[k].Values[idx[k]]
+				break
+			}
+			idx[k] = 0
+			env[def.Params[k].Name] = def.Params[k].Values[0]
+			k--
+		}
+		if k < 0 {
+			return stats, nil
+		}
+	}
+}

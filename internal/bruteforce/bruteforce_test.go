@@ -1,0 +1,162 @@
+package bruteforce
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+func smallDef() *model.Definition {
+	return &model.Definition{
+		Name: "small",
+		Params: []model.Param{
+			model.IntsParam("a", 1, 2, 4, 8, 16, 32),
+			model.IntsParam("b", 1, 2, 4, 8),
+			model.RangeParam("c", 0, 4),
+		},
+		Constraints: []string{
+			"a * b >= 8",
+			"a * b <= 64",
+			"c < b",
+		},
+	}
+}
+
+func keysOf(col *core.Columnar) []string {
+	n := col.NumSolutions()
+	out := make([]string, n)
+	for r := 0; r < n; r++ {
+		var sb strings.Builder
+		for vi := range col.Cols {
+			sb.WriteString(value.OfInt(int64(col.Cols[vi][r])).String())
+			sb.WriteByte('|')
+		}
+		out[r] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSolveMatchesOptimized(t *testing.T) {
+	def := smallDef()
+	col, stats, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := def.ToProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Compile(core.DefaultOptions()).SolveColumnar()
+	got, exp := keysOf(col), keysOf(want)
+	if len(got) != len(exp) {
+		t.Fatalf("brute force %d solutions, optimized %d", len(got), len(exp))
+	}
+	for i := range got {
+		if got[i] != exp[i] {
+			t.Fatalf("solution sets differ at %d", i)
+		}
+	}
+	if stats.Valid != col.NumSolutions() {
+		t.Errorf("stats.Valid = %d, want %d", stats.Valid, col.NumSolutions())
+	}
+	if stats.Candidates != def.CartesianSize() {
+		t.Errorf("candidates = %v, want %v", stats.Candidates, def.CartesianSize())
+	}
+}
+
+func TestCountStats(t *testing.T) {
+	def := smallDef()
+	stats, err := Count(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates != 6*4*5 {
+		t.Errorf("candidates = %v, want %d", stats.Candidates, 6*4*5)
+	}
+	// Evaluation count is bounded by candidates × constraints and at
+	// least candidates (first constraint always evaluated).
+	if stats.EvalCount < stats.Candidates || stats.EvalCount > stats.Candidates*3 {
+		t.Errorf("eval count %v outside [%v, %v]", stats.EvalCount, stats.Candidates, stats.Candidates*3)
+	}
+}
+
+func TestGoConstraints(t *testing.T) {
+	def := &model.Definition{
+		Name: "go",
+		Params: []model.Param{
+			model.RangeParam("x", 1, 6),
+			model.RangeParam("y", 1, 6),
+		},
+		GoConstraints: []model.GoConstraint{{
+			Vars: []string{"x", "y"},
+			Fn: func(vals []value.Value) bool {
+				return vals[0].Int()%vals[1].Int() == 0
+			},
+		}},
+	}
+	col, _, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for x := 1; x <= 6; x++ {
+		for y := 1; y <= 6; y++ {
+			if x%y == 0 {
+				want++
+			}
+		}
+	}
+	if col.NumSolutions() != want {
+		t.Fatalf("got %d, want %d", col.NumSolutions(), want)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	def := smallDef()
+	seen := 0
+	if _, err := forEach(def, func([]int32) bool {
+		seen++
+		return seen < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Errorf("early stop after %d, want 3", seen)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	def := &model.Definition{
+		Name:        "bad",
+		Params:      []model.Param{model.IntsParam("a", 1)},
+		Constraints: []string{"zzz > 0"},
+	}
+	if _, _, err := Solve(def); err == nil {
+		t.Fatal("unknown parameter should fail validation")
+	}
+	empty := &model.Definition{Name: "empty"}
+	stats, err := Count(empty)
+	if err != nil || stats.Valid != 0 {
+		t.Fatalf("empty definition: %v, %v", stats, err)
+	}
+}
+
+func TestUnsatisfiableConstant(t *testing.T) {
+	def := &model.Definition{
+		Name:        "unsat",
+		Params:      []model.Param{model.IntsParam("a", 1, 2, 3)},
+		Constraints: []string{"1 > 2"},
+	}
+	col, _, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumSolutions() != 0 {
+		t.Fatalf("got %d solutions, want 0", col.NumSolutions())
+	}
+}

@@ -1,0 +1,386 @@
+// Package chaintrees reimplements the chain-of-trees search-space
+// construction of Rasch et al. (ATF), the state of the art the paper
+// compares against (§3, §5.1). Parameters are grouped by constraint
+// interdependence (two parameters are interdependent when they occur in
+// the same constraint's syntax tree); each group is materialized as a tree
+// whose paths are exactly the group's valid sub-configurations, with
+// constraints checked at the deepest parameter they reference; and the
+// trees are linked into a chain whose Cartesian combination enumerates the
+// full space. Independent parameters become single-level trees.
+//
+// Two evaluation modes stand in for the two ATF implementations the paper
+// measures: ModeCompiled evaluates constraints through compiled closures
+// (the C++ ATF analogue) and ModeInterpreted walks the syntax tree per
+// check (the pyATF analogue).
+package chaintrees
+
+import (
+	"fmt"
+
+	"searchspace/internal/core"
+	"searchspace/internal/expr"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+// Mode selects the constraint evaluation strategy.
+type Mode uint8
+
+const (
+	// ModeCompiled checks constraints via compiled closures (≈ ATF C++).
+	ModeCompiled Mode = iota
+	// ModeInterpreted checks constraints by tree-walking (≈ pyATF).
+	ModeInterpreted
+)
+
+func (m Mode) String() string {
+	if m == ModeCompiled {
+		return "compiled"
+	}
+	return "interpreted"
+}
+
+// node is one tree node: a chosen value index for the parameter at the
+// node's depth, plus the valid subtrees beneath it.
+type node struct {
+	valIdx   int32
+	children []*node
+}
+
+// group is one tree in the chain, covering an interdependent parameter
+// subset in definition order.
+type group struct {
+	paramIdx []int
+	roots    []*node // forest of depth-0 nodes
+	leaves   int
+}
+
+// Chain is a built chain-of-trees.
+type Chain struct {
+	def    *model.Definition
+	groups []*group
+	// unsat marks a constant-false constraint: the space is empty no
+	// matter what the trees contain.
+	unsat bool
+}
+
+// checker evaluates one constraint against the current assignment.
+type checker func() bool
+
+// Build constructs the chain-of-trees for def.
+func Build(def *model.Definition, mode Mode) (*Chain, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	nodes, err := def.ParsedConstraints()
+	if err != nil {
+		return nil, err
+	}
+	n := len(def.Params)
+
+	// Scope of every constraint as parameter indices.
+	scopes := make([][]int, 0, len(nodes)+len(def.GoConstraints))
+	for _, nd := range nodes {
+		var scope []int
+		for _, name := range expr.Vars(nd) {
+			pi, _ := def.ParamIndex(name)
+			scope = append(scope, pi)
+		}
+		scopes = append(scopes, scope)
+	}
+	for _, gc := range def.GoConstraints {
+		var scope []int
+		seen := map[int]struct{}{}
+		for _, name := range gc.Vars {
+			pi, _ := def.ParamIndex(name)
+			if _, dup := seen[pi]; !dup {
+				seen[pi] = struct{}{}
+				scope = append(scope, pi)
+			}
+		}
+		scopes = append(scopes, scope)
+	}
+
+	// Union-find over parameters.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, scope := range scopes {
+		if len(scope) < 2 {
+			continue
+		}
+		for _, pi := range scope[1:] {
+			union(scope[0], pi)
+		}
+	}
+
+	// Groups in definition order of their first parameter.
+	groupOf := make(map[int]*group)
+	var groups []*group
+	for pi := 0; pi < n; pi++ {
+		root := find(pi)
+		g, ok := groupOf[root]
+		if !ok {
+			g = &group{}
+			groupOf[root] = g
+			groups = append(groups, g)
+		}
+		g.paramIdx = append(g.paramIdx, pi)
+	}
+
+	// Shared assignment state for checking.
+	vals := make([]value.Value, n)
+	env := make(nodeEnv, n)
+	for i := range env {
+		env[i].name = def.Params[i].Name
+	}
+
+	// Per group: constraints keyed by the depth (within the group's
+	// definition-order parameters) of their deepest parameter.
+	c := &Chain{def: def, groups: groups}
+	for ci, nd := range nodes {
+		if len(scopes[ci]) == 0 {
+			ok, err := expr.EvalBool(nd, nil)
+			if err != nil || !ok {
+				c.unsat = true
+			}
+		}
+	}
+	if c.unsat {
+		for _, g := range groups {
+			g.roots = nil
+		}
+		return c, nil
+	}
+	slots := make(map[string]int, n)
+	for i, p := range def.Params {
+		slots[p.Name] = i
+	}
+
+	for _, g := range groups {
+		depthOf := make(map[int]int, len(g.paramIdx))
+		for d, pi := range g.paramIdx {
+			depthOf[pi] = d
+		}
+		checksAt := make([][]checker, len(g.paramIdx))
+		addCheck := func(scope []int, chk checker) {
+			deepest := 0
+			for _, pi := range scope {
+				if d, ok := depthOf[pi]; ok && d > deepest {
+					deepest = d
+				}
+			}
+			checksAt[deepest] = append(checksAt[deepest], chk)
+		}
+		for ci, nd := range nodes {
+			scope := scopes[ci]
+			if len(scope) == 0 {
+				continue // constant constraints are handled below
+			}
+			if !inGroup(depthOf, scope) {
+				continue
+			}
+			switch mode {
+			case ModeCompiled:
+				pred, err := expr.CompilePred(nd, slots)
+				if err != nil {
+					return nil, err
+				}
+				addCheck(scope, func() bool {
+					ok, err := pred(vals)
+					return err == nil && ok
+				})
+			case ModeInterpreted:
+				nd := nd
+				addCheck(scope, func() bool {
+					ok, err := expr.EvalBool(nd, env)
+					return err == nil && ok
+				})
+			}
+		}
+		for gi, gc := range def.GoConstraints {
+			scope := scopes[len(nodes)+gi]
+			if !inGroup(depthOf, scope) {
+				continue
+			}
+			argPos := make([]int, len(gc.Vars))
+			for j, name := range gc.Vars {
+				argPos[j], _ = def.ParamIndex(name)
+			}
+			fn := gc.Fn
+			scratch := make([]value.Value, len(argPos))
+			addCheck(scope, func() bool {
+				for j, pi := range argPos {
+					scratch[j] = vals[pi]
+				}
+				return fn(scratch)
+			})
+		}
+
+		// Depth-first tree construction: a node survives only when some
+		// complete extension below it is valid.
+		var build func(depth int) []*node
+		build = func(depth int) []*node {
+			pi := g.paramIdx[depth]
+			var out []*node
+			for k, v := range def.Params[pi].Values {
+				vals[pi] = v
+				env[pi].val = v
+				env[pi].set = true
+				ok := true
+				for _, chk := range checksAt[depth] {
+					if !chk() {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if depth == len(g.paramIdx)-1 {
+					out = append(out, &node{valIdx: int32(k)})
+					g.leaves++
+					continue
+				}
+				children := build(depth + 1)
+				if len(children) > 0 {
+					out = append(out, &node{valIdx: int32(k), children: children})
+				}
+			}
+			env[pi].set = false
+			return out
+		}
+		if len(g.paramIdx) > 0 {
+			g.roots = build(0)
+		}
+	}
+	return c, nil
+}
+
+// nodeEnv adapts the shared assignment to the expr.Env interface for
+// interpreted mode, with an assigned flag per slot.
+type nodeEnv []struct {
+	name string
+	val  value.Value
+	set  bool
+}
+
+func (e nodeEnv) Lookup(name string) (value.Value, bool) {
+	for i := range e {
+		if e[i].name == name && e[i].set {
+			return e[i].val, true
+		}
+	}
+	return value.Value{}, false
+}
+
+func inGroup(depthOf map[int]int, scope []int) bool {
+	_, ok := depthOf[scope[0]]
+	return ok
+}
+
+// NumGroups returns the number of trees in the chain.
+func (c *Chain) NumGroups() int { return len(c.groups) }
+
+// GroupSizes returns the number of valid sub-configurations per tree.
+func (c *Chain) GroupSizes() []int {
+	out := make([]int, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.leaves
+	}
+	return out
+}
+
+// Count returns the total number of valid configurations: the product of
+// the per-tree path counts, computable without enumeration — the
+// structural advantage of the chain representation.
+func (c *Chain) Count() int {
+	if c.unsat {
+		return 0
+	}
+	total := 1
+	for _, g := range c.groups {
+		total *= g.leaves
+		if total == 0 {
+			return 0
+		}
+	}
+	if len(c.groups) == 0 {
+		return 0
+	}
+	return total
+}
+
+// ForEach enumerates every valid configuration; idx holds the value index
+// per parameter in definition order and is reused across calls.
+func (c *Chain) ForEach(yield func(idx []int32) bool) {
+	if c.unsat || len(c.groups) == 0 {
+		return
+	}
+	for _, g := range c.groups {
+		if g.leaves == 0 {
+			return
+		}
+	}
+	idx := make([]int32, len(c.def.Params))
+	var walkGroups func(gi int) bool
+	var walkTree func(g *group, depth int, nodes []*node, gi int) bool
+	walkGroups = func(gi int) bool {
+		if gi == len(c.groups) {
+			return yield(idx)
+		}
+		g := c.groups[gi]
+		return walkTree(g, 0, g.roots, gi)
+	}
+	walkTree = func(g *group, depth int, nodes []*node, gi int) bool {
+		pi := g.paramIdx[depth]
+		for _, nd := range nodes {
+			idx[pi] = nd.valIdx
+			if depth == len(g.paramIdx)-1 {
+				if !walkGroups(gi + 1) {
+					return false
+				}
+				continue
+			}
+			if !walkTree(g, depth+1, nd.children, gi) {
+				return false
+			}
+		}
+		return true
+	}
+	walkGroups(0)
+}
+
+// ToColumnar enumerates the chain into the columnar format shared with
+// the other construction methods.
+func (c *Chain) ToColumnar() *core.Columnar {
+	out := &core.Columnar{
+		Names: make([]string, len(c.def.Params)),
+		Cols:  make([][]int32, len(c.def.Params)),
+	}
+	for i, p := range c.def.Params {
+		out.Names[i] = p.Name
+	}
+	c.ForEach(func(idx []int32) bool {
+		for vi, di := range idx {
+			out.Cols[vi] = append(out.Cols[vi], di)
+		}
+		return true
+	})
+	return out
+}
+
+// String summarizes the chain's structure.
+func (c *Chain) String() string {
+	return fmt.Sprintf("chain-of-trees{groups: %d, sizes: %v}", len(c.groups), c.GroupSizes())
+}

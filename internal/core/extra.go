@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"searchspace/internal/value"
+)
+
+// This file adds the remaining built-in constraints of python-constraint
+// (AllDifferent, AllEqual, InSet, NotInSet, ExactSum), completing parity
+// with the solver the paper extends. InSet/NotInSet are pure domain
+// prefilters; the others participate in preprocessing and partial checks
+// like the Min/Max constraints of §4.3.2.
+
+// AllDifferent requires the named variables to take pairwise distinct
+// values.
+func (p *Problem) AllDifferent(vars []string) error {
+	return p.addExtra(conAllDiff, 0, vars)
+}
+
+// AllEqual requires the named variables to take equal values.
+func (p *Problem) AllEqual(vars []string) error {
+	return p.addExtra(conAllEqual, 0, vars)
+}
+
+// ExactSum requires the named variables to sum exactly to target.
+func (p *Problem) ExactSum(target float64, vars []string) error {
+	return p.addExtra(conExactSum, target, vars)
+}
+
+// InSet restricts every named variable to the given allowed values. It is
+// applied as a domain prefilter before search.
+func (p *Problem) InSet(allowed []value.Value, vars []string) error {
+	return p.addMembership(allowed, vars, true)
+}
+
+// NotInSet removes the given values from every named variable's domain.
+func (p *Problem) NotInSet(forbidden []value.Value, vars []string) error {
+	return p.addMembership(forbidden, vars, false)
+}
+
+func (p *Problem) addMembership(set []value.Value, vars []string, keep bool) error {
+	if len(vars) == 0 {
+		return fmt.Errorf("core: membership constraint needs variables")
+	}
+	keys := make(map[string]struct{}, len(set))
+	for _, v := range set {
+		keys[v.Key()] = struct{}{}
+	}
+	for _, name := range vars {
+		vi, ok := p.nameIdx[name]
+		if !ok {
+			return fmt.Errorf("core: unknown variable %q in constraint", name)
+		}
+		pred := func(vals []value.Value) (bool, error) {
+			_, in := keys[vals[vi].Key()]
+			return in == keep, nil
+		}
+		p.cons = append(p.cons, &constraint{
+			kind: conUnary, vars: []int{vi}, argIdx: []int{vi},
+			pred:  pred,
+			label: fmt.Sprintf("membership(%s)", name),
+		})
+	}
+	return nil
+}
+
+func (p *Problem) addExtra(kind conKind, bound float64, vars []string) error {
+	if len(vars) < 2 {
+		return fmt.Errorf("core: %v needs at least two variables", kind)
+	}
+	idx := make([]int, len(vars))
+	seen := make(map[int]struct{}, len(vars))
+	for i, name := range vars {
+		vi, ok := p.nameIdx[name]
+		if !ok {
+			return fmt.Errorf("core: unknown variable %q in constraint", name)
+		}
+		if _, dup := seen[vi]; dup {
+			return fmt.Errorf("core: %v lists variable %q twice", kind, name)
+		}
+		seen[vi] = struct{}{}
+		idx[i] = vi
+	}
+	c := &constraint{
+		kind: kind, vars: append([]int(nil), idx...), argIdx: idx,
+		bound: bound,
+		label: fmt.Sprintf("%v(%v)", kind, vars),
+	}
+	if kind == conExactSum {
+		c.coeffs = defaultCoeffs(len(idx))
+	}
+	p.cons = append(p.cons, c)
+	return nil
+}

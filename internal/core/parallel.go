@@ -1,0 +1,155 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"searchspace/internal/value"
+)
+
+// SolveColumnarParallel enumerates all solutions using up to workers
+// goroutines (0 selects GOMAXPROCS), partitioning the search along the
+// first solve-order variable's domain. The output is identical to
+// SolveColumnar, including row order: buckets are merged in domain order,
+// and within a bucket the sequential enumeration order is preserved.
+//
+// python-constraint 2 gained a ParallelSolver as part of the same
+// optimization effort this package reproduces; goroutines are the Go
+// analogue, without the process-pool overhead Python needs to sidestep
+// the GIL.
+func (c *Compiled) SolveColumnarParallel(workers int) *Columnar {
+	out := &Columnar{
+		Names: append([]string(nil), c.names...),
+		Cols:  make([][]int32, len(c.names)),
+	}
+	if c.empty || len(c.order) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	first := c.doms[0]
+	if workers == 1 || len(c.order) == 1 || len(first) == 1 {
+		return c.SolveColumnar()
+	}
+	if workers > len(first) {
+		workers = len(first)
+	}
+
+	buckets := make([]*Columnar, len(first))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k0 := range work {
+				buckets[k0] = c.solveWithFirst(k0)
+			}
+		}()
+	}
+	for k0 := range first {
+		work <- k0
+	}
+	close(work)
+	wg.Wait()
+
+	total := 0
+	for _, b := range buckets {
+		if b != nil {
+			total += b.NumSolutions()
+		}
+	}
+	for vi := range out.Cols {
+		col := make([]int32, 0, total)
+		for _, b := range buckets {
+			if b != nil {
+				col = append(col, b.Cols[vi]...)
+			}
+		}
+		out.Cols[vi] = col
+	}
+	return out
+}
+
+// solveWithFirst runs the standard iterative search with the first
+// solve-order variable pinned to its k0-th domain entry. Each call owns
+// its state, so calls are safe to run concurrently.
+func (c *Compiled) solveWithFirst(k0 int) *Columnar {
+	n := len(c.order)
+	out := &Columnar{Cols: make([][]int32, n)}
+	st := &state{
+		vals:    make([]value.Value, n),
+		nums:    make([]float64, n),
+		scratch: make([]value.Value, c.maxArgs),
+	}
+	idxOut := make([]int32, n)
+
+	v0 := c.order[0]
+	e0 := &c.doms[0][k0]
+	st.vals[v0] = e0.val
+	st.nums[v0] = e0.num
+	idxOut[v0] = e0.orig
+	for _, chk := range c.partial[0] {
+		if !chk(st) {
+			return out
+		}
+	}
+	for _, chk := range c.full[0] {
+		if !chk(st) {
+			return out
+		}
+	}
+	emit := func() {
+		for vi, di := range idxOut {
+			out.Cols[vi] = append(out.Cols[vi], di)
+		}
+	}
+	if n == 1 {
+		emit()
+		return out
+	}
+
+	trial := make([]int, n)
+	depth := 1
+	trial[1] = -1
+	for depth >= 1 {
+		trial[depth]++
+		dom := c.doms[depth]
+		if trial[depth] >= len(dom) {
+			depth--
+			continue
+		}
+		vi := c.order[depth]
+		e := &dom[trial[depth]]
+		st.vals[vi] = e.val
+		st.nums[vi] = e.num
+		idxOut[vi] = e.orig
+
+		ok := true
+		for _, chk := range c.partial[depth] {
+			if !chk(st) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, chk := range c.full[depth] {
+				if !chk(st) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if depth == n-1 {
+			emit()
+			continue
+		}
+		depth++
+		trial[depth] = -1
+	}
+	return out
+}

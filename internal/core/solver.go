@@ -1,0 +1,179 @@
+package core
+
+import (
+	"searchspace/internal/value"
+)
+
+// ForEach enumerates every valid configuration, invoking yield with the
+// per-variable original-domain indices (problem definition order). The
+// slice is reused between calls; copy it to retain. Return false from
+// yield to stop early (used by the blocking-clause baseline to extract a
+// single solution).
+//
+// This is Algorithm 1 of the paper, implemented iteratively with an
+// explicit trial-index stack and in-place undo rather than a stack of
+// copied states: equivalent search tree, no per-node allocation.
+func (c *Compiled) ForEach(yield func(idx []int32) bool) {
+	if c.empty || len(c.order) == 0 {
+		return
+	}
+	n := len(c.order)
+	st := &state{
+		vals:    make([]value.Value, n),
+		nums:    make([]float64, n),
+		scratch: make([]value.Value, c.maxArgs),
+	}
+	idxOut := make([]int32, n)
+	trial := make([]int, n)
+	trial[0] = -1
+	depth := 0
+	for depth >= 0 {
+		trial[depth]++
+		dom := c.doms[depth]
+		if trial[depth] >= len(dom) {
+			depth--
+			continue
+		}
+		vi := c.order[depth]
+		e := &dom[trial[depth]]
+		st.vals[vi] = e.val
+		st.nums[vi] = e.num
+		idxOut[vi] = e.orig
+
+		ok := true
+		for _, chk := range c.partial[depth] {
+			if !chk(st) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, chk := range c.full[depth] {
+				if !chk(st) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if depth == n-1 {
+			if !yield(idxOut) {
+				return
+			}
+			continue
+		}
+		depth++
+		trial[depth] = -1
+	}
+}
+
+// Count returns the number of valid configurations without storing them.
+func (c *Compiled) Count() int {
+	count := 0
+	c.ForEach(func([]int32) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// First returns the first valid configuration found, or ok=false when the
+// space is empty.
+func (c *Compiled) First() (idx []int32, ok bool) {
+	c.ForEach(func(sol []int32) bool {
+		idx = append([]int32(nil), sol...)
+		ok = true
+		return false
+	})
+	return idx, ok
+}
+
+// Columnar is the struct-of-arrays output format (§4.3.4): one column of
+// original-domain indices per variable, parallel across solutions. It is
+// the cheapest format to produce and the one the SearchSpace
+// representation consumes directly.
+type Columnar struct {
+	Names []string
+	Cols  [][]int32
+}
+
+// NumSolutions returns the number of stored configurations.
+func (s *Columnar) NumSolutions() int {
+	if len(s.Cols) == 0 {
+		return 0
+	}
+	return len(s.Cols[0])
+}
+
+// SolveColumnar enumerates all solutions into columnar form.
+func (c *Compiled) SolveColumnar() *Columnar {
+	out := &Columnar{
+		Names: append([]string(nil), c.names...),
+		Cols:  make([][]int32, len(c.names)),
+	}
+	c.ForEach(func(idx []int32) bool {
+		for vi, di := range idx {
+			out.Cols[vi] = append(out.Cols[vi], di)
+		}
+		return true
+	})
+	return out
+}
+
+// SolveTuples enumerates all solutions as rows of values in variable
+// definition order.
+func (p *Problem) solveTuples(c *Compiled) [][]value.Value {
+	var out [][]value.Value
+	c.ForEach(func(idx []int32) bool {
+		row := make([]value.Value, len(idx))
+		for vi, di := range idx {
+			row[vi] = p.domains[vi][di]
+		}
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// SolveMaps enumerates all solutions as name→value maps, the format
+// python-constraint's getSolutions returns. Convenient but the most
+// allocation-heavy format; large spaces should prefer SolveColumnar.
+func (p *Problem) solveMaps(c *Compiled) []map[string]value.Value {
+	var out []map[string]value.Value
+	c.ForEach(func(idx []int32) bool {
+		m := make(map[string]value.Value, len(idx))
+		for vi, di := range idx {
+			m[p.names[vi]] = p.domains[vi][di]
+		}
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// SolveTuples compiles with default options and returns value rows.
+func (p *Problem) SolveTuples() [][]value.Value {
+	return p.solveTuples(p.Compile(DefaultOptions()))
+}
+
+// SolveMaps compiles with default options and returns name→value maps.
+func (p *Problem) SolveMaps() []map[string]value.Value {
+	return p.solveMaps(p.Compile(DefaultOptions()))
+}
+
+// TuplesOf converts columnar output back to value rows; exported for the
+// baselines' cross-validation tests.
+func (p *Problem) TuplesOf(c *Columnar) [][]value.Value {
+	n := c.NumSolutions()
+	out := make([][]value.Value, n)
+	for r := 0; r < n; r++ {
+		row := make([]value.Value, len(c.Cols))
+		for vi := range c.Cols {
+			row[vi] = p.domains[vi][c.Cols[vi][r]]
+		}
+		out[r] = row
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpecKind classifies what the optimizer recognized a conjunct as. The
+// solver maps each kind onto its most efficient built-in constraint
+// (§4.3.2); SpecFunc is the generic fallback compiled to a closure.
+type SpecKind uint8
+
+const (
+	// SpecTrue is a constraint that is always satisfied; it can be dropped.
+	SpecTrue SpecKind = iota
+	// SpecFalse is unsatisfiable: the search space is empty.
+	SpecFalse
+	// SpecUnary involves exactly one parameter and is folded into its
+	// domain before search ("preemptive exclusion through preprocessing").
+	SpecUnary
+	// SpecMaxProd requires coef-normalized product(Vars) <= Bound (or <
+	// when Strict).
+	SpecMaxProd
+	// SpecMinProd requires product(Vars) >= Bound (or > when Strict).
+	SpecMinProd
+	// SpecMaxSum requires sum(Coeffs[i]*Vars[i]) <= Bound (or < when Strict).
+	SpecMaxSum
+	// SpecMinSum requires sum(Coeffs[i]*Vars[i]) >= Bound (or > when Strict).
+	SpecMinSum
+	// SpecVarCmp is a direct comparison between two parameters:
+	// Vars[0] CmpOp Vars[1].
+	SpecVarCmp
+	// SpecDivides requires Vars[0] % Vars[1] == 0 (both integer-valued).
+	SpecDivides
+	// SpecFunc is a generic compiled predicate over Vars.
+	SpecFunc
+)
+
+var specNames = map[SpecKind]string{
+	SpecTrue: "true", SpecFalse: "false", SpecUnary: "unary",
+	SpecMaxProd: "max-product", SpecMinProd: "min-product",
+	SpecMaxSum: "max-sum", SpecMinSum: "min-sum",
+	SpecVarCmp: "var-compare", SpecDivides: "divides", SpecFunc: "function",
+}
+
+func (k SpecKind) String() string { return specNames[k] }
+
+// Spec is one decomposed, classified constraint produced by Analyze. Node
+// always carries an equivalent expression for the spec, so every consumer
+// can fall back to generic evaluation and tests can cross-validate the
+// specialized implementations against it.
+type Spec struct {
+	Kind   SpecKind
+	Vars   []string // referenced parameters, deterministic order
+	Node   Node     // equivalent expression (never nil except SpecTrue/False)
+	Bound  float64  // Min/Max Prod/Sum bound, normalized by the coefficient
+	Strict bool     // true for < and >, false for <= and >=
+	Coeffs []float64
+	CmpOp  Op // for SpecVarCmp
+	Source string
+}
+
+func (s Spec) String() string {
+	if s.Node == nil {
+		return s.Kind.String()
+	}
+	return fmt.Sprintf("%s(%s)", s.Kind, s.Node.String())
+}
+
+// Analyze runs the optimization pipeline of §4.2 / Figure 1 on a parsed
+// constraint: constant folding, splitting top-level conjunctions,
+// decomposing chained comparisons into binary comparisons over minimal
+// variable subsets, and pattern-matching each piece onto a specific
+// constraint kind. The returned specs are jointly equivalent to src.
+func Analyze(n Node) []Spec {
+	n = Fold(n)
+	var specs []Spec
+	for _, conjunct := range splitConjuncts(n) {
+		for _, link := range splitChains(conjunct) {
+			specs = append(specs, classify(link))
+		}
+	}
+	return specs
+}
+
+// AnalyzeString parses and analyzes a constraint source string.
+func AnalyzeString(src string) ([]Spec, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	specs := Analyze(n)
+	for i := range specs {
+		specs[i].Source = src
+	}
+	return specs, nil
+}
+
+// splitConjuncts flattens nested top-level `and` nodes into a list.
+func splitConjuncts(n Node) []Node {
+	if b, ok := n.(*BoolOp); ok && b.And {
+		var out []Node
+		for _, x := range b.Xs {
+			out = append(out, splitConjuncts(x)...)
+		}
+		return out
+	}
+	return []Node{n}
+}
+
+// splitChains decomposes a chained comparison a op1 b op2 c into binary
+// comparisons (a op1 b) and (b op2 c). The middle operands of our
+// expression subset are side-effect free, so evaluating them once per link
+// is semantically identical; the payoff is that each link references the
+// smallest possible variable subset and can be checked (or preprocessed)
+// as soon as those variables resolve (Figure 1, step 2).
+func splitChains(n Node) []Node {
+	c, ok := n.(*Compare)
+	if !ok || len(c.Ops) == 1 {
+		return []Node{n}
+	}
+	out := make([]Node, len(c.Ops))
+	for i, op := range c.Ops {
+		out[i] = &Compare{
+			Operands: []Node{c.Operands[i], c.Operands[i+1]},
+			Ops:      []Op{op},
+		}
+	}
+	return out
+}
+
+// classify pattern-matches one conjunct onto the most specific constraint
+// kind (Figure 1, step 3).
+func classify(n Node) Spec {
+	vars := Vars(n)
+	switch len(vars) {
+	case 0:
+		if v, err := Eval(n, nil); err == nil {
+			if v.Truthy() {
+				return Spec{Kind: SpecTrue}
+			}
+			return Spec{Kind: SpecFalse, Node: n}
+		}
+		// Constant expression that errors at runtime (e.g. 1 % 0): treat
+		// as unsatisfiable rather than crashing the build.
+		return Spec{Kind: SpecFalse, Node: n}
+	case 1:
+		return Spec{Kind: SpecUnary, Vars: vars, Node: n}
+	}
+
+	if c, ok := n.(*Compare); ok && len(c.Ops) == 1 {
+		if spec, ok := classifyBinaryCompare(c, vars); ok {
+			return spec
+		}
+	}
+	return Spec{Kind: SpecFunc, Vars: vars, Node: n}
+}
+
+func classifyBinaryCompare(c *Compare, vars []string) (Spec, bool) {
+	op := c.Ops[0]
+	lhs, rhs := c.Operands[0], c.Operands[1]
+
+	// Normalize constants to the right: 32 <= x*y becomes x*y >= 32.
+	if isNumLit(lhs) && !isNumLit(rhs) && op != OpIn && op != OpNotIn {
+		lhs, rhs = rhs, lhs
+		op = op.Flip()
+	}
+
+	// name CMP name.
+	ln, lIsName := lhs.(*Name)
+	rn, rIsName := rhs.(*Name)
+	if lIsName && rIsName && op != OpIn && op != OpNotIn {
+		return Spec{
+			Kind:  SpecVarCmp,
+			Vars:  []string{ln.Ident, rn.Ident},
+			Node:  c,
+			CmpOp: op,
+		}, true
+	}
+
+	// x % y == 0 with two distinct parameter operands.
+	if op == OpEq && isZeroLit(rhs) {
+		if mod, ok := lhs.(*Binary); ok && mod.Op == OpMod {
+			mn, mok := mod.X.(*Name)
+			dn, dok := mod.Y.(*Name)
+			if mok && dok && mn.Ident != dn.Ident {
+				return Spec{
+					Kind: SpecDivides,
+					Vars: []string{mn.Ident, dn.Ident},
+					Node: c,
+				}, true
+			}
+		}
+	}
+
+	// Product / sum against a numeric constant.
+	if !isNumLit(rhs) {
+		return Spec{}, false
+	}
+	bound := rhs.(*Lit).Val.Float()
+
+	if names, coef, ok := matchProduct(lhs); ok && len(names) >= 2 && coef != 0 {
+		kind, strict, ok := boundKind(op)
+		if !ok {
+			return Spec{}, false
+		}
+		if coef < 0 {
+			kind = flipBoundKind(kind)
+		}
+		k := SpecMaxProd
+		if kind == boundMin {
+			k = SpecMinProd
+		}
+		return Spec{
+			Kind:   k,
+			Vars:   names,
+			Node:   c,
+			Bound:  bound / coef,
+			Strict: strict,
+		}, true
+	}
+
+	if names, coeffs, addend, ok := matchSum(lhs); ok && len(names) >= 2 {
+		kind, strict, ok := boundKind(op)
+		if !ok {
+			return Spec{}, false
+		}
+		k := SpecMaxSum
+		if kind == boundMin {
+			k = SpecMinSum
+		}
+		return Spec{
+			Kind:   k,
+			Vars:   names,
+			Node:   c,
+			Bound:  bound - addend,
+			Strict: strict,
+			Coeffs: coeffs,
+		}, true
+	}
+
+	return Spec{}, false
+}
+
+type boundDir uint8
+
+const (
+	boundMax boundDir = iota
+	boundMin
+)
+
+func flipBoundKind(k boundDir) boundDir {
+	if k == boundMax {
+		return boundMin
+	}
+	return boundMax
+}
+
+// boundKind maps a comparison operator onto a bound direction.
+func boundKind(op Op) (dir boundDir, strict, ok bool) {
+	switch op {
+	case OpLe:
+		return boundMax, false, true
+	case OpLt:
+		return boundMax, true, true
+	case OpGe:
+		return boundMin, false, true
+	case OpGt:
+		return boundMin, true, true
+	}
+	return 0, false, false
+}
+
+func isNumLit(n Node) bool {
+	l, ok := n.(*Lit)
+	return ok && l.Val.IsNumeric()
+}
+
+func isZeroLit(n Node) bool {
+	l, ok := n.(*Lit)
+	return ok && l.Val.IsNumeric() && l.Val.Float() == 0
+}
+
+// matchProduct recognizes a multiplication tree of parameter names and
+// numeric literals, returning the names (with multiplicity) and the
+// combined constant coefficient.
+func matchProduct(n Node) (names []string, coef float64, ok bool) {
+	coef = 1
+	var walk func(Node) bool
+	walk = func(n Node) bool {
+		switch x := n.(type) {
+		case *Binary:
+			if x.Op != OpMul {
+				return false
+			}
+			return walk(x.X) && walk(x.Y)
+		case *Name:
+			names = append(names, x.Ident)
+			return true
+		case *Lit:
+			if !x.Val.IsNumeric() {
+				return false
+			}
+			coef *= x.Val.Float()
+			return true
+		case *Unary:
+			if x.Op != OpNeg {
+				return false
+			}
+			coef = -coef
+			return walk(x.X)
+		}
+		return false
+	}
+	if !walk(n) || math.IsInf(coef, 0) || math.IsNaN(coef) {
+		return nil, 0, false
+	}
+	return names, coef, true
+}
+
+// matchSum recognizes an addition/subtraction tree of terms, where each
+// term is a name, a numeric literal, or a literal-times-name product.
+// It returns parallel name/coefficient slices plus the constant addend.
+func matchSum(n Node) (names []string, coeffs []float64, addend float64, ok bool) {
+	var walk func(Node, float64) bool
+	walk = func(n Node, sign float64) bool {
+		switch x := n.(type) {
+		case *Binary:
+			switch x.Op {
+			case OpAdd:
+				return walk(x.X, sign) && walk(x.Y, sign)
+			case OpSub:
+				return walk(x.X, sign) && walk(x.Y, -sign)
+			case OpMul:
+				// literal * name or name * literal.
+				if l, lok := x.X.(*Lit); lok && l.Val.IsNumeric() {
+					if nm, nok := x.Y.(*Name); nok {
+						names = append(names, nm.Ident)
+						coeffs = append(coeffs, sign*l.Val.Float())
+						return true
+					}
+				}
+				if l, lok := x.Y.(*Lit); lok && l.Val.IsNumeric() {
+					if nm, nok := x.X.(*Name); nok {
+						names = append(names, nm.Ident)
+						coeffs = append(coeffs, sign*l.Val.Float())
+						return true
+					}
+				}
+				return false
+			}
+			return false
+		case *Name:
+			names = append(names, x.Ident)
+			coeffs = append(coeffs, sign)
+			return true
+		case *Lit:
+			if !x.Val.IsNumeric() {
+				return false
+			}
+			addend += sign * x.Val.Float()
+			return true
+		case *Unary:
+			if x.Op != OpNeg {
+				return false
+			}
+			return walk(x.X, -sign)
+		}
+		return false
+	}
+	if !walk(n, 1) {
+		return nil, nil, 0, false
+	}
+	return names, coeffs, addend, true
+}

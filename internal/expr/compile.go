@@ -1,0 +1,253 @@
+package expr
+
+import (
+	"fmt"
+
+	"searchspace/internal/value"
+)
+
+// Prog is a compiled expression: it evaluates against a slot-indexed value
+// vector (one slot per parameter, assigned at compile time), avoiding both
+// tree walking and map lookups in the solver's hot loop. This is the Go
+// analogue of the paper's runtime compilation of Function constraints to
+// bytecode (§4.3.2).
+type Prog func(vals []value.Value) (value.Value, error)
+
+// Pred is a compiled boolean predicate over the slot vector.
+type Pred func(vals []value.Value) (bool, error)
+
+// Compile compiles n into a Prog. slots maps parameter names to indexes in
+// the value vector the Prog will be applied to. Referencing a name absent
+// from slots is a compile-time error, which surfaces typos in constraint
+// strings before any solving starts.
+func Compile(n Node, slots map[string]int) (Prog, error) {
+	return compileNode(n, slots)
+}
+
+// CompilePred compiles n into a truthiness predicate.
+func CompilePred(n Node, slots map[string]int) (Pred, error) {
+	p, err := compileNode(n, slots)
+	if err != nil {
+		return nil, err
+	}
+	return func(vals []value.Value) (bool, error) {
+		v, err := p(vals)
+		if err != nil {
+			return false, err
+		}
+		return v.Truthy(), nil
+	}, nil
+}
+
+func compileNode(n Node, slots map[string]int) (Prog, error) {
+	switch x := n.(type) {
+	case *Lit:
+		v := x.Val
+		return func([]value.Value) (value.Value, error) { return v, nil }, nil
+
+	case *Name:
+		slot, ok := slots[x.Ident]
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown parameter %q in constraint", x.Ident)
+		}
+		return func(vals []value.Value) (value.Value, error) { return vals[slot], nil }, nil
+
+	case *Unary:
+		sub, err := compileNode(x.X, slots)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == OpNot {
+			return func(vals []value.Value) (value.Value, error) {
+				v, err := sub(vals)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.OfBool(!v.Truthy()), nil
+			}, nil
+		}
+		return func(vals []value.Value) (value.Value, error) {
+			v, err := sub(vals)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.Neg(v)
+		}, nil
+
+	case *Binary:
+		a, err := compileNode(x.X, slots)
+		if err != nil {
+			return nil, err
+		}
+		b, err := compileNode(x.Y, slots)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(vals []value.Value) (value.Value, error) {
+			av, err := a(vals)
+			if err != nil {
+				return value.Value{}, err
+			}
+			bv, err := b(vals)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return applyBinary(op, av, bv)
+		}, nil
+
+	case *Compare:
+		return compileCompare(x, slots)
+
+	case *BoolOp:
+		subs := make([]Prog, len(x.Xs))
+		for i, sub := range x.Xs {
+			p, err := compileNode(sub, slots)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = p
+		}
+		and := x.And
+		return func(vals []value.Value) (value.Value, error) {
+			var v value.Value
+			for _, sub := range subs {
+				var err error
+				v, err = sub(vals)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if and != v.Truthy() {
+					return v, nil
+				}
+			}
+			return v, nil
+		}, nil
+
+	case *List:
+		return nil, fmt.Errorf("expr: list literal outside `in` operand")
+
+	case *Call:
+		args := make([]Prog, len(x.Args))
+		for i, a := range x.Args {
+			p, err := compileNode(a, slots)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = p
+		}
+		fn := x.Fn
+		buf := make([]value.Value, len(args))
+		return func(vals []value.Value) (value.Value, error) {
+			for i, a := range args {
+				v, err := a(vals)
+				if err != nil {
+					return value.Value{}, err
+				}
+				buf[i] = v
+			}
+			return applyCall(fn, buf)
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: cannot compile %T", n)
+}
+
+func compileCompare(c *Compare, slots map[string]int) (Prog, error) {
+	type link struct {
+		op    Op
+		right Prog
+		// set is the pre-evaluated constant membership set for in/not in
+		// when every element is a literal; otherwise elems hold Progs.
+		set   []value.Value
+		elems []Prog
+	}
+	left0, err := compileNode(c.Operands[0], slots)
+	if err != nil {
+		return nil, err
+	}
+	links := make([]link, len(c.Ops))
+	for i, op := range c.Ops {
+		if op == OpIn || op == OpNotIn {
+			list, ok := c.Operands[i+1].(*List)
+			if !ok {
+				return nil, fmt.Errorf("expr: %s requires a literal list", op.Name())
+			}
+			lk := link{op: op}
+			constant := true
+			for _, e := range list.Elems {
+				if _, isLit := e.(*Lit); !isLit {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				for _, e := range list.Elems {
+					lk.set = append(lk.set, e.(*Lit).Val)
+				}
+			} else {
+				for _, e := range list.Elems {
+					p, err := compileNode(e, slots)
+					if err != nil {
+						return nil, err
+					}
+					lk.elems = append(lk.elems, p)
+				}
+			}
+			links[i] = lk
+			continue
+		}
+		right, err := compileNode(c.Operands[i+1], slots)
+		if err != nil {
+			return nil, err
+		}
+		links[i] = link{op: op, right: right}
+	}
+	return func(vals []value.Value) (value.Value, error) {
+		left, err := left0(vals)
+		if err != nil {
+			return value.Value{}, err
+		}
+		for i := range links {
+			lk := &links[i]
+			if lk.op == OpIn || lk.op == OpNotIn {
+				found := false
+				if lk.set != nil {
+					for _, e := range lk.set {
+						if value.Equal(left, e) {
+							found = true
+							break
+						}
+					}
+				} else {
+					for _, ep := range lk.elems {
+						ev, err := ep(vals)
+						if err != nil {
+							return value.Value{}, err
+						}
+						if value.Equal(left, ev) {
+							found = true
+							break
+						}
+					}
+				}
+				if found == (lk.op == OpNotIn) {
+					return value.OfBool(false), nil
+				}
+				continue
+			}
+			right, err := lk.right(vals)
+			if err != nil {
+				return value.Value{}, err
+			}
+			ok, err := applyCompare(lk.op, left, right)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if !ok {
+				return value.OfBool(false), nil
+			}
+			left = right
+		}
+		return value.OfBool(true), nil
+	}, nil
+}

@@ -1,0 +1,172 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"searchspace/internal/value"
+)
+
+// TestCompileMatchesEval cross-checks the compiled closures against the
+// tree-walking interpreter on a corpus of realistic constraints and random
+// integer assignments.
+func TestCompileMatchesEval(t *testing.T) {
+	srcs := []string{
+		"32 <= a * b <= 1024",
+		"a * b * c * 4 <= 49152",
+		"a % b == 0",
+		"a + b - c > 0",
+		"a // b >= 1 and b > 0 or a == 0",
+		"a in [1, 2, 4, 8, 16]",
+		"not (a > b) and c != 1",
+		"min(a, b) * 2 <= max(a, c)",
+		"abs(a - b) < 10",
+		"pow(a, 2) + pow(b, 2) <= 10000",
+		"a * a > b",
+		"(a + 1) * (b + 1) <= 2048",
+		"a / (b + 1) < 16.5",
+		"a ** 2 <= 4096",
+	}
+	slots := map[string]int{"a": 0, "b": 1, "c": 2}
+	rng := rand.New(rand.NewSource(42))
+	for _, src := range srcs {
+		n := MustParse(src)
+		prog, err := Compile(n, slots)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			vals := []value.Value{
+				value.OfInt(int64(rng.Intn(64) + 1)),
+				value.OfInt(int64(rng.Intn(64) + 1)),
+				value.OfInt(int64(rng.Intn(64) + 1)),
+			}
+			env := MapEnv{"a": vals[0], "b": vals[1], "c": vals[2]}
+			want, errWant := Eval(n, env)
+			got, errGot := prog(vals)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("%q with %v: eval err %v, compiled err %v", src, vals, errWant, errGot)
+			}
+			if errWant == nil && !value.Equal(want, got) {
+				t.Fatalf("%q with %v: eval %v, compiled %v", src, vals, want, got)
+			}
+		}
+	}
+}
+
+func TestCompileUnknownName(t *testing.T) {
+	n := MustParse("a * missing > 2")
+	if _, err := Compile(n, map[string]int{"a": 0}); err == nil {
+		t.Fatal("compiling with unknown parameter should fail")
+	}
+}
+
+func TestCompilePred(t *testing.T) {
+	n := MustParse("a * b >= 32")
+	pred, err := CompilePred(n, map[string]int{"a": 0, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := pred([]value.Value{value.OfInt(8), value.OfInt(8)})
+	if err != nil || !ok {
+		t.Errorf("8*8>=32 = %v, %v", ok, err)
+	}
+	ok, err = pred([]value.Value{value.OfInt(1), value.OfInt(2)})
+	if err != nil || ok {
+		t.Errorf("1*2>=32 = %v, %v", ok, err)
+	}
+}
+
+func TestCompileRuntimeError(t *testing.T) {
+	n := MustParse("a % b == 0")
+	prog, err := Compile(n, map[string]int{"a": 0, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog([]value.Value{value.OfInt(4), value.OfInt(0)}); err == nil {
+		t.Error("modulo by zero should surface as an error")
+	}
+}
+
+func TestCompileConstantMembershipSet(t *testing.T) {
+	n := MustParse("a in [2, 4, 8]")
+	prog, err := Compile(n, map[string]int{"a": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		in   int64
+		want bool
+	}{{2, true}, {3, false}, {8, true}} {
+		v, err := prog([]value.Value{value.OfInt(c.in)})
+		if err != nil || v.Truthy() != c.want {
+			t.Errorf("a=%d in [2,4,8] = %v, %v; want %v", c.in, v, err, c.want)
+		}
+	}
+}
+
+func TestCompileVariableMembership(t *testing.T) {
+	n := MustParse("a in [b, b * 2]")
+	prog, err := Compile(n, map[string]int{"a": 0, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prog([]value.Value{value.OfInt(6), value.OfInt(3)})
+	if err != nil || !v.Truthy() {
+		t.Errorf("6 in [3, 6] = %v, %v", v, err)
+	}
+}
+
+// Property: fold preserves semantics on variable-free expressions built
+// from random small integers.
+func TestQuickFoldPreservesConstants(t *testing.T) {
+	f := func(a, b int8, pick uint8) bool {
+		ops := []string{"+", "-", "*", "//", "%"}
+		op := ops[int(pick)%len(ops)]
+		src := "(" + value.OfInt(int64(a)).String() + " " + op + " " + value.OfInt(int64(b)).String() + ") <= 100"
+		n, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		want, errWant := Eval(n, nil)
+		folded := Fold(n)
+		got, errGot := Eval(folded, nil)
+		if (errWant == nil) != (errGot == nil) {
+			return false
+		}
+		if errWant != nil {
+			return true
+		}
+		return value.Equal(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvalInterpreted(b *testing.B) {
+	n := MustParse("32 <= block_size_x * block_size_y <= 1024")
+	env := MapEnv{"block_size_x": value.OfInt(16), "block_size_y": value.OfInt(8)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(n, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCompiled(b *testing.B) {
+	n := MustParse("32 <= block_size_x * block_size_y <= 1024")
+	prog, err := Compile(n, map[string]int{"block_size_x": 0, "block_size_y": 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := []value.Value{value.OfInt(16), value.OfInt(8)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

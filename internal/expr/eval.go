@@ -1,0 +1,219 @@
+package expr
+
+import (
+	"fmt"
+
+	"searchspace/internal/value"
+)
+
+// Env supplies parameter values during evaluation.
+type Env interface {
+	// Lookup returns the value bound to name, or ok=false when unbound.
+	Lookup(name string) (value.Value, bool)
+}
+
+// MapEnv is the simplest Env: a name→value map.
+type MapEnv map[string]value.Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (value.Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Eval evaluates n under env by walking the tree. This is the slow path
+// used by the *unoptimized* solver baseline; the optimized pipeline uses
+// Compile instead (§4.3.2's "dynamic runtime compilation").
+func Eval(n Node, env Env) (value.Value, error) {
+	switch x := n.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *Name:
+		v, ok := env.Lookup(x.Ident)
+		if !ok {
+			return value.Value{}, fmt.Errorf("expr: unbound parameter %q", x.Ident)
+		}
+		return v, nil
+	case *Unary:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if x.Op == OpNot {
+			return value.OfBool(!v.Truthy()), nil
+		}
+		return value.Neg(v)
+	case *Binary:
+		a, err := Eval(x.X, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		b, err := Eval(x.Y, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return applyBinary(x.Op, a, b)
+	case *Compare:
+		left, err := Eval(x.Operands[0], env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		for i, op := range x.Ops {
+			if op == OpIn || op == OpNotIn {
+				list, ok := x.Operands[i+1].(*List)
+				if !ok {
+					return value.Value{}, fmt.Errorf("expr: %s requires a literal list", op.Name())
+				}
+				found := false
+				for _, e := range list.Elems {
+					ev, err := Eval(e, env)
+					if err != nil {
+						return value.Value{}, err
+					}
+					if value.Equal(left, ev) {
+						found = true
+						break
+					}
+				}
+				if found == (op == OpNotIn) {
+					return value.OfBool(false), nil
+				}
+				// A membership test cannot chain onward in our subset, but
+				// Python would chain on the right operand; we stop here as
+				// the parser guarantees `in` is the last link.
+				continue
+			}
+			right, err := Eval(x.Operands[i+1], env)
+			if err != nil {
+				return value.Value{}, err
+			}
+			ok, err := applyCompare(op, left, right)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if !ok {
+				return value.OfBool(false), nil
+			}
+			left = right
+		}
+		return value.OfBool(true), nil
+	case *BoolOp:
+		for i, sub := range x.Xs {
+			v, err := Eval(sub, env)
+			if err != nil {
+				return value.Value{}, err
+			}
+			last := i == len(x.Xs)-1
+			if x.And && !v.Truthy() {
+				return v, nil
+			}
+			if !x.And && v.Truthy() {
+				return v, nil
+			}
+			if last {
+				return v, nil
+			}
+		}
+		// Unreachable: BoolOp always has at least one operand.
+		return value.OfBool(x.And), nil
+	case *List:
+		return value.Value{}, fmt.Errorf("expr: list literal outside `in` operand")
+	case *Call:
+		args := make([]value.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return value.Value{}, err
+			}
+			args[i] = v
+		}
+		return applyCall(x.Fn, args)
+	}
+	return value.Value{}, fmt.Errorf("expr: cannot evaluate %T", n)
+}
+
+// EvalBool evaluates n and coerces to Python truthiness.
+func EvalBool(n Node, env Env) (bool, error) {
+	v, err := Eval(n, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+func applyBinary(op Op, a, b value.Value) (value.Value, error) {
+	switch op {
+	case OpAdd:
+		return value.Add(a, b)
+	case OpSub:
+		return value.Sub(a, b)
+	case OpMul:
+		return value.Mul(a, b)
+	case OpDiv:
+		return value.Div(a, b)
+	case OpFloorDiv:
+		return value.FloorDiv(a, b)
+	case OpMod:
+		return value.Mod(a, b)
+	case OpPow:
+		return value.Pow(a, b)
+	}
+	return value.Value{}, fmt.Errorf("expr: invalid binary op %s", op.Name())
+}
+
+// applyCompare evaluates a single comparison link. For OpIn/OpNotIn the
+// right value must have been materialized by the caller via evalList.
+func applyCompare(op Op, a, b value.Value) (bool, error) {
+	switch op {
+	case OpEq:
+		return value.Equal(a, b), nil
+	case OpNe:
+		return !value.Equal(a, b), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		c, err := value.Compare(a, b)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case OpLt:
+			return c < 0, nil
+		case OpLe:
+			return c <= 0, nil
+		case OpGt:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	}
+	return false, fmt.Errorf("expr: invalid comparison op %s", op.Name())
+}
+
+func applyCall(fn string, args []value.Value) (value.Value, error) {
+	switch fn {
+	case "abs":
+		return value.Abs(args[0])
+	case "pow":
+		return value.Pow(args[0], args[1])
+	case "min":
+		best := args[0]
+		for _, a := range args[1:] {
+			m, err := value.Min(best, a)
+			if err != nil {
+				return value.Value{}, err
+			}
+			best = m
+		}
+		return best, nil
+	case "max":
+		best := args[0]
+		for _, a := range args[1:] {
+			m, err := value.Max(best, a)
+			if err != nil {
+				return value.Value{}, err
+			}
+			best = m
+		}
+		return best, nil
+	}
+	return value.Value{}, fmt.Errorf("expr: unknown function %q", fn)
+}

@@ -1,0 +1,125 @@
+package expr
+
+import "searchspace/internal/value"
+
+// Fold performs constant folding: any subtree that references no
+// parameters is evaluated once at parse time and replaced by its literal
+// result. Subtrees whose evaluation errors (e.g. a constant division by
+// zero) are left intact so the error surfaces at solve time with the
+// original source shape. Fold never mutates its input; shared subtrees are
+// rebuilt only when a child changed.
+func Fold(n Node) Node {
+	folded, _ := fold(n)
+	return folded
+}
+
+// fold returns the folded node and whether it is a literal.
+func fold(n Node) (Node, bool) {
+	switch x := n.(type) {
+	case *Lit:
+		return x, true
+
+	case *Name:
+		return x, false
+
+	case *Unary:
+		sub, lit := fold(x.X)
+		out := &Unary{Op: x.Op, X: sub}
+		if lit {
+			if v, err := Eval(out, nil); err == nil {
+				return &Lit{Val: v}, true
+			}
+		}
+		return out, false
+
+	case *Binary:
+		a, alit := fold(x.X)
+		b, blit := fold(x.Y)
+		out := &Binary{Op: x.Op, X: a, Y: b}
+		if alit && blit {
+			if v, err := Eval(out, nil); err == nil {
+				return &Lit{Val: v}, true
+			}
+		}
+		return out, false
+
+	case *Compare:
+		operands := make([]Node, len(x.Operands))
+		all := true
+		for i, o := range x.Operands {
+			var lit bool
+			operands[i], lit = fold(o)
+			if _, isList := operands[i].(*List); isList {
+				lit = listIsConstant(operands[i].(*List))
+			}
+			all = all && lit
+		}
+		out := &Compare{Operands: operands, Ops: append([]Op(nil), x.Ops...)}
+		if all {
+			if v, err := Eval(out, nil); err == nil {
+				return &Lit{Val: v}, true
+			}
+		}
+		return out, false
+
+	case *BoolOp:
+		xs := make([]Node, 0, len(x.Xs))
+		for _, sub := range x.Xs {
+			f, lit := fold(sub)
+			if lit {
+				truthy := f.(*Lit).Val.Truthy()
+				if x.And && !truthy {
+					// and-chain with a false constant: whole expression is
+					// that constant (Python returns the falsy operand).
+					return f, true
+				}
+				if !x.And && truthy {
+					return f, true
+				}
+				// Neutral element: drop it.
+				continue
+			}
+			xs = append(xs, f)
+		}
+		switch len(xs) {
+		case 0:
+			return &Lit{Val: value.OfBool(x.And)}, true
+		case 1:
+			return xs[0], false
+		}
+		return &BoolOp{And: x.And, Xs: xs}, false
+
+	case *List:
+		elems := make([]Node, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i], _ = fold(e)
+		}
+		return &List{Elems: elems}, false
+
+	case *Call:
+		args := make([]Node, len(x.Args))
+		all := true
+		for i, a := range x.Args {
+			var lit bool
+			args[i], lit = fold(a)
+			all = all && lit
+		}
+		out := &Call{Fn: x.Fn, Args: args}
+		if all {
+			if v, err := Eval(out, nil); err == nil {
+				return &Lit{Val: v}, true
+			}
+		}
+		return out, false
+	}
+	return n, false
+}
+
+func listIsConstant(l *List) bool {
+	for _, e := range l.Elems {
+		if _, ok := e.(*Lit); !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+
+	"searchspace/internal/core"
+	"searchspace/internal/expr"
+	"searchspace/internal/model"
+	"searchspace/internal/stats"
+)
+
+// Table2Row is one row of the paper's Table 2: the measurable
+// characteristics of a real-world search space.
+type Table2Row struct {
+	Name          string
+	Cartesian     float64
+	Valid         int // the paper's "Constraint size" column
+	NumParams     int
+	NumCons       int
+	AvgUniqueVars float64
+	MinDomain     int
+	MaxDomain     int
+	PctValid      float64
+	// AvgEvals is the average number of constraint evaluations a brute
+	// force construction needs: |Si| + |Si|·|Sc|/2 + |Sv| (§5.3).
+	AvgEvals float64
+}
+
+// ComputeTable2Row derives one workload's characteristics, counting valid
+// configurations with the optimized solver.
+func ComputeTable2Row(def *model.Definition) (Table2Row, error) {
+	p, err := def.ToProblem()
+	if err != nil {
+		return Table2Row{}, err
+	}
+	valid := p.Compile(core.DefaultOptions()).Count()
+
+	row := Table2Row{
+		Name:      def.Name,
+		Cartesian: def.CartesianSize(),
+		Valid:     valid,
+		NumParams: def.NumParams(),
+		NumCons:   def.NumConstraints(),
+		MinDomain: 1 << 30,
+	}
+	for _, prm := range def.Params {
+		if len(prm.Values) < row.MinDomain {
+			row.MinDomain = len(prm.Values)
+		}
+		if len(prm.Values) > row.MaxDomain {
+			row.MaxDomain = len(prm.Values)
+		}
+	}
+	totalVars := 0
+	for _, src := range def.Constraints {
+		n, err := expr.Parse(src)
+		if err != nil {
+			return Table2Row{}, err
+		}
+		totalVars += len(expr.Vars(n))
+	}
+	for _, gc := range def.GoConstraints {
+		seen := map[string]struct{}{}
+		for _, v := range gc.Vars {
+			seen[v] = struct{}{}
+		}
+		totalVars += len(seen)
+	}
+	if def.NumConstraints() > 0 {
+		row.AvgUniqueVars = float64(totalVars) / float64(def.NumConstraints())
+	}
+	row.PctValid = 100 * float64(valid) / row.Cartesian
+	invalid := row.Cartesian - float64(valid)
+	row.AvgEvals = invalid + invalid*float64(def.NumConstraints())/2 + float64(valid)
+	return row, nil
+}
+
+// ComputeTable2 derives the characteristics of every definition plus the
+// per-column means (Table 2's final row).
+func ComputeTable2(defs []*model.Definition) ([]Table2Row, Table2Row, error) {
+	rows := make([]Table2Row, 0, len(defs))
+	var mean Table2Row
+	mean.Name = "Mean"
+	for _, def := range defs {
+		row, err := ComputeTable2Row(def)
+		if err != nil {
+			return nil, Table2Row{}, err
+		}
+		rows = append(rows, row)
+		mean.Cartesian += row.Cartesian
+		mean.Valid += row.Valid
+		mean.NumParams += row.NumParams
+		mean.NumCons += row.NumCons
+		mean.AvgUniqueVars += row.AvgUniqueVars
+		mean.MinDomain += row.MinDomain
+		mean.MaxDomain += row.MaxDomain
+		mean.PctValid += row.PctValid
+		mean.AvgEvals += row.AvgEvals
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		mean.Cartesian /= n
+		mean.Valid = int(float64(mean.Valid) / n)
+		mean.NumParams = int(float64(mean.NumParams)/n + 0.5)
+		mean.NumCons = int(float64(mean.NumCons)/n + 0.5)
+		mean.AvgUniqueVars /= n
+		mean.MinDomain = int(float64(mean.MinDomain)/n + 0.5)
+		mean.MaxDomain = int(float64(mean.MaxDomain)/n + 0.5)
+		mean.PctValid /= n
+		mean.AvgEvals /= n
+	}
+	return rows, mean, nil
+}
+
+// Fig2Data holds the three distributions of Figure 2 across a suite:
+// Cartesian sizes, valid-configuration counts, and constrained fractions.
+type Fig2Data struct {
+	Cartesian []float64
+	Valid     []float64
+	Sparsity  []float64
+}
+
+// ComputeFig2 resolves every space with the optimized solver and collects
+// the distribution data of Figure 2.
+func ComputeFig2(defs []*model.Definition) (Fig2Data, error) {
+	var data Fig2Data
+	for _, def := range defs {
+		p, err := def.ToProblem()
+		if err != nil {
+			return Fig2Data{}, err
+		}
+		valid := float64(p.Compile(core.DefaultOptions()).Count())
+		cart := def.CartesianSize()
+		data.Cartesian = append(data.Cartesian, cart)
+		data.Valid = append(data.Valid, valid)
+		data.Sparsity = append(data.Sparsity, 1-valid/cart)
+	}
+	return data, nil
+}
+
+// Summaries returns the three distribution summaries of Figure 2.
+func (d Fig2Data) Summaries() (cart, valid, sparsity stats.Summary) {
+	return stats.Summarize(d.Cartesian), stats.Summarize(d.Valid), stats.Summarize(d.Sparsity)
+}
+
+// Table1 returns the qualitative framework-comparison table of the paper
+// (static content; included so every numbered exhibit is regenerable).
+func Table1() string {
+	rows := [][4]string{
+		{"Tuner", "Open Source", "Constraints API", "Search Space Construction"},
+		{"AUMA", "yes", "n/a", "external"},
+		{"CLTune", "yes", "C++", "brute-force"},
+		{"OpenTuner", "yes", "n/a", "brute-force"},
+		{"ytopt", "yes", "Python", "ConfigSpace"},
+		{"GPTune", "yes", "Python", "scikit-optimize.space"},
+		{"KTT", "yes", "C++", "chain-of-trees"},
+		{"ATF", "yes", "C++", "chain-of-trees"},
+		{"BaCO", "yes", "JSON", "chain-of-trees"},
+		{"PyATF", "yes", "Python", "chain-of-trees"},
+		{"Kernel Tuner (this work)", "yes", "Python", "CSP solver"},
+	}
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("%-26s %-12s %-16s %s\n", r[0], r[1], r[2], r[3])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package itersolve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+)
+
+func keysOf(col *core.Columnar) []string {
+	n := col.NumSolutions()
+	out := make([]string, n)
+	for r := 0; r < n; r++ {
+		var sb strings.Builder
+		for vi := range col.Cols {
+			fmt.Fprintf(&sb, "%d|", col.Cols[vi][r])
+		}
+		out[r] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMatchesDirectEnumeration(t *testing.T) {
+	def := &model.Definition{
+		Name: "iter",
+		Params: []model.Param{
+			model.IntsParam("a", 1, 2, 4, 8, 16),
+			model.Pow2Param("b", 0, 4),
+			model.RangeParam("c", 1, 3),
+		},
+		Constraints: []string{"a * b >= 8", "a * b * c <= 96"},
+	}
+	got, stats, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := def.ToProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Compile(core.DefaultOptions()).SolveColumnar()
+	g, w := keysOf(got), keysOf(want)
+	if len(g) != len(w) {
+		t.Fatalf("itersolve %d solutions, direct %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("differ at %d", i)
+		}
+	}
+	if stats.Queries != len(g)+1 {
+		t.Errorf("queries = %d, want %d (one per solution plus final unsat)", stats.Queries, len(g)+1)
+	}
+	// The k-th query re-rejects the k-1 previously blocked solutions and
+	// the final unsatisfiable query rejects all S of them: total blocked
+	// probes are S*(S+1)/2 for S solutions.
+	s := len(g)
+	if want := s * (s + 1) / 2; stats.Blocked != want {
+		t.Errorf("blocked = %d, want %d", stats.Blocked, want)
+	}
+	if str := stats.String(); !strings.Contains(str, "queries") {
+		t.Errorf("Stats.String() = %q", str)
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	def := &model.Definition{
+		Name:        "empty",
+		Params:      []model.Param{model.IntsParam("a", 1, 2)},
+		Constraints: []string{"a > 100"},
+	}
+	col, stats, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumSolutions() != 0 || stats.Queries != 1 {
+		t.Fatalf("solutions=%d queries=%d, want 0 and 1", col.NumSolutions(), stats.Queries)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	def := &model.Definition{
+		Name:        "bad",
+		Params:      []model.Param{model.IntsParam("a", 1)},
+		Constraints: []string{"a >"},
+	}
+	if _, _, err := Solve(def); err == nil {
+		t.Fatal("syntax error should propagate")
+	}
+}

@@ -1,0 +1,177 @@
+// Package model defines the solver-neutral description of a tunable
+// search space: parameters with finite value lists plus constraints in
+// their user-written source form. Every construction method (optimized
+// CSP, original CSP, brute force, chain-of-trees, blocking-clause) takes a
+// Definition, so the evaluation compares methods on byte-identical inputs,
+// exactly as the paper feeds the same abstract search-space definition to
+// each framework through per-framework parsers (§5.1).
+package model
+
+import (
+	"fmt"
+
+	"searchspace/internal/core"
+	"searchspace/internal/expr"
+	"searchspace/internal/value"
+)
+
+// Param is one tunable parameter and its legal values.
+type Param struct {
+	Name   string
+	Values []value.Value
+}
+
+// GoConstraint is a native Go predicate over named parameters, the
+// analogue of Kernel Tuner's lambda constraints.
+type GoConstraint struct {
+	Vars []string
+	Fn   func(vals []value.Value) bool
+}
+
+// Definition describes a constrained search space.
+type Definition struct {
+	// Name labels the workload in reports (e.g. "Hotspot").
+	Name string
+	// Params in definition order. Order matters to chain-of-trees, which
+	// follows ATF in ordering each group's tree by definition order.
+	Params []Param
+	// Constraints in the Python-expression constraint language.
+	Constraints []string
+	// GoConstraints are optional native predicates; they bypass the parser
+	// optimizer and are treated as opaque function constraints by every
+	// method.
+	GoConstraints []GoConstraint
+}
+
+// CartesianSize returns the product of the domain sizes as a float (real
+// workloads exceed int32 but not float64 precision needs).
+func (d *Definition) CartesianSize() float64 {
+	size := 1.0
+	for _, p := range d.Params {
+		size *= float64(len(p.Values))
+	}
+	return size
+}
+
+// NumParams returns the number of tunable parameters.
+func (d *Definition) NumParams() int { return len(d.Params) }
+
+// NumConstraints returns the number of user-level constraints.
+func (d *Definition) NumConstraints() int {
+	return len(d.Constraints) + len(d.GoConstraints)
+}
+
+// ParamIndex returns the definition-order index of the named parameter.
+func (d *Definition) ParamIndex(name string) (int, bool) {
+	for i, p := range d.Params {
+		if p.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks structural invariants: unique non-empty parameter names,
+// non-empty domains, and parseable constraints referencing known
+// parameters.
+func (d *Definition) Validate() error {
+	seen := make(map[string]struct{}, len(d.Params))
+	for _, p := range d.Params {
+		if p.Name == "" {
+			return fmt.Errorf("model: %s: empty parameter name", d.Name)
+		}
+		if _, dup := seen[p.Name]; dup {
+			return fmt.Errorf("model: %s: duplicate parameter %q", d.Name, p.Name)
+		}
+		seen[p.Name] = struct{}{}
+		if len(p.Values) == 0 {
+			return fmt.Errorf("model: %s: parameter %q has no values", d.Name, p.Name)
+		}
+	}
+	for _, src := range d.Constraints {
+		n, err := expr.Parse(src)
+		if err != nil {
+			return fmt.Errorf("model: %s: %w", d.Name, err)
+		}
+		for _, v := range expr.Vars(n) {
+			if _, ok := seen[v]; !ok {
+				return fmt.Errorf("model: %s: constraint %q references unknown parameter %q", d.Name, src, v)
+			}
+		}
+	}
+	for _, gc := range d.GoConstraints {
+		if len(gc.Vars) == 0 || gc.Fn == nil {
+			return fmt.Errorf("model: %s: malformed Go constraint", d.Name)
+		}
+		for _, v := range gc.Vars {
+			if _, ok := seen[v]; !ok {
+				return fmt.Errorf("model: %s: Go constraint references unknown parameter %q", d.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ToProblem lowers the definition into a core CSP problem, running the
+// constraint parser/optimizer on every string constraint.
+func (d *Definition) ToProblem() (*core.Problem, error) {
+	p := core.NewProblem()
+	for _, prm := range d.Params {
+		if err := p.AddVariable(prm.Name, prm.Values); err != nil {
+			return nil, err
+		}
+	}
+	for _, src := range d.Constraints {
+		if err := p.AddConstraintString(src); err != nil {
+			return nil, err
+		}
+	}
+	for _, gc := range d.GoConstraints {
+		if err := p.AddGoFunc(gc.Vars, gc.Fn); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ParsedConstraints parses all string constraints once, returning their
+// ASTs. Baselines that bypass the optimizer share this entry point.
+func (d *Definition) ParsedConstraints() ([]expr.Node, error) {
+	nodes := make([]expr.Node, len(d.Constraints))
+	for i, src := range d.Constraints {
+		n, err := expr.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("model: %s: %w", d.Name, err)
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+// IntsParam is a convenience constructor for integer-valued parameters.
+func IntsParam(name string, xs ...int) Param {
+	vals := make([]value.Value, len(xs))
+	for i, x := range xs {
+		vals[i] = value.OfInt(int64(x))
+	}
+	return Param{Name: name, Values: vals}
+}
+
+// RangeParam returns an integer parameter spanning lo..hi inclusive.
+func RangeParam(name string, lo, hi int) Param {
+	var xs []int
+	for x := lo; x <= hi; x++ {
+		xs = append(xs, x)
+	}
+	return IntsParam(name, xs...)
+}
+
+// Pow2Param returns an integer parameter with the powers of two from
+// 2^loExp through 2^hiExp.
+func Pow2Param(name string, loExp, hiExp int) Param {
+	var xs []int
+	for e := loExp; e <= hiExp; e++ {
+		xs = append(xs, 1<<uint(e))
+	}
+	return IntsParam(name, xs...)
+}

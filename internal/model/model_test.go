@@ -1,0 +1,131 @@
+package model
+
+import (
+	"testing"
+
+	"searchspace/internal/value"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Definition{
+		Name: "ok",
+		Params: []Param{
+			IntsParam("a", 1, 2),
+			RangeParam("b", 1, 3),
+		},
+		Constraints: []string{"a < b"},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid definition rejected: %v", err)
+	}
+	cases := []*Definition{
+		{Name: "emptyname", Params: []Param{{Name: "", Values: ints(1)}}},
+		{Name: "dup", Params: []Param{IntsParam("a", 1), IntsParam("a", 2)}},
+		{Name: "novalues", Params: []Param{{Name: "a"}}},
+		{Name: "badsyntax", Params: []Param{IntsParam("a", 1)}, Constraints: []string{"a +"}},
+		{Name: "unknownvar", Params: []Param{IntsParam("a", 1)}, Constraints: []string{"b > 0"}},
+		{Name: "badgo", Params: []Param{IntsParam("a", 1)},
+			GoConstraints: []GoConstraint{{Vars: nil, Fn: nil}}},
+		{Name: "gounknown", Params: []Param{IntsParam("a", 1)},
+			GoConstraints: []GoConstraint{{Vars: []string{"zz"}, Fn: func([]value.Value) bool { return true }}}},
+	}
+	for _, def := range cases {
+		if err := def.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", def.Name)
+		}
+	}
+}
+
+func ints(xs ...int) []value.Value {
+	out := make([]value.Value, len(xs))
+	for i, x := range xs {
+		out[i] = value.OfInt(int64(x))
+	}
+	return out
+}
+
+func TestCartesianSizeAndCounts(t *testing.T) {
+	def := &Definition{
+		Name: "sizes",
+		Params: []Param{
+			IntsParam("a", 1, 2, 3),
+			Pow2Param("b", 0, 3), // 1,2,4,8
+		},
+		Constraints: []string{"a <= b"},
+	}
+	if got := def.CartesianSize(); got != 12 {
+		t.Errorf("CartesianSize = %v, want 12", got)
+	}
+	if def.NumParams() != 2 || def.NumConstraints() != 1 {
+		t.Errorf("counts: %d params, %d constraints", def.NumParams(), def.NumConstraints())
+	}
+	if i, ok := def.ParamIndex("b"); !ok || i != 1 {
+		t.Errorf("ParamIndex(b) = %d, %v", i, ok)
+	}
+	if _, ok := def.ParamIndex("zz"); ok {
+		t.Error("ParamIndex(zz) should fail")
+	}
+}
+
+func TestToProblem(t *testing.T) {
+	def := &Definition{
+		Name:        "prob",
+		Params:      []Param{IntsParam("a", 1, 2, 3, 4), IntsParam("b", 2, 4)},
+		Constraints: []string{"a % b == 0"},
+		GoConstraints: []GoConstraint{{
+			Vars: []string{"a"},
+			Fn:   func(vals []value.Value) bool { return vals[0].Int() > 1 },
+		}},
+	}
+	p, err := def.ToProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := p.SolveTuples()
+	// a in {2,4} with a%b==0 and a>1: (2,2), (4,2), (4,4).
+	if len(sols) != 3 {
+		t.Fatalf("got %d solutions, want 3", len(sols))
+	}
+	bad := &Definition{
+		Name:        "bad",
+		Params:      []Param{IntsParam("a", 1)},
+		Constraints: []string{"zzz > 0"},
+	}
+	if _, err := bad.ToProblem(); err == nil {
+		t.Error("unknown variable should fail")
+	}
+}
+
+func TestParsedConstraints(t *testing.T) {
+	def := &Definition{
+		Name:        "parsed",
+		Params:      []Param{IntsParam("a", 1)},
+		Constraints: []string{"a > 0", "a < 10"},
+	}
+	nodes, err := def.ParsedConstraints()
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("ParsedConstraints: %v, %v", nodes, err)
+	}
+	def.Constraints = append(def.Constraints, "a +")
+	if _, err := def.ParsedConstraints(); err == nil {
+		t.Error("syntax error should propagate")
+	}
+}
+
+func TestParamConstructors(t *testing.T) {
+	p := RangeParam("r", 3, 6)
+	if len(p.Values) != 4 || p.Values[0].Int() != 3 || p.Values[3].Int() != 6 {
+		t.Errorf("RangeParam = %v", p.Values)
+	}
+	p = Pow2Param("p", 2, 5)
+	want := []int64{4, 8, 16, 32}
+	for i, w := range want {
+		if p.Values[i].Int() != w {
+			t.Errorf("Pow2Param[%d] = %v, want %d", i, p.Values[i], w)
+		}
+	}
+	p = IntsParam("i", 9, 7)
+	if len(p.Values) != 2 || p.Values[0].Int() != 9 {
+		t.Errorf("IntsParam = %v", p.Values)
+	}
+}

@@ -1,0 +1,181 @@
+// Package naive reimplements the *original*, unoptimized python-constraint
+// solver that the paper uses as its "original" baseline (§5.2.2): a
+// recursive backtracking search over map-based assignments where every
+// user constraint remains one opaque function, evaluated by interpreting
+// its syntax tree only once all of its variables have been assigned. None
+// of the §4.2/§4.3 optimizations are applied: no constraint decomposition,
+// no specific constraints, no preprocessing, no compiled predicates, and
+// no partial-assignment rejection.
+//
+// Like vanilla python-constraint, variables are ordered most-constrained
+// first (that heuristic predates the paper's work and is kept), but all
+// constraint checking happens at full assignment of each constraint's
+// variable subset.
+package naive
+
+import (
+	"sort"
+
+	"searchspace/internal/core"
+	"searchspace/internal/expr"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+type conInfo struct {
+	node   expr.Node // nil for Go constraints
+	goFn   func([]value.Value) bool
+	vars   []string
+	varSet map[string]struct{}
+}
+
+// Solve enumerates all valid configurations of def using the unoptimized
+// recursive solver, in columnar form (parameter order follows def).
+func Solve(def *model.Definition) (*core.Columnar, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	nodes, err := def.ParsedConstraints()
+	if err != nil {
+		return nil, err
+	}
+
+	cons := make([]conInfo, 0, len(nodes)+len(def.GoConstraints))
+	for _, n := range nodes {
+		vars := expr.Vars(n)
+		set := make(map[string]struct{}, len(vars))
+		for _, v := range vars {
+			set[v] = struct{}{}
+		}
+		cons = append(cons, conInfo{node: n, vars: vars, varSet: set})
+	}
+	for _, gc := range def.GoConstraints {
+		set := make(map[string]struct{}, len(gc.Vars))
+		for _, v := range gc.Vars {
+			set[v] = struct{}{}
+		}
+		cons = append(cons, conInfo{goFn: gc.Fn, vars: gc.Vars, varSet: set})
+	}
+
+	// vconstraints[name] lists the constraints that involve the variable,
+	// as in python-constraint.
+	vcons := make(map[string][]int, len(def.Params))
+	for ci, c := range cons {
+		for _, v := range c.vars {
+			vcons[v] = append(vcons[v], ci)
+		}
+	}
+
+	// Most-constrained-variable order (vanilla python-constraint sorts on
+	// (-len(vconstraints[v]), len(domain[v]), v)).
+	order := make([]int, len(def.Params))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := def.Params[order[a]], def.Params[order[b]]
+		ca, cb := len(vcons[pa.Name]), len(vcons[pb.Name])
+		if ca != cb {
+			return ca > cb
+		}
+		if len(pa.Values) != len(pb.Values) {
+			return len(pa.Values) < len(pb.Values)
+		}
+		return pa.Name < pb.Name
+	})
+
+	out := &core.Columnar{
+		Names: make([]string, len(def.Params)),
+		Cols:  make([][]int32, len(def.Params)),
+	}
+	for i, p := range def.Params {
+		out.Names[i] = p.Name
+	}
+
+	s := &solver{
+		def:   def,
+		cons:  cons,
+		vcons: vcons,
+		order: order,
+		asg:   make(expr.MapEnv, len(def.Params)),
+		idx:   make([]int32, len(def.Params)),
+		out:   out,
+	}
+	s.recurse(0)
+	return out, nil
+}
+
+// Count returns the number of valid configurations.
+func Count(def *model.Definition) (int, error) {
+	col, err := Solve(def)
+	if err != nil {
+		return 0, err
+	}
+	return col.NumSolutions(), nil
+}
+
+type solver struct {
+	def   *model.Definition
+	cons  []conInfo
+	vcons map[string][]int
+	order []int
+	asg   expr.MapEnv
+	idx   []int32
+	out   *core.Columnar
+}
+
+// recurse assigns the depth-th variable in order, checking — as vanilla
+// python-constraint does — every constraint of that variable whose
+// variables have now all been assigned.
+func (s *solver) recurse(depth int) {
+	if depth == len(s.order) {
+		if len(s.order) == 0 {
+			return
+		}
+		for vi := range s.def.Params {
+			s.out.Cols[vi] = append(s.out.Cols[vi], s.idx[vi])
+		}
+		return
+	}
+	pi := s.order[depth]
+	p := s.def.Params[pi]
+	for k, v := range p.Values {
+		s.asg[p.Name] = v
+		s.idx[pi] = int32(k)
+		if s.consistent(p.Name) {
+			s.recurse(depth + 1)
+		}
+	}
+	delete(s.asg, p.Name)
+}
+
+func (s *solver) consistent(justAssigned string) bool {
+	for _, ci := range s.vcons[justAssigned] {
+		c := &s.cons[ci]
+		ready := true
+		for _, v := range c.vars {
+			if _, ok := s.asg[v]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if c.node != nil {
+			ok, err := expr.EvalBool(c.node, s.asg)
+			if err != nil || !ok {
+				return false
+			}
+			continue
+		}
+		args := make([]value.Value, len(c.vars))
+		for i, v := range c.vars {
+			args[i] = s.asg[v]
+		}
+		if !c.goFn(args) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package naive
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"searchspace/internal/bruteforce"
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+func keysOf(col *core.Columnar) []string {
+	n := col.NumSolutions()
+	out := make([]string, n)
+	for r := 0; r < n; r++ {
+		var sb strings.Builder
+		for vi := range col.Cols {
+			fmt.Fprintf(&sb, "%d|", col.Cols[vi][r])
+		}
+		out[r] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSame(t *testing.T, got, want *core.Columnar, label string) {
+	t.Helper()
+	g, w := keysOf(got), keysOf(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d solutions, want %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: differ at %d: %s vs %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	def := &model.Definition{
+		Name: "cmp",
+		Params: []model.Param{
+			model.IntsParam("a", 1, 2, 4, 8, 16),
+			model.Pow2Param("b", 0, 4),
+			model.RangeParam("c", 1, 5),
+		},
+		Constraints: []string{
+			"32 <= a * b * c",
+			"a * b * c <= 256",
+			"a % b == 0 or b % a == 0",
+		},
+	}
+	got, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := bruteforce.Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSame(t, got, want, "naive vs brute")
+	if got.NumSolutions() == 0 {
+		t.Fatal("expected nonempty space")
+	}
+}
+
+func TestGoConstraints(t *testing.T) {
+	def := &model.Definition{
+		Name: "go",
+		Params: []model.Param{
+			model.RangeParam("x", 1, 8),
+			model.RangeParam("y", 1, 8),
+		},
+		GoConstraints: []model.GoConstraint{{
+			Vars: []string{"x", "y"},
+			Fn: func(vals []value.Value) bool {
+				return vals[0].Int() < vals[1].Int()
+			},
+		}},
+	}
+	got, err := Solve(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSolutions() != 28 { // C(8,2)
+		t.Fatalf("x<y over 1..8²: got %d, want 28", got.NumSolutions())
+	}
+}
+
+func TestCount(t *testing.T) {
+	def := &model.Definition{
+		Name:        "count",
+		Params:      []model.Param{model.RangeParam("a", 1, 10), model.RangeParam("b", 1, 10)},
+		Constraints: []string{"a + b == 11"},
+	}
+	n, err := Count(def)
+	if err != nil || n != 10 {
+		t.Fatalf("Count = %d, %v; want 10", n, err)
+	}
+}
+
+func TestValidationError(t *testing.T) {
+	def := &model.Definition{
+		Name:        "bad",
+		Params:      []model.Param{model.IntsParam("a", 1)},
+		Constraints: []string{"a +"},
+	}
+	if _, err := Solve(def); err == nil {
+		t.Fatal("syntax error should fail")
+	}
+}
+
+func TestRandomCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		nvars := 2 + rng.Intn(3)
+		def := &model.Definition{Name: fmt.Sprintf("rnd%d", trial)}
+		names := make([]string, nvars)
+		for i := 0; i < nvars; i++ {
+			names[i] = fmt.Sprintf("v%d", i)
+			size := 2 + rng.Intn(6)
+			xs := make([]int, size)
+			for k := range xs {
+				xs[k] = rng.Intn(10) + 1
+			}
+			def.Params = append(def.Params, model.IntsParam(names[i], xs...))
+		}
+		tmpls := []string{
+			"%s * %s <= 30",
+			"%s + %s >= 6",
+			"%s %% %s == 0",
+			"%s <= %s",
+		}
+		ncons := 1 + rng.Intn(3)
+		for i := 0; i < ncons; i++ {
+			tmpl := tmpls[rng.Intn(len(tmpls))]
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf(tmpl, names[rng.Intn(nvars)], names[rng.Intn(nvars)]))
+		}
+		got, err := Solve(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := bruteforce.Solve(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, got, want, fmt.Sprintf("trial %d: %v", trial, def.Constraints))
+	}
+}

@@ -1,0 +1,140 @@
+// Package report renders the harness results as aligned ASCII tables and
+// simple textual series, matching the rows and series the paper's tables
+// and figures present.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Seconds renders a duration in seconds with magnitude-appropriate
+// precision.
+func Seconds(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s < 100:
+		return fmt.Sprintf("%.2fs", s)
+	case s < 3600:
+		return fmt.Sprintf("%.0fs", s)
+	default:
+		return fmt.Sprintf("%.1fh", s/3600)
+	}
+}
+
+// Count renders large counts compactly.
+func Count(n float64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.3gG", n/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.3gM", n/1e6)
+	case n >= 1e4:
+		return fmt.Sprintf("%.3gk", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f", n)
+	}
+}
+
+// Bar renders a log-scale horizontal bar for a value within [lo, hi].
+func Bar(v, lo, hi float64, width int) string {
+	if v <= 0 || hi <= lo || width <= 0 {
+		return ""
+	}
+	frac := (log10(v) - log10(lo)) / (log10(hi) - log10(lo))
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n)
+}
+
+func log10(x float64) float64 {
+	// Local tiny wrapper to avoid importing math for one call site; kept
+	// exactly equivalent.
+	l := 0.0
+	for x >= 10 {
+		x /= 10
+		l++
+	}
+	for x < 1 {
+		x *= 10
+		l--
+	}
+	// Linear interpolation within the decade is enough for a text bar.
+	return l + (x-1)/9
+}
+
+// Sparkline renders a numeric series as a compact unicode sparkline.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	var sb strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(ticks)-1))
+		}
+		sb.WriteRune(ticks[idx])
+	}
+	return sb.String()
+}

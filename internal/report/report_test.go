@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Name", "N"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "12345"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	// All data rows align the second column at the same offset.
+	off1 := strings.Index(lines[2], "1")
+	off2 := strings.Index(lines[3], "12345")
+	if off1 != off2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", off1, off2, out)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5e-7, "0.5µs"},
+		{0.0025, "2.50ms"},
+		{1.5, "1.50s"},
+		{250, "250s"},
+		{7200, "2.0h"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{123, "123"},
+		{45600, "45.6k"},
+		{2.5e6, "2.5M"},
+		{3.1e9, "3.1G"},
+	}
+	for _, c := range cases {
+		if got := Count(c.in); got != c.want {
+			t.Errorf("Count(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	full := Bar(1000, 1, 1000, 20)
+	if len(full) != 20 {
+		t.Errorf("full bar = %q (%d)", full, len(full))
+	}
+	empty := Bar(1, 1, 1000, 20)
+	if len(empty) != 0 {
+		t.Errorf("empty bar = %q", empty)
+	}
+	mid := Bar(31.62, 1, 1000, 20) // ≈ half on log scale
+	if len(mid) < 8 || len(mid) > 12 {
+		t.Errorf("mid bar = %q (%d), want ≈10", mid, len(mid))
+	}
+	if Bar(-1, 1, 10, 5) != "" || Bar(5, 10, 1, 5) != "" || Bar(5, 1, 10, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+	// Clamping above the range.
+	if got := Bar(1e6, 1, 1000, 10); len(got) != 10 {
+		t.Errorf("clamped bar = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render minimum ticks, got %q", string(flat))
+		}
+	}
+}

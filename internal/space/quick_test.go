@@ -1,0 +1,173 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+)
+
+func coreDefault() core.Options { return core.DefaultOptions() }
+
+// TestQuickLookupRoundTrip: for random constrained grids, every row's
+// indices resolve back to that row, and every perturbed (invalid or
+// out-of-space) index vector either resolves to a row with exactly those
+// indices or reports absence — the index is exact, never approximate.
+func TestQuickLookupRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := 2 + rng.Intn(6)
+		ny := 2 + rng.Intn(6)
+		bound := 1 + rng.Intn(nx*ny)
+		def := &model.Definition{
+			Name: "quick",
+			Params: []model.Param{
+				model.RangeParam("x", 1, nx),
+				model.RangeParam("y", 1, ny),
+			},
+			Constraints: []string{},
+		}
+		def.Constraints = append(def.Constraints, "x * y <= "+itoa(bound))
+		prob, err := def.ToProblem()
+		if err != nil {
+			return false
+		}
+		compiled := prob.Compile(coreDefault())
+		s, err := FromColumnar(def, compiled.SolveColumnar())
+		if err != nil {
+			return false
+		}
+		for r := 0; r < s.Size(); r++ {
+			got, ok := s.Lookup(s.Indices(r))
+			if !ok || got != r {
+				return false
+			}
+		}
+		// Random probes: membership must agree with the constraint.
+		for probe := 0; probe < 20; probe++ {
+			ix := int32(rng.Intn(nx))
+			iy := int32(rng.Intn(ny))
+			_, ok := s.Lookup([]int32{ix, iy})
+			valid := (int(ix)+1)*(int(iy)+1) <= bound
+			if ok != valid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNeighborSymmetry: the Hamming neighbor relation is symmetric
+// and irreflexive on random spaces.
+func TestQuickNeighborSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		def := &model.Definition{
+			Name: "nbr",
+			Params: []model.Param{
+				model.RangeParam("x", 1, 3+rng.Intn(4)),
+				model.RangeParam("y", 1, 3+rng.Intn(4)),
+				model.RangeParam("z", 1, 2+rng.Intn(3)),
+			},
+			Constraints: []string{"x + y + z <= " + itoa(5+rng.Intn(6))},
+		}
+		p, err := def.ToProblem()
+		if err != nil {
+			return false
+		}
+		s, err := FromColumnar(def, p.Compile(coreDefault()).SolveColumnar())
+		if err != nil || s.Size() == 0 {
+			return err == nil
+		}
+		r := rng.Intn(s.Size())
+		for _, q := range s.HammingNeighbors(r) {
+			if q == r {
+				return false
+			}
+			back := s.HammingNeighbors(q)
+			found := false
+			for _, b := range back {
+				if b == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Adjacent neighbors are a subset of Hamming neighbors.
+		ham := map[int]struct{}{}
+		for _, q := range s.HammingNeighbors(r) {
+			ham[q] = struct{}{}
+		}
+		for _, q := range s.AdjacentNeighbors(r) {
+			if _, ok := ham[q]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSamplingBounds: samples always index valid rows and respect
+// the requested count for every sampler.
+func TestQuickSamplingBounds(t *testing.T) {
+	def := gridDef()
+	p, err := def.ToProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromColumnar(def, p.Compile(coreDefault()).SolveColumnar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%20) + 1
+		for _, rows := range [][]int{
+			s.SampleUniform(rng, k),
+			s.SampleStratified(rng, k),
+			s.SampleLHS(rng, k),
+		} {
+			want := k
+			if want > s.Size() {
+				want = s.Size()
+			}
+			if len(rows) != want {
+				return false
+			}
+			for _, r := range rows {
+				if r < 0 || r >= s.Size() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

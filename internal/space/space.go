@@ -1,0 +1,442 @@
+// Package space implements the resolved SearchSpace representation of
+// §4.4: once construction has produced every valid configuration, this
+// package stores them column-major, indexes them for O(1) membership and
+// lookup, exposes the true parameter bounds that guide optimization
+// algorithms, and implements the sampling and neighbor operations
+// (uniform, stratified/Latin-Hypercube, Hamming and adjacent neighbors)
+// that auto-tuning strategies rely on.
+package space
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+// Space is a fully resolved, immutable search space.
+type Space struct {
+	names   []string
+	nameIdx map[string]int
+	domains [][]value.Value
+	cols    [][]int32
+	n       int
+
+	// index maps the packed per-parameter value indices of a
+	// configuration to its row.
+	index map[string]int32
+
+	// partitions[p] groups rows by the key of all columns except p; it
+	// backs Hamming-distance-1 neighbor queries and is built lazily.
+	partitions []map[string][]int32
+}
+
+// FromColumnar wraps solver output into a Space. The columnar data is
+// retained, not copied.
+func FromColumnar(def *model.Definition, col *core.Columnar) (*Space, error) {
+	if len(col.Cols) != len(def.Params) {
+		return nil, fmt.Errorf("space: column count %d != parameter count %d", len(col.Cols), len(def.Params))
+	}
+	s := &Space{
+		names:   make([]string, len(def.Params)),
+		nameIdx: make(map[string]int, len(def.Params)),
+		domains: make([][]value.Value, len(def.Params)),
+		cols:    col.Cols,
+		n:       col.NumSolutions(),
+	}
+	for i, p := range def.Params {
+		s.names[i] = p.Name
+		s.nameIdx[p.Name] = i
+		s.domains[i] = p.Values
+	}
+	s.index = make(map[string]int32, s.n)
+	buf := make([]byte, 4*len(s.names))
+	for r := 0; r < s.n; r++ {
+		s.index[s.rowKey(buf, int32(r))] = int32(r)
+	}
+	s.partitions = make([]map[string][]int32, len(s.names))
+	return s, nil
+}
+
+// Size returns the number of valid configurations.
+func (s *Space) Size() int { return s.n }
+
+// NumParams returns the number of tunable parameters.
+func (s *Space) NumParams() int { return len(s.names) }
+
+// Names returns the parameter names in definition order.
+func (s *Space) Names() []string { return append([]string(nil), s.names...) }
+
+// rowKey packs row r's per-parameter indices into buf as a map key.
+func (s *Space) rowKey(buf []byte, r int32) string {
+	for p := range s.cols {
+		di := s.cols[p][r]
+		buf[4*p] = byte(di)
+		buf[4*p+1] = byte(di >> 8)
+		buf[4*p+2] = byte(di >> 16)
+		buf[4*p+3] = byte(di >> 24)
+	}
+	return string(buf)
+}
+
+// packIdx packs an arbitrary configuration (as per-parameter indices).
+func packIdx(buf []byte, idx []int32) string {
+	for p, di := range idx {
+		buf[4*p] = byte(di)
+		buf[4*p+1] = byte(di >> 8)
+		buf[4*p+2] = byte(di >> 16)
+		buf[4*p+3] = byte(di >> 24)
+	}
+	return string(buf)
+}
+
+// Indices returns row r's per-parameter domain indices.
+func (s *Space) Indices(r int) []int32 {
+	out := make([]int32, len(s.cols))
+	for p := range s.cols {
+		out[p] = s.cols[p][r]
+	}
+	return out
+}
+
+// Row returns row r's values in parameter definition order.
+func (s *Space) Row(r int) []value.Value {
+	out := make([]value.Value, len(s.cols))
+	for p := range s.cols {
+		out[p] = s.domains[p][s.cols[p][r]]
+	}
+	return out
+}
+
+// RowMap returns row r as a name→value map.
+func (s *Space) RowMap(r int) map[string]value.Value {
+	out := make(map[string]value.Value, len(s.cols))
+	for p, name := range s.names {
+		out[name] = s.domains[p][s.cols[p][r]]
+	}
+	return out
+}
+
+// Lookup returns the row holding the configuration with the given
+// per-parameter domain indices, or ok=false when it is not a valid
+// configuration.
+func (s *Space) Lookup(idx []int32) (int, bool) {
+	if len(idx) != len(s.cols) {
+		return 0, false
+	}
+	buf := make([]byte, 4*len(s.cols))
+	r, ok := s.index[packIdx(buf, idx)]
+	return int(r), ok
+}
+
+// LookupValues resolves a configuration given as values.
+func (s *Space) LookupValues(vals []value.Value) (int, bool) {
+	if len(vals) != len(s.cols) {
+		return 0, false
+	}
+	idx := make([]int32, len(vals))
+	for p, v := range vals {
+		found := false
+		for k, dv := range s.domains[p] {
+			if value.Equal(v, dv) {
+				idx[p] = int32(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return s.Lookup(idx)
+}
+
+// Bounds describes one parameter's value range across valid
+// configurations only — the "true bounds" of §4.4 that a dynamic
+// (unresolved) representation cannot provide reliably.
+type Bounds struct {
+	Name string
+	// Min and Max are the numeric extremes among values that occur in at
+	// least one valid configuration. Numeric is false for string-valued
+	// parameters, in which case Min/Max are meaningless.
+	Min, Max float64
+	Numeric  bool
+	// DistinctValues is the number of distinct values that occur in valid
+	// configurations (≤ the declared domain size).
+	DistinctValues int
+}
+
+// TrueBounds computes per-parameter bounds over the valid configurations.
+func (s *Space) TrueBounds() []Bounds {
+	out := make([]Bounds, len(s.names))
+	for p, name := range s.names {
+		b := Bounds{Name: name, Min: math.Inf(1), Max: math.Inf(-1), Numeric: true}
+		seen := make(map[int32]struct{})
+		for r := 0; r < s.n; r++ {
+			di := s.cols[p][r]
+			if _, dup := seen[di]; dup {
+				continue
+			}
+			seen[di] = struct{}{}
+			v := s.domains[p][di]
+			if !v.IsNumeric() {
+				b.Numeric = false
+				continue
+			}
+			f := v.Float()
+			if f < b.Min {
+				b.Min = f
+			}
+			if f > b.Max {
+				b.Max = f
+			}
+		}
+		b.DistinctValues = len(seen)
+		out[p] = b
+	}
+	return out
+}
+
+// ActiveValues returns the distinct values of the named parameter that
+// occur in at least one valid configuration, in domain order.
+func (s *Space) ActiveValues(name string) ([]value.Value, bool) {
+	p, ok := s.nameIdx[name]
+	if !ok {
+		return nil, false
+	}
+	seen := make(map[int32]struct{})
+	for r := 0; r < s.n; r++ {
+		seen[s.cols[p][r]] = struct{}{}
+	}
+	dis := make([]int, 0, len(seen))
+	for di := range seen {
+		dis = append(dis, int(di))
+	}
+	sort.Ints(dis)
+	out := make([]value.Value, len(dis))
+	for i, di := range dis {
+		out[i] = s.domains[p][di]
+	}
+	return out, true
+}
+
+// SampleUniform draws k distinct rows uniformly at random. When k exceeds
+// the space size, every row is returned (shuffled).
+func (s *Space) SampleUniform(rng *rand.Rand, k int) []int {
+	if k >= s.n {
+		out := rng.Perm(s.n)
+		return out
+	}
+	// Floyd's algorithm for a uniform k-subset.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := s.n - k; j < s.n; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// SampleStratified splits the enumeration order into k contiguous strata
+// and draws one row per stratum: the cheap stratified sampling that a
+// fully resolved space enables (§4.4).
+func (s *Space) SampleStratified(rng *rand.Rand, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k >= s.n {
+		return rng.Perm(s.n)
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * s.n / k
+		hi := (i + 1) * s.n / k
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out = append(out, lo+rng.Intn(hi-lo))
+	}
+	return out
+}
+
+// SampleLHS draws k rows by Latin Hypercube Sampling over the valid
+// marginals: each numeric parameter's active range is cut into k strata,
+// per-parameter strata are randomly permuted, and each of the k target
+// points is snapped to the nearest valid configuration in normalized
+// index space. Runs in O(k·n·p); intended for moderate k.
+func (s *Space) SampleLHS(rng *rand.Rand, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k >= s.n {
+		return rng.Perm(s.n)
+	}
+	p := len(s.names)
+	// Per-parameter active positions (sorted domain indices in use).
+	active := make([][]int32, p)
+	for pi := 0; pi < p; pi++ {
+		seen := make(map[int32]struct{})
+		for r := 0; r < s.n; r++ {
+			seen[s.cols[pi][r]] = struct{}{}
+		}
+		dis := make([]int, 0, len(seen))
+		for di := range seen {
+			dis = append(dis, int(di))
+		}
+		sort.Ints(dis)
+		cols := make([]int32, len(dis))
+		for i, di := range dis {
+			cols[i] = int32(di)
+		}
+		active[pi] = cols
+	}
+	// posOf[pi][domainIdx] = rank within active values.
+	posOf := make([]map[int32]int, p)
+	for pi := 0; pi < p; pi++ {
+		m := make(map[int32]int, len(active[pi]))
+		for rank, di := range active[pi] {
+			m[di] = rank
+		}
+		posOf[pi] = m
+	}
+	// LHS targets: one stratum per sample per dimension, permuted.
+	targets := make([][]float64, k)
+	for i := range targets {
+		targets[i] = make([]float64, p)
+	}
+	for pi := 0; pi < p; pi++ {
+		perm := rng.Perm(k)
+		for i := 0; i < k; i++ {
+			stratum := float64(perm[i])
+			targets[i][pi] = (stratum + rng.Float64()) / float64(k) // in [0,1)
+		}
+	}
+	// Snap each target to the nearest valid row (L1 in normalized rank
+	// space), without replacement.
+	used := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		best, bestDist := -1, math.Inf(1)
+		for r := 0; r < s.n; r++ {
+			if _, dup := used[r]; dup {
+				continue
+			}
+			d := 0.0
+			for pi := 0; pi < p; pi++ {
+				span := float64(len(active[pi]))
+				pos := (float64(posOf[pi][s.cols[pi][r]]) + 0.5) / span
+				d += math.Abs(pos - targets[i][pi])
+			}
+			if d < bestDist {
+				best, bestDist = r, d
+			}
+		}
+		if best >= 0 {
+			used[best] = struct{}{}
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// partition lazily builds the all-but-one-column row grouping for
+// parameter p.
+func (s *Space) partition(p int) map[string][]int32 {
+	if s.partitions[p] != nil {
+		return s.partitions[p]
+	}
+	m := make(map[string][]int32)
+	buf := make([]byte, 4*(len(s.cols)-1))
+	for r := 0; r < s.n; r++ {
+		k := 0
+		for q := range s.cols {
+			if q == p {
+				continue
+			}
+			di := s.cols[q][r]
+			buf[4*k] = byte(di)
+			buf[4*k+1] = byte(di >> 8)
+			buf[4*k+2] = byte(di >> 16)
+			buf[4*k+3] = byte(di >> 24)
+			k++
+		}
+		key := string(buf)
+		m[key] = append(m[key], int32(r))
+	}
+	s.partitions[p] = m
+	return m
+}
+
+// HammingNeighbors returns the rows that differ from row r in exactly one
+// parameter (any value), the neighborhood used by the genetic algorithm's
+// mutation step.
+func (s *Space) HammingNeighbors(r int) []int {
+	var out []int
+	buf := make([]byte, 4*(len(s.cols)-1))
+	for p := range s.cols {
+		k := 0
+		for q := range s.cols {
+			if q == p {
+				continue
+			}
+			di := s.cols[q][int32(r)]
+			buf[4*k] = byte(di)
+			buf[4*k+1] = byte(di >> 8)
+			buf[4*k+2] = byte(di >> 16)
+			buf[4*k+3] = byte(di >> 24)
+			k++
+		}
+		for _, cand := range s.partition(p)[string(buf)] {
+			if int(cand) != r {
+				out = append(out, int(cand))
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AdjacentNeighbors returns the rows that differ from row r in exactly
+// one parameter by exactly one position in that parameter's declared
+// value order (the "adjacent" neighborhood of Kernel Tuner's local-search
+// strategies).
+func (s *Space) AdjacentNeighbors(r int) []int {
+	idx := s.Indices(r)
+	buf := make([]byte, 4*len(s.cols))
+	var out []int
+	for p := range s.cols {
+		orig := idx[p]
+		for _, delta := range [2]int32{-1, 1} {
+			cand := orig + delta
+			if cand < 0 || int(cand) >= len(s.domains[p]) {
+				continue
+			}
+			idx[p] = cand
+			if row, ok := s.index[packIdx(buf, idx)]; ok {
+				out = append(out, int(row))
+			}
+		}
+		idx[p] = orig
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RandomNeighbor returns a uniformly random Hamming neighbor of row r, or
+// ok=false when r has none.
+func (s *Space) RandomNeighbor(rng *rand.Rand, r int) (int, bool) {
+	nb := s.HammingNeighbors(r)
+	if len(nb) == 0 {
+		return 0, false
+	}
+	return nb[rng.Intn(len(nb))], true
+}

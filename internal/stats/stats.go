@@ -1,0 +1,267 @@
+// Package stats implements the statistical analyses the paper's figures
+// rely on: log-log linear regression with significance testing (the
+// scaling slopes of Figures 3A, 4 and 5A/B), Gaussian kernel density
+// estimation (Figures 3B and 5C), and distribution summaries (Figure 2).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LogLogFit is an ordinary-least-squares fit of log10(y) on log10(x).
+type LogLogFit struct {
+	// Slope is the power-law exponent: slope 1 means linear scaling of y
+	// in x; lower means better scaling toward large x.
+	Slope float64
+	// Intercept is in log10(y) units.
+	Intercept float64
+	// R2 is the coefficient of determination in log space.
+	R2 float64
+	// PValue tests the null hypothesis slope == 0 (two-sided t-test).
+	PValue float64
+	// N is the number of points used (pairs with x>0 and y>0).
+	N int
+}
+
+// FitLogLog regresses log10(y) on log10(x), skipping non-positive pairs.
+func FitLogLog(xs, ys []float64) (LogLogFit, error) {
+	if len(xs) != len(ys) {
+		return LogLogFit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log10(xs[i]))
+			ly = append(ly, math.Log10(ys[i]))
+		}
+	}
+	n := len(lx)
+	if n < 3 {
+		return LogLogFit{}, fmt.Errorf("stats: need at least 3 positive points, have %d", n)
+	}
+	mx, my := mean(lx), mean(ly)
+	var sxx, sxy, syy float64
+	for i := range lx {
+		dx, dy := lx[i]-mx, ly[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LogLogFit{}, fmt.Errorf("stats: zero variance in x")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// Residual sum of squares and R².
+	rss := syy - slope*sxy
+	if rss < 0 {
+		rss = 0
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - rss/syy
+	}
+	fit := LogLogFit{Slope: slope, Intercept: intercept, R2: r2, N: n}
+	// t statistic for slope != 0.
+	if n > 2 && rss > 0 {
+		se := math.Sqrt(rss / float64(n-2) / sxx)
+		tstat := math.Abs(slope / se)
+		fit.PValue = 2 * (1 - studentTCDF(tstat, float64(n-2)))
+	}
+	return fit, nil
+}
+
+// Predict returns the fitted y at x.
+func (f LogLogFit) Predict(x float64) float64 {
+	return math.Pow(10, f.Intercept+f.Slope*math.Log10(x))
+}
+
+// CrossoverX solves for the x at which two fitted lines intersect,
+// ok=false for parallel fits. This computes the paper's "method A would
+// overtake method B at N valid configurations" extrapolations.
+func CrossoverX(a, b LogLogFit) (float64, bool) {
+	if a.Slope == b.Slope {
+		return 0, false
+	}
+	lx := (b.Intercept - a.Intercept) / (a.Slope - b.Slope)
+	return math.Pow(10, lx), true
+}
+
+// studentTCDF approximates the Student-t CDF via the incomplete beta
+// function (Abramowitz & Stegun 26.7.1 continued-fraction form).
+func studentTCDF(t, df float64) float64 {
+	x := df / (df + t*t)
+	ib := 0.5 * incompleteBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib
+	}
+	return ib
+}
+
+// incompleteBeta computes the regularized incomplete beta I_x(a, b).
+func incompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b-lbeta) / a
+	// Lentz's continued fraction.
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 200; i++ {
+		m := i / 2
+		var numerator float64
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = (float64(m) * (b - float64(m)) * x) /
+				((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			numerator = -((a + float64(m)) * (a + b + float64(m)) * x) /
+				((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < 1e-30 {
+			d = 1e-30
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < 1e-30 {
+			c = 1e-30
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < 1e-9 {
+			break
+		}
+	}
+	if x < (a+1)/(a+b+2) {
+		return front * (f - 1)
+	}
+	return 1 - incompleteBeta(b, a, 1-x)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Summary describes a sample distribution (Figure 2's annotations).
+type Summary struct {
+	N                  int
+	Mean, Median       float64
+	Min, Max           float64
+	Q1, Q3             float64 // interquartile range endpoints
+	StdDev             float64
+	GeometricMean      float64 // 0 when any value ≤ 0
+	geometricMeanValid bool
+}
+
+// Summarize computes distribution statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Mean = mean(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Q3 = Quantile(sorted, 0.75)
+	var varsum float64
+	logsum, logok := 0.0, true
+	for _, x := range sorted {
+		d := x - s.Mean
+		varsum += d * d
+		if x > 0 {
+			logsum += math.Log(x)
+		} else {
+			logok = false
+		}
+	}
+	s.StdDev = math.Sqrt(varsum / float64(len(sorted)))
+	if logok {
+		s.GeometricMean = math.Exp(logsum / float64(len(sorted)))
+		s.geometricMeanValid = true
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0..1) of sorted xs with linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// KDE evaluates a Gaussian kernel density estimate of xs at the given
+// evaluation points, using Silverman's rule-of-thumb bandwidth. The
+// paper's Figures 3B/5C plot these curves over log10(time).
+func KDE(xs, at []float64) []float64 {
+	out := make([]float64, len(at))
+	if len(xs) == 0 {
+		return out
+	}
+	s := Summarize(xs)
+	iqr := s.Q3 - s.Q1
+	sigma := s.StdDev
+	if iqr > 0 && iqr/1.34 < sigma {
+		sigma = iqr / 1.34
+	}
+	h := 0.9 * sigma * math.Pow(float64(len(xs)), -0.2)
+	if h <= 0 {
+		h = 1e-3
+	}
+	norm := 1 / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+	for i, pt := range at {
+		sum := 0.0
+		for _, x := range xs {
+			z := (pt - x) / h
+			sum += math.Exp(-0.5 * z * z)
+		}
+		out[i] = norm * sum
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

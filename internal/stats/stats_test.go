@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLogLogExactPowerLaw(t *testing.T) {
+	// y = 3 * x^0.75 exactly.
+	var xs, ys []float64
+	for x := 1.0; x <= 1e6; x *= 10 {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 0.75))
+	}
+	fit, err := FitLogLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.75) > 1e-9 {
+		t.Errorf("slope = %v, want 0.75", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-math.Log10(3)) > 1e-9 {
+		t.Errorf("intercept = %v, want log10(3)", fit.Intercept)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ≈1", fit.R2)
+	}
+	if got := fit.Predict(100); math.Abs(got-3*math.Pow(100, 0.75)) > 1e-6 {
+		t.Errorf("Predict(100) = %v", got)
+	}
+}
+
+func TestFitLogLogNoisySignificance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		x := math.Pow(10, 1+5*rng.Float64())
+		noise := math.Pow(10, 0.1*rng.NormFloat64())
+		xs = append(xs, x)
+		ys = append(ys, 0.01*math.Pow(x, 0.9)*noise)
+	}
+	fit, err := FitLogLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.9) > 0.1 {
+		t.Errorf("slope = %v, want ≈0.9", fit.Slope)
+	}
+	if fit.PValue > 0.001 {
+		t.Errorf("p-value = %v, should be highly significant", fit.PValue)
+	}
+}
+
+func TestFitLogLogErrors(t *testing.T) {
+	if _, err := FitLogLog([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitLogLog([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := FitLogLog([]float64{-1, 0, 5, 7}, []float64{1, 2, -3, 0}); err == nil {
+		t.Error("all points filtered should error")
+	}
+	if _, err := FitLogLog([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+}
+
+func TestCrossoverX(t *testing.T) {
+	// Line A: y = x (slope 1, intercept 0); line B: y = 100*x^0.5.
+	a := LogLogFit{Slope: 1, Intercept: 0}
+	b := LogLogFit{Slope: 0.5, Intercept: 2}
+	x, ok := CrossoverX(a, b)
+	if !ok {
+		t.Fatal("expected crossover")
+	}
+	// x = 100^2 = 10^4.
+	if math.Abs(x-1e4) > 1e-6 {
+		t.Errorf("crossover = %v, want 1e4", x)
+	}
+	if _, ok := CrossoverX(a, a); ok {
+		t.Error("parallel lines have no crossover")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v, %v; want 2, 4", s.Q1, s.Q3)
+	}
+	if math.Abs(s.GeometricMean-math.Pow(120, 0.2)) > 1e-9 {
+		t.Errorf("geomean = %v", s.GeometricMean)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	withZero := Summarize([]float64{0, 1, 2})
+	if withZero.GeometricMean != 0 {
+		t.Error("geomean with zero input should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	at := Linspace(-6, 6, 500)
+	dens := KDE(xs, at)
+	integral := 0.0
+	for i := 1; i < len(at); i++ {
+		integral += (dens[i] + dens[i-1]) / 2 * (at[i] - at[i-1])
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("KDE integral = %v, want ≈1", integral)
+	}
+	// Peak should be near 0 for a standard normal sample.
+	peakAt, peak := 0.0, 0.0
+	for i, d := range dens {
+		if d > peak {
+			peak, peakAt = d, at[i]
+		}
+	}
+	if math.Abs(peakAt) > 0.5 {
+		t.Errorf("KDE peak at %v, want near 0", peakAt)
+	}
+	if out := KDE(nil, at); out[0] != 0 {
+		t.Error("KDE of empty sample should be zero")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Fatalf("Linspace = %v", pts)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+}
+
+func TestStudentTCDFSanity(t *testing.T) {
+	// Symmetry: CDF(0) = 0.5.
+	if got := studentTCDF(0, 10); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	// Large t → 1.
+	if got := studentTCDF(50, 10); got < 0.999999 {
+		t.Errorf("CDF(50) = %v", got)
+	}
+	// Monotone.
+	prev := 0.0
+	for tv := -5.0; tv <= 5; tv += 0.5 {
+		got := studentTCDF(tv, 7)
+		if got < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", tv)
+		}
+		prev = got
+	}
+}
+
+// Property: fitting y = c*x^m exactly recovers m for random m, c.
+func TestQuickFitRecovery(t *testing.T) {
+	f := func(mRaw, cRaw uint8) bool {
+		m := float64(mRaw%30)/10 + 0.1 // 0.1..3.0
+		c := float64(cRaw%50)/10 + 0.1
+		var xs, ys []float64
+		for x := 1.0; x <= 1e5; x *= 10 {
+			xs = append(xs, x)
+			ys = append(ys, c*math.Pow(x, m))
+		}
+		fit, err := FitLogLog(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-m) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

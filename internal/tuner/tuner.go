@@ -1,0 +1,405 @@
+// Package tuner implements the auto-tuning loop used for the paper's
+// end-to-end evaluation (§5.4): optimization strategies that explore a
+// resolved SearchSpace under a time budget, with simulated GPU kernels
+// standing in for real hardware (this environment has no GPU; see
+// DESIGN.md's substitution table). The construction-time measurements are
+// real; only kernel execution time is simulated, which preserves the
+// figures' shape: time spent constructing is time not spent tuning.
+package tuner
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Space is the subset of search-space operations strategies need. Both
+// the internal space.Space and the public searchspace.SearchSpace satisfy
+// it.
+type Space interface {
+	Size() int
+	HammingNeighbors(i int) []int
+	AdjacentNeighbors(i int) []int
+	SampleUniform(rng *rand.Rand, k int) []int
+	RandomNeighbor(rng *rand.Rand, i int) (int, bool)
+}
+
+// Objective scores configurations. Score is the quantity to maximize
+// (e.g. GFLOP/s); Cost is the simulated wall-clock seconds consumed by
+// evaluating the configuration (benchmarking a slow variant takes
+// longer, as on real hardware).
+type Objective struct {
+	Score func(row int) float64
+	Cost  func(row int) float64
+}
+
+// Budget bounds one tuning run.
+type Budget struct {
+	// MaxTime is the available tuning time in simulated seconds; <=0
+	// means unlimited.
+	MaxTime float64
+	// MaxEvals bounds the number of configuration evaluations; <=0 means
+	// unlimited.
+	MaxEvals int
+	// StartTime offsets the trace, representing time already spent on
+	// search space construction before tuning could begin.
+	StartTime float64
+}
+
+// TracePoint is one improvement event: at simulated time Time (seconds
+// since the overall run started), the best score seen so far became Best.
+type TracePoint struct {
+	Time float64
+	Best float64
+}
+
+// Result reports one tuning run.
+type Result struct {
+	Strategy    string
+	BestRow     int
+	BestScore   float64
+	Evaluations int
+	// Trace holds best-so-far improvements in time order, beginning at
+	// the first evaluated configuration.
+	Trace []TracePoint
+	// EndTime is the simulated time when the budget ran out.
+	EndTime float64
+}
+
+// Strategy explores a space under a budget.
+type Strategy interface {
+	Name() string
+	Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result
+}
+
+// runState factors the bookkeeping every strategy shares: budget
+// accounting, deduplicated evaluation, and trace recording.
+type runState struct {
+	sp      Space
+	obj     Objective
+	budget  Budget
+	now     float64
+	res     Result
+	visited map[int]float64
+	// stale counts consecutive cached (free) evaluations. Memoized
+	// revisits cost no budget, so a strategy stuck proposing only
+	// already-measured configurations would never terminate; after a
+	// bound proportional to the space size the run is declared
+	// exhausted.
+	stale int
+}
+
+func newRun(name string, sp Space, obj Objective, budget Budget) *runState {
+	return &runState{
+		sp:     sp,
+		obj:    obj,
+		budget: budget,
+		now:    budget.StartTime,
+		res: Result{
+			Strategy:  name,
+			BestRow:   -1,
+			BestScore: math.Inf(-1),
+		},
+		visited: make(map[int]float64),
+	}
+}
+
+// exhausted reports whether the budget is spent (or the strategy has
+// stopped discovering new configurations).
+func (st *runState) exhausted() bool {
+	if st.budget.MaxTime > 0 && st.now >= st.budget.MaxTime {
+		return true
+	}
+	if st.budget.MaxEvals > 0 && st.res.Evaluations >= st.budget.MaxEvals {
+		return true
+	}
+	if st.stale > 20*st.sp.Size()+1000 {
+		return true
+	}
+	return false
+}
+
+// eval scores row (cached for repeat visits, which cost nothing extra —
+// tuners memoize measured configurations). It returns false when the
+// budget was exhausted before the evaluation could run.
+func (st *runState) eval(row int) (float64, bool) {
+	if score, seen := st.visited[row]; seen {
+		st.stale++
+		if st.exhausted() {
+			return score, false
+		}
+		return score, true
+	}
+	st.stale = 0
+	if st.exhausted() {
+		return 0, false
+	}
+	cost := st.obj.Cost(row)
+	if st.budget.MaxTime > 0 && st.now+cost > st.budget.MaxTime {
+		// Not enough time left to finish measuring this configuration.
+		st.now = st.budget.MaxTime
+		return 0, false
+	}
+	st.now += cost
+	score := st.obj.Score(row)
+	st.visited[row] = score
+	st.res.Evaluations++
+	if score > st.res.BestScore {
+		st.res.BestScore = score
+		st.res.BestRow = row
+		st.res.Trace = append(st.res.Trace, TracePoint{Time: st.now, Best: score})
+	}
+	return score, true
+}
+
+func (st *runState) finish() Result {
+	st.res.EndTime = st.now
+	return st.res
+}
+
+// RandomSampling evaluates uniformly random configurations without
+// replacement — the strategy the paper uses in §5.4 to isolate the
+// effect of construction time from optimizer behavior.
+type RandomSampling struct{}
+
+// Name implements Strategy.
+func (RandomSampling) Name() string { return "random-sampling" }
+
+// Run implements Strategy.
+func (RandomSampling) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
+	st := newRun(RandomSampling{}.Name(), sp, obj, budget)
+	perm := rng.Perm(sp.Size())
+	for _, row := range perm {
+		if _, ok := st.eval(row); !ok {
+			break
+		}
+	}
+	return st.finish()
+}
+
+// GreedyILS is greedy iterated local search: repeated best-improvement
+// hill climbing over Hamming neighborhoods with random restarts.
+type GreedyILS struct{}
+
+// Name implements Strategy.
+func (GreedyILS) Name() string { return "greedy-ils" }
+
+// Run implements Strategy.
+func (g GreedyILS) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
+	st := newRun(g.Name(), sp, obj, budget)
+	for !st.exhausted() {
+		cur := rng.Intn(sp.Size())
+		curScore, ok := st.eval(cur)
+		if !ok {
+			break
+		}
+		for {
+			bestN, bestScore := -1, curScore
+			improved := false
+			for _, nb := range sp.HammingNeighbors(cur) {
+				s, ok := st.eval(nb)
+				if !ok {
+					return st.finish()
+				}
+				if s > bestScore {
+					bestN, bestScore, improved = nb, s, true
+				}
+			}
+			if !improved {
+				break // local optimum; restart
+			}
+			cur, curScore = bestN, bestScore
+		}
+	}
+	return st.finish()
+}
+
+// SimulatedAnnealing random-walks over Hamming neighbors, accepting
+// worsening moves with a temperature-controlled probability.
+type SimulatedAnnealing struct {
+	// T0 is the initial temperature in score units; 0 selects a default
+	// proportional to the first samples' spread.
+	T0 float64
+	// Alpha is the geometric cooling factor per move (default 0.995).
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (SimulatedAnnealing) Name() string { return "simulated-annealing" }
+
+// Run implements Strategy.
+func (sa SimulatedAnnealing) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
+	st := newRun(sa.Name(), sp, obj, budget)
+	alpha := sa.Alpha
+	if alpha == 0 {
+		alpha = 0.995
+	}
+	cur := rng.Intn(sp.Size())
+	curScore, ok := st.eval(cur)
+	if !ok {
+		return st.finish()
+	}
+	temp := sa.T0
+	if temp == 0 {
+		temp = math.Abs(curScore)/10 + 1e-9
+	}
+	// noProgress counts proposals since the last accepted move or fresh
+	// evaluation; a frozen walk at a fully-explored local optimum is
+	// kicked to a random restart rather than spinning.
+	noProgress := 0
+	for !st.exhausted() {
+		nb, ok := sp.RandomNeighbor(rng, cur)
+		if !ok {
+			break
+		}
+		evalsBefore := st.res.Evaluations
+		s, ok := st.eval(nb)
+		if !ok {
+			break
+		}
+		accepted := s >= curScore || rng.Float64() < math.Exp((s-curScore)/temp)
+		if accepted {
+			cur, curScore = nb, s
+		}
+		if accepted || st.res.Evaluations > evalsBefore {
+			noProgress = 0
+		} else {
+			noProgress++
+			if noProgress > 200 {
+				cur = rng.Intn(sp.Size())
+				if s, ok := st.eval(cur); ok {
+					curScore = s
+				} else {
+					break
+				}
+				temp = sa.T0
+				if temp == 0 {
+					temp = math.Abs(curScore)/10 + 1e-9
+				}
+				noProgress = 0
+			}
+		}
+		temp *= alpha
+		if temp < 1e-12 {
+			temp = 1e-12
+		}
+	}
+	return st.finish()
+}
+
+// GeneticAlgorithm evolves a population with tournament selection,
+// uniform crossover repaired through the space's validity index (invalid
+// children fall back to a mutation of the fitter parent), and
+// Hamming-neighbor mutation — the SearchSpace-backed mutation step that
+// §4.4 describes.
+type GeneticAlgorithm struct {
+	// PopSize is the population size (default 20).
+	PopSize int
+	// MutationRate is the per-child probability of a Hamming mutation
+	// (default 0.3).
+	MutationRate float64
+	// Crossover performs index-wise uniform crossover when the space
+	// supports validity lookup (optional interface below).
+	Crossover bool
+}
+
+// indexedSpace is the optional interface for crossover support.
+type indexedSpace interface {
+	Indices(i int) []int32
+	Lookup(idx []int32) (int, bool)
+}
+
+// Name implements Strategy.
+func (GeneticAlgorithm) Name() string { return "genetic-algorithm" }
+
+// Run implements Strategy.
+func (ga GeneticAlgorithm) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
+	st := newRun(ga.Name(), sp, obj, budget)
+	pop := ga.PopSize
+	if pop == 0 {
+		pop = 20
+	}
+	if pop > sp.Size() {
+		pop = sp.Size()
+	}
+	mrate := ga.MutationRate
+	if mrate == 0 {
+		mrate = 0.3
+	}
+	idxSp, canCross := sp.(indexedSpace)
+
+	rows := sp.SampleUniform(rng, pop)
+	scores := make([]float64, len(rows))
+	for i, r := range rows {
+		s, ok := st.eval(r)
+		if !ok {
+			return st.finish()
+		}
+		scores[i] = s
+	}
+
+	tournament := func() int {
+		a, b := rng.Intn(len(rows)), rng.Intn(len(rows))
+		if scores[a] >= scores[b] {
+			return a
+		}
+		return b
+	}
+
+	for !st.exhausted() {
+		nextRows := make([]int, 0, len(rows))
+		nextScores := make([]float64, 0, len(rows))
+		// Elitism: carry the best individual over.
+		bestI := 0
+		for i := range rows {
+			if scores[i] > scores[bestI] {
+				bestI = i
+			}
+		}
+		nextRows = append(nextRows, rows[bestI])
+		nextScores = append(nextScores, scores[bestI])
+
+		for len(nextRows) < len(rows) {
+			pa, pb := tournament(), tournament()
+			child := -1
+			if ga.Crossover && canCross {
+				ia, ib := idxSp.Indices(rows[pa]), idxSp.Indices(rows[pb])
+				mixed := make([]int32, len(ia))
+				for k := range mixed {
+					if rng.Intn(2) == 0 {
+						mixed[k] = ia[k]
+					} else {
+						mixed[k] = ib[k]
+					}
+				}
+				if row, ok := idxSp.Lookup(mixed); ok {
+					child = row
+				}
+			}
+			if child < 0 {
+				// Mutation fallback: a Hamming step from the fitter parent.
+				parent := pa
+				if scores[pb] > scores[pa] {
+					parent = pb
+				}
+				if nb, ok := sp.RandomNeighbor(rng, rows[parent]); ok {
+					child = nb
+				} else {
+					child = rows[parent]
+				}
+			}
+			if rng.Float64() < mrate {
+				if nb, ok := sp.RandomNeighbor(rng, child); ok {
+					child = nb
+				}
+			}
+			s, ok := st.eval(child)
+			if !ok {
+				return st.finish()
+			}
+			nextRows = append(nextRows, child)
+			nextScores = append(nextScores, s)
+		}
+		rows, scores = nextRows, nextScores
+	}
+	return st.finish()
+}

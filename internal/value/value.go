@@ -1,0 +1,448 @@
+// Package value implements the dynamically typed values that flow through
+// constraint expressions. Tunable parameters in auto-tuning scripts mix
+// integers, floats, booleans and strings, and the constraint language of
+// Kernel Tuner is Python, so Value mirrors Python's arithmetic and
+// comparison semantics on those four kinds: int op int stays int (except
+// true division), mixed int/float promotes to float, and bool participates
+// in arithmetic as 0/1.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+const (
+	// Int is a 64-bit signed integer value.
+	Int Kind = iota
+	// Float is a 64-bit IEEE-754 value.
+	Float
+	// Bool is a boolean value.
+	Bool
+	// String is an immutable string value.
+	String
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed constraint-expression value. The zero Value
+// is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64 // Int payload; Bool payload as 0/1
+	f    float64
+	s    string
+}
+
+// OfInt returns an integer Value.
+func OfInt(i int64) Value { return Value{kind: Int, i: i} }
+
+// OfFloat returns a float Value.
+func OfFloat(f float64) Value { return Value{kind: Float, f: f} }
+
+// OfBool returns a boolean Value.
+func OfBool(b bool) Value {
+	if b {
+		return Value{kind: Bool, i: 1}
+	}
+	return Value{kind: Bool}
+}
+
+// OfString returns a string Value.
+func OfString(s string) Value { return Value{kind: String, s: s} }
+
+// Of converts a native Go value into a Value. Supported inputs are the Go
+// integer and float types, bool, string, and Value itself. It panics on any
+// other type; use this only on trusted, programmer-supplied literals.
+func Of(v any) Value {
+	switch x := v.(type) {
+	case Value:
+		return x
+	case int:
+		return OfInt(int64(x))
+	case int8:
+		return OfInt(int64(x))
+	case int16:
+		return OfInt(int64(x))
+	case int32:
+		return OfInt(int64(x))
+	case int64:
+		return OfInt(x)
+	case uint:
+		return OfInt(int64(x))
+	case uint8:
+		return OfInt(int64(x))
+	case uint16:
+		return OfInt(int64(x))
+	case uint32:
+		return OfInt(int64(x))
+	case uint64:
+		return OfInt(int64(x))
+	case float32:
+		return OfFloat(float64(x))
+	case float64:
+		return OfFloat(x)
+	case bool:
+		return OfBool(x)
+	case string:
+		return OfString(x)
+	}
+	panic(fmt.Sprintf("value.Of: unsupported type %T", v))
+}
+
+// Kind returns the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNumeric reports whether v is an int, float, or bool (bools count as
+// numeric 0/1, as in Python).
+func (v Value) IsNumeric() bool { return v.kind != String }
+
+// Int returns the integer payload. It panics unless Kind is Int or Bool.
+func (v Value) Int() int64 {
+	if v.kind != Int && v.kind != Bool {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the value as a float64. It panics if Kind is String.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case Int, Bool:
+		return float64(v.i)
+	case Float:
+		return v.f
+	}
+	panic("value: Float() on string")
+}
+
+// Bool returns the boolean payload. It panics unless Kind is Bool.
+func (v Value) Bool() bool {
+	if v.kind != Bool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Str returns the string payload. It panics unless Kind is String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic("value: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Truthy reports Python truthiness: zero numbers and empty strings are
+// false, everything else is true.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case Int, Bool:
+		return v.i != 0
+	case Float:
+		return v.f != 0
+	case String:
+		return v.s != ""
+	}
+	return false
+}
+
+// Native returns the value as a plain Go value (int64, float64, bool, or
+// string).
+func (v Value) Native() any {
+	switch v.kind {
+	case Int:
+		return v.i
+	case Float:
+		return v.f
+	case Bool:
+		return v.i != 0
+	case String:
+		return v.s
+	}
+	return nil
+}
+
+// String renders the value the way it would appear in a constraint source.
+func (v Value) String() string {
+	switch v.kind {
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Bool:
+		if v.i != 0 {
+			return "True"
+		}
+		return "False"
+	case String:
+		return strconv.Quote(v.s)
+	}
+	return "<invalid>"
+}
+
+// Equal reports whether a and b are equal under Python semantics: numeric
+// values compare by value across kinds (1 == 1.0 == True), strings compare
+// by content, and a string never equals a number.
+func Equal(a, b Value) bool {
+	if a.kind == String || b.kind == String {
+		return a.kind == String && b.kind == String && a.s == b.s
+	}
+	if a.kind == Float || b.kind == Float {
+		return a.Float() == b.Float()
+	}
+	return a.i == b.i
+}
+
+// Compare orders a and b, returning a negative, zero, or positive integer.
+// Numbers order numerically across kinds; strings order lexicographically.
+// Comparing a string with a number returns an error, as Python 3 raises
+// TypeError for it.
+func Compare(a, b Value) (int, error) {
+	if a.kind == String || b.kind == String {
+		if a.kind != String || b.kind != String {
+			return 0, fmt.Errorf("value: cannot compare %s with %s", a.kind, b.kind)
+		}
+		switch {
+		case a.s < b.s:
+			return -1, nil
+		case a.s > b.s:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if a.kind == Float || b.kind == Float {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	switch {
+	case a.i < b.i:
+		return -1, nil
+	case a.i > b.i:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// numericPair extracts both operands as numbers, reporting whether both are
+// exact integers (Int or Bool).
+func numericPair(op string, a, b Value) (ai, bi int64, af, bf float64, ints bool, err error) {
+	if a.kind == String || b.kind == String {
+		return 0, 0, 0, 0, false, fmt.Errorf("value: unsupported operand %s for %s and %s", op, a.kind, b.kind)
+	}
+	ints = a.kind != Float && b.kind != Float
+	return a.i, b.i, a.Float(), b.Float(), ints, nil
+}
+
+// Add returns a + b. Ints stay ints; strings concatenate.
+func Add(a, b Value) (Value, error) {
+	if a.kind == String && b.kind == String {
+		return OfString(a.s + b.s), nil
+	}
+	ai, bi, af, bf, ints, err := numericPair("+", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if ints {
+		return OfInt(ai + bi), nil
+	}
+	return OfFloat(af + bf), nil
+}
+
+// Sub returns a - b.
+func Sub(a, b Value) (Value, error) {
+	ai, bi, af, bf, ints, err := numericPair("-", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if ints {
+		return OfInt(ai - bi), nil
+	}
+	return OfFloat(af - bf), nil
+}
+
+// Mul returns a * b.
+func Mul(a, b Value) (Value, error) {
+	ai, bi, af, bf, ints, err := numericPair("*", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if ints {
+		return OfInt(ai * bi), nil
+	}
+	return OfFloat(af * bf), nil
+}
+
+// Div returns a / b using Python true division: the result is always a
+// float. Division by zero is an error.
+func Div(a, b Value) (Value, error) {
+	_, _, af, bf, _, err := numericPair("/", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if bf == 0 {
+		return Value{}, fmt.Errorf("value: division by zero")
+	}
+	return OfFloat(af / bf), nil
+}
+
+// FloorDiv returns a // b with Python floor semantics (round toward
+// negative infinity; int//int stays int).
+func FloorDiv(a, b Value) (Value, error) {
+	ai, bi, af, bf, ints, err := numericPair("//", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if ints {
+		if bi == 0 {
+			return Value{}, fmt.Errorf("value: integer division by zero")
+		}
+		q := ai / bi
+		if (ai%bi != 0) && ((ai < 0) != (bi < 0)) {
+			q--
+		}
+		return OfInt(q), nil
+	}
+	if bf == 0 {
+		return Value{}, fmt.Errorf("value: float floor division by zero")
+	}
+	return OfFloat(math.Floor(af / bf)), nil
+}
+
+// Mod returns a % b with Python semantics: the result has the sign of the
+// divisor.
+func Mod(a, b Value) (Value, error) {
+	ai, bi, af, bf, ints, err := numericPair("%", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if ints {
+		if bi == 0 {
+			return Value{}, fmt.Errorf("value: integer modulo by zero")
+		}
+		r := ai % bi
+		if r != 0 && ((r < 0) != (bi < 0)) {
+			r += bi
+		}
+		return OfInt(r), nil
+	}
+	if bf == 0 {
+		return Value{}, fmt.Errorf("value: float modulo by zero")
+	}
+	r := math.Mod(af, bf)
+	if r != 0 && ((r < 0) != (bf < 0)) {
+		r += bf
+	}
+	return OfFloat(r), nil
+}
+
+// Pow returns a ** b. Integer bases with non-negative integer exponents
+// stay integers; everything else goes through math.Pow.
+func Pow(a, b Value) (Value, error) {
+	ai, bi, af, bf, ints, err := numericPair("**", a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if ints && bi >= 0 {
+		result := int64(1)
+		base := ai
+		exp := bi
+		for exp > 0 {
+			if exp&1 == 1 {
+				result *= base
+			}
+			base *= base
+			exp >>= 1
+		}
+		return OfInt(result), nil
+	}
+	return OfFloat(math.Pow(af, bf)), nil
+}
+
+// Neg returns -a.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case Int, Bool:
+		return OfInt(-a.i), nil
+	case Float:
+		return OfFloat(-a.f), nil
+	}
+	return Value{}, fmt.Errorf("value: unary - on %s", a.kind)
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Value) (Value, error) {
+	c, err := Compare(a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if c <= 0 {
+		return a, nil
+	}
+	return b, nil
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Value) (Value, error) {
+	c, err := Compare(a, b)
+	if err != nil {
+		return Value{}, err
+	}
+	if c >= 0 {
+		return a, nil
+	}
+	return b, nil
+}
+
+// Abs returns the absolute value of a numeric value.
+func Abs(a Value) (Value, error) {
+	switch a.kind {
+	case Int, Bool:
+		if a.i < 0 {
+			return OfInt(-a.i), nil
+		}
+		return OfInt(a.i), nil
+	case Float:
+		return OfFloat(math.Abs(a.f)), nil
+	}
+	return Value{}, fmt.Errorf("value: abs on %s", a.kind)
+}
+
+// Key returns a compact byte-comparable key for use in hash maps. Values
+// that are Equal produce the same key (numeric kinds are canonicalized).
+func (v Value) Key() string {
+	switch v.kind {
+	case Int, Bool:
+		return "i" + strconv.FormatInt(v.i, 36)
+	case Float:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return "i" + strconv.FormatInt(int64(v.f), 36)
+		}
+		return "f" + strconv.FormatUint(math.Float64bits(v.f), 36)
+	case String:
+		return "s" + v.s
+	}
+	return "?"
+}

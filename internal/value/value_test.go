@@ -1,0 +1,323 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{OfInt(3), Int},
+		{OfFloat(3.5), Float},
+		{OfBool(true), Bool},
+		{OfString("x"), String},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestOfConversions(t *testing.T) {
+	if Of(int32(7)).Int() != 7 {
+		t.Error("Of(int32) failed")
+	}
+	if Of(uint16(9)).Int() != 9 {
+		t.Error("Of(uint16) failed")
+	}
+	if Of(float32(1.5)).Float() != 1.5 {
+		t.Error("Of(float32) failed")
+	}
+	if !Of(true).Bool() {
+		t.Error("Of(bool) failed")
+	}
+	if Of("hi").Str() != "hi" {
+		t.Error("Of(string) failed")
+	}
+	if Of(OfInt(2)).Int() != 2 {
+		t.Error("Of(Value) should pass through")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Of(struct{}{}) should panic")
+		}
+	}()
+	Of(struct{}{})
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{OfInt(0), false},
+		{OfInt(1), true},
+		{OfInt(-1), true},
+		{OfFloat(0), false},
+		{OfFloat(0.1), true},
+		{OfBool(false), false},
+		{OfBool(true), true},
+		{OfString(""), false},
+		{OfString("a"), true},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("%v.Truthy() = %v, want %v", c.v, c.v.Truthy(), c.want)
+		}
+	}
+}
+
+func TestEqualAcrossKinds(t *testing.T) {
+	if !Equal(OfInt(1), OfFloat(1.0)) {
+		t.Error("1 == 1.0 should hold")
+	}
+	if !Equal(OfBool(true), OfInt(1)) {
+		t.Error("True == 1 should hold")
+	}
+	if Equal(OfString("1"), OfInt(1)) {
+		t.Error(`"1" == 1 should not hold`)
+	}
+	if !Equal(OfString("a"), OfString("a")) {
+		t.Error(`"a" == "a" should hold`)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	lt := func(a, b Value) {
+		t.Helper()
+		c, err := Compare(a, b)
+		if err != nil || c >= 0 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want negative", a, b, c, err)
+		}
+	}
+	lt(OfInt(1), OfInt(2))
+	lt(OfInt(1), OfFloat(1.5))
+	lt(OfFloat(-0.5), OfBool(false))
+	lt(OfString("a"), OfString("b"))
+	if _, err := Compare(OfString("a"), OfInt(1)); err == nil {
+		t.Error("comparing string to int should error")
+	}
+}
+
+func TestArithmeticIntPreservation(t *testing.T) {
+	sum, err := Add(OfInt(2), OfInt(3))
+	if err != nil || sum.Kind() != Int || sum.Int() != 5 {
+		t.Errorf("2+3 = %v, %v", sum, err)
+	}
+	prod, err := Mul(OfInt(4), OfInt(5))
+	if err != nil || prod.Kind() != Int || prod.Int() != 20 {
+		t.Errorf("4*5 = %v, %v", prod, err)
+	}
+	mixed, err := Add(OfInt(2), OfFloat(0.5))
+	if err != nil || mixed.Kind() != Float || mixed.Float() != 2.5 {
+		t.Errorf("2+0.5 = %v, %v", mixed, err)
+	}
+}
+
+func TestTrueDivisionAlwaysFloat(t *testing.T) {
+	q, err := Div(OfInt(7), OfInt(2))
+	if err != nil || q.Kind() != Float || q.Float() != 3.5 {
+		t.Errorf("7/2 = %v, %v", q, err)
+	}
+	if _, err := Div(OfInt(1), OfInt(0)); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestFloorDivModPythonSemantics(t *testing.T) {
+	cases := []struct {
+		a, b, q, r int64
+	}{
+		{7, 2, 3, 1},
+		{-7, 2, -4, 1},
+		{7, -2, -4, -1},
+		{-7, -2, 3, -1},
+		{6, 3, 2, 0},
+	}
+	for _, c := range cases {
+		q, err := FloorDiv(OfInt(c.a), OfInt(c.b))
+		if err != nil || q.Int() != c.q {
+			t.Errorf("%d // %d = %v, %v; want %d", c.a, c.b, q, err, c.q)
+		}
+		r, err := Mod(OfInt(c.a), OfInt(c.b))
+		if err != nil || r.Int() != c.r {
+			t.Errorf("%d %% %d = %v, %v; want %d", c.a, c.b, r, err, c.r)
+		}
+	}
+	if _, err := FloorDiv(OfInt(1), OfInt(0)); err == nil {
+		t.Error("1 // 0 should error")
+	}
+	if _, err := Mod(OfInt(1), OfInt(0)); err == nil {
+		t.Error("1 % 0 should error")
+	}
+}
+
+func TestFloorDivModFloat(t *testing.T) {
+	q, err := FloorDiv(OfFloat(7.5), OfFloat(2))
+	if err != nil || q.Float() != 3 {
+		t.Errorf("7.5 // 2 = %v, %v", q, err)
+	}
+	r, err := Mod(OfFloat(-7.5), OfFloat(2))
+	if err != nil || r.Float() != 0.5 {
+		t.Errorf("-7.5 %% 2 = %v, %v; want 0.5", r, err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	p, err := Pow(OfInt(2), OfInt(10))
+	if err != nil || p.Kind() != Int || p.Int() != 1024 {
+		t.Errorf("2**10 = %v, %v", p, err)
+	}
+	p, err = Pow(OfInt(2), OfInt(-1))
+	if err != nil || p.Kind() != Float || p.Float() != 0.5 {
+		t.Errorf("2**-1 = %v, %v", p, err)
+	}
+	p, err = Pow(OfFloat(9), OfFloat(0.5))
+	if err != nil || p.Float() != 3 {
+		t.Errorf("9**0.5 = %v, %v", p, err)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	s, err := Add(OfString("ab"), OfString("cd"))
+	if err != nil || s.Str() != "abcd" {
+		t.Errorf(`"ab"+"cd" = %v, %v`, s, err)
+	}
+	if _, err := Sub(OfString("a"), OfInt(1)); err == nil {
+		t.Error("string - int should error")
+	}
+	if _, err := Neg(OfString("a")); err == nil {
+		t.Error("-string should error")
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	m, _ := Min(OfInt(3), OfFloat(2.5))
+	if m.Float() != 2.5 {
+		t.Errorf("min(3, 2.5) = %v", m)
+	}
+	m, _ = Max(OfInt(3), OfFloat(2.5))
+	if m.Int() != 3 {
+		t.Errorf("max(3, 2.5) = %v", m)
+	}
+	a, _ := Abs(OfInt(-4))
+	if a.Int() != 4 {
+		t.Errorf("abs(-4) = %v", a)
+	}
+	a, _ = Abs(OfFloat(-1.5))
+	if a.Float() != 1.5 {
+		t.Errorf("abs(-1.5) = %v", a)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{OfInt(42), "42"},
+		{OfFloat(1.5), "1.5"},
+		{OfBool(true), "True"},
+		{OfBool(false), "False"},
+		{OfString("hi"), `"hi"`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	if OfInt(5).Key() != OfFloat(5.0).Key() {
+		t.Error("5 and 5.0 should share a key")
+	}
+	if OfInt(1).Key() != OfBool(true).Key() {
+		t.Error("1 and True should share a key")
+	}
+	if OfInt(5).Key() == OfString("5").Key() {
+		t.Error(`5 and "5" must have distinct keys`)
+	}
+	if OfFloat(1.25).Key() == OfFloat(1.5).Key() {
+		t.Error("distinct floats must have distinct keys")
+	}
+}
+
+func TestNative(t *testing.T) {
+	if OfInt(3).Native().(int64) != 3 {
+		t.Error("Native int")
+	}
+	if OfFloat(2.5).Native().(float64) != 2.5 {
+		t.Error("Native float")
+	}
+	if OfBool(true).Native().(bool) != true {
+		t.Error("Native bool")
+	}
+	if OfString("s").Native().(string) != "s" {
+		t.Error("Native string")
+	}
+}
+
+// Property: for random int pairs, a == (a//b)*b + a%b (Python invariant).
+func TestQuickFloorDivModInvariant(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		// Avoid overflow corner cases outside the invariant's scope.
+		if a == math.MinInt64 || b == math.MinInt64 {
+			return true
+		}
+		q, err1 := FloorDiv(OfInt(a), OfInt(b))
+		r, err2 := Mod(OfInt(a), OfInt(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if q.Int()*b+r.Int() != a {
+			return false
+		}
+		// Remainder has the sign of the divisor.
+		return r.Int() == 0 || (r.Int() > 0) == (b > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for numbers.
+func TestQuickCompareConsistency(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := OfInt(int64(a)), OfInt(int64(b))
+		c1, _ := Compare(va, vb)
+		c2, _ := Compare(vb, va)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key equality matches Equal for mixed int/float values.
+func TestQuickKeyMatchesEqual(t *testing.T) {
+	f := func(a int16, useFloat bool) bool {
+		vi := OfInt(int64(a))
+		var other Value
+		if useFloat {
+			other = OfFloat(float64(a))
+		} else {
+			other = OfInt(int64(a))
+		}
+		return (vi.Key() == other.Key()) == Equal(vi, other)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

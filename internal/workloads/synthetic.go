@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+)
+
+// SynthSpec describes one synthetic search space of §5.2.1.
+type SynthSpec struct {
+	Dims      int     // number of tunable parameters (2..5)
+	Cartesian float64 // target Cartesian size
+	NumCons   int     // number of constraints (1..6)
+	Seed      int64   // deterministic constraint selection
+}
+
+// syntheticTargets are the paper's target Cartesian sizes.
+var syntheticTargets = []float64{1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6}
+
+// SyntheticSpecs enumerates the 78 synthetic space specifications. The
+// paper generates 78 spaces varying dimensions 2–5, seven target sizes,
+// and 1–6 constraints; we enumerate (dims, size, constraints) triples in
+// a fixed interleaved order and keep the first 78, so the suite is
+// deterministic and covers all three axes.
+func SyntheticSpecs() []SynthSpec {
+	var specs []SynthSpec
+	id := int64(0)
+	for _, dims := range []int{2, 3, 4, 5} {
+		for si, size := range syntheticTargets {
+			for ncons := 1; ncons <= 6; ncons++ {
+				id++
+				// Keep every other triple to land close to the paper's 78
+				// spaces while spanning all combinations.
+				if (dims+si+ncons)%2 != 0 {
+					continue
+				}
+				specs = append(specs, SynthSpec{
+					Dims: dims, Cartesian: size, NumCons: ncons, Seed: id,
+				})
+			}
+		}
+	}
+	return specs[:78]
+}
+
+// SyntheticSuite instantiates the 78 synthetic definitions.
+func SyntheticSuite() []*model.Definition {
+	specs := SyntheticSpecs()
+	out := make([]*model.Definition, len(specs))
+	for i, s := range specs {
+		out[i] = Synthetic(s)
+	}
+	return out
+}
+
+// SyntheticReducedSuite instantiates the synthetic suite with Cartesian
+// sizes reduced by one order of magnitude, as the paper does for the
+// PySMT experiment (Figure 4).
+func SyntheticReducedSuite() []*model.Definition {
+	specs := SyntheticSpecs()
+	out := make([]*model.Definition, len(specs))
+	for i, s := range specs {
+		s.Cartesian /= 10
+		s.Seed += 100000
+		out[i] = Synthetic(s)
+	}
+	return out
+}
+
+// Synthetic generates one synthetic search space following §5.2.1: the
+// per-dimension value count is v = s^(1/d), rounded normally for all but
+// the last dimension, which is rounded contrarily (5.8→5, 5.2→6) to land
+// closer to the target Cartesian size; each dimension is a linear space
+// with that many values; and NumCons constraints drawn from a pool of
+// operations over randomly chosen dimension subsets are applied.
+//
+// A randomly drawn constraint set can contradict itself and produce an
+// empty space, which the paper's suite does not contain (an empty space
+// has no log-scale valid-configuration count); Synthetic detects that
+// with a cheap solve and deterministically redraws with a shifted seed.
+func Synthetic(spec SynthSpec) *model.Definition {
+	for attempt := 0; ; attempt++ {
+		def := synthesize(spec)
+		if attempt >= 10 {
+			return def
+		}
+		if p, err := def.ToProblem(); err == nil {
+			if _, ok := p.Compile(core.DefaultOptions()).First(); ok {
+				return def
+			}
+		}
+		spec.Seed += 7919 // deterministic redraw
+	}
+}
+
+func synthesize(spec SynthSpec) *model.Definition {
+	d := spec.Dims
+	v := math.Pow(spec.Cartesian, 1/float64(d))
+	sizes := make([]int, d)
+	for i := 0; i < d-1; i++ {
+		sizes[i] = int(math.Round(v))
+	}
+	// Contrary rounding for the last dimension.
+	frac := v - math.Floor(v)
+	if frac >= 0.5 {
+		sizes[d-1] = int(math.Floor(v))
+	} else {
+		sizes[d-1] = int(math.Ceil(v))
+	}
+	for i := range sizes {
+		if sizes[i] < 2 {
+			sizes[i] = 2
+		}
+	}
+
+	def := &model.Definition{
+		Name: fmt.Sprintf("synth-d%d-s%.0e-c%d", d, spec.Cartesian, spec.NumCons),
+	}
+	names := make([]string, d)
+	maxVal := make([]float64, d)
+	for i := 0; i < d; i++ {
+		names[i] = fmt.Sprintf("p%d", i)
+		// Linear space: 1..sizes[i] scaled so dimensions have distinct
+		// magnitudes (step i+1), exercising mixed-scale constraints.
+		step := i + 1
+		xs := make([]int, sizes[i])
+		for k := range xs {
+			xs[k] = (k + 1) * step
+		}
+		maxVal[i] = float64(sizes[i] * step)
+		def.Params = append(def.Params, model.IntsParam(names[i], xs...))
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	pick2 := func() (int, int) {
+		a := rng.Intn(d)
+		b := rng.Intn(d - 1)
+		if b >= a {
+			b++
+		}
+		return a, b
+	}
+	for c := 0; c < spec.NumCons; c++ {
+		switch rng.Intn(7) {
+		case 0: // product upper bound keeping a moderate fraction
+			a, b := pick2()
+			bound := int(maxVal[a] * maxVal[b] / (4 + float64(rng.Intn(12))))
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf("%s * %s <= %d", names[a], names[b], bound))
+		case 1: // product lower bound
+			a, b := pick2()
+			bound := int(math.Sqrt(maxVal[a]*maxVal[b])*(2+rng.Float64()*2)) + rng.Intn(8)
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf("%s * %s >= %d", names[a], names[b], bound))
+		case 2: // sum bound
+			a, b := pick2()
+			bound := int((maxVal[a] + maxVal[b]) / (1.8 + rng.Float64()))
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf("%s + %s <= %d", names[a], names[b], bound))
+		case 3: // ordering
+			a, b := pick2()
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf("%s <= %s * %d", names[a], names[b], 1+rng.Intn(3)))
+		case 4: // parity interaction
+			a, b := pick2()
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf("(%s + %s) %% 2 == 0", names[a], names[b]))
+		case 5: // three-way product bound (when possible)
+			if d >= 3 {
+				a, b := pick2()
+				c3 := rng.Intn(d)
+				for c3 == a || c3 == b {
+					c3 = rng.Intn(d)
+				}
+				bound := int(maxVal[a] * maxVal[b] * maxVal[c3] / (6 + float64(rng.Intn(20))))
+				def.Constraints = append(def.Constraints,
+					fmt.Sprintf("%s * %s * %s <= %d", names[a], names[b], names[c3], bound))
+			} else {
+				a, b := pick2()
+				bound := int(maxVal[a] * maxVal[b] / 2)
+				def.Constraints = append(def.Constraints,
+					fmt.Sprintf("%s * %s <= %d", names[a], names[b], bound))
+			}
+		case 6: // chained window
+			a, b := pick2()
+			lo := int(maxVal[a] / (4 + float64(rng.Intn(4))))
+			hi := int(maxVal[a] * maxVal[b] / 3)
+			def.Constraints = append(def.Constraints,
+				fmt.Sprintf("%d <= %s * %s <= %d", lo, names[a], names[b], hi))
+		}
+	}
+	return def
+}

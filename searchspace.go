@@ -1,0 +1,289 @@
+// Package searchspace constructs constrained auto-tuning search spaces.
+//
+// It is a Go implementation of the construction pipeline from
+// "Efficient Construction of Large Search Spaces for Auto-Tuning"
+// (Willemsen, van Nieuwpoort, van Werkhoven; ICPP '25): tunable
+// parameters with finite value lists plus Python-style constraint
+// expressions are resolved — by an optimized all-solutions CSP solver —
+// into a fully materialized SearchSpace that supports O(1) membership
+// tests, true parameter bounds, uniform / stratified / Latin-Hypercube
+// sampling, and neighbor queries for optimization algorithms.
+//
+// The package also exposes every baseline construction method evaluated
+// in the paper (brute force, the unoptimized CSP solver, chain-of-trees
+// in compiled and interpreted variants, and blocking-clause enumeration)
+// behind the same API, selected with a Method, so applications and
+// benchmarks can compare them on identical inputs.
+//
+// A minimal end-to-end use:
+//
+//	p := searchspace.NewProblem("hotspot")
+//	p.AddParam("block_size_x", 1, 2, 4, 8, 16, 32, 64, 128, 256)
+//	p.AddParam("block_size_y", 1, 2, 4, 8, 16, 32)
+//	p.AddConstraint("32 <= block_size_x * block_size_y <= 1024")
+//	ss, err := p.Build(searchspace.Optimized)
+package searchspace
+
+import (
+	"fmt"
+	"time"
+
+	"searchspace/internal/bruteforce"
+	"searchspace/internal/chaintrees"
+	"searchspace/internal/core"
+	"searchspace/internal/itersolve"
+	"searchspace/internal/model"
+	"searchspace/internal/naive"
+	"searchspace/internal/space"
+	"searchspace/internal/value"
+)
+
+// Method selects a search-space construction algorithm.
+type Method int
+
+const (
+	// Optimized is the paper's contribution: the optimized CSP solver
+	// with constraint parsing/decomposition, specific constraints with
+	// preprocessing, degree-ordered variables, compiled predicates, and
+	// partial-assignment rejection.
+	Optimized Method = iota
+	// Original is the unoptimized CSP solver baseline (vanilla
+	// python-constraint): recursive backtracking, whole-constraint
+	// interpreted evaluation, no preprocessing.
+	Original
+	// BruteForce filters the full Cartesian product through the raw
+	// constraints.
+	BruteForce
+	// ChainOfTrees is the ATF-style grouped-tree construction with
+	// compiled constraint evaluation (the C++ ATF analogue).
+	ChainOfTrees
+	// ChainOfTreesInterpreted evaluates constraints by tree-walking (the
+	// pyATF analogue).
+	ChainOfTreesInterpreted
+	// IterativeSAT emulates one-solution-at-a-time solvers (PySMT/Z3):
+	// solve, add a blocking clause, repeat.
+	IterativeSAT
+)
+
+var methodNames = map[Method]string{
+	Optimized:               "optimized",
+	Original:                "original",
+	BruteForce:              "brute-force",
+	ChainOfTrees:            "chain-of-trees",
+	ChainOfTreesInterpreted: "chain-of-trees-interpreted",
+	IterativeSAT:            "iterative-sat",
+}
+
+// String returns the method's report label.
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all construction methods in report order.
+func Methods() []Method {
+	return []Method{BruteForce, Original, ChainOfTrees, ChainOfTreesInterpreted, IterativeSAT, Optimized}
+}
+
+// Problem accumulates parameters and constraints. Methods record the
+// first error and Build reports it, so call sites can chain adds without
+// per-call error handling (mirroring how tuning scripts declare spaces).
+type Problem struct {
+	def *model.Definition
+	err error
+}
+
+// NewProblem creates an empty problem with a report label.
+func NewProblem(name string) *Problem {
+	return &Problem{def: &model.Definition{Name: name}}
+}
+
+// fromDefinition wraps an existing internal definition (used by the
+// workload suites and benchmarks).
+func fromDefinition(def *model.Definition) *Problem {
+	return &Problem{def: def}
+}
+
+// Name returns the problem's label.
+func (p *Problem) Name() string { return p.def.Name }
+
+// AddParam declares a tunable parameter. Values may be any mix of Go
+// integers, floats, bools and strings.
+func (p *Problem) AddParam(name string, values ...any) *Problem {
+	if p.err != nil {
+		return p
+	}
+	if len(values) == 0 {
+		p.err = fmt.Errorf("searchspace: parameter %q needs at least one value", name)
+		return p
+	}
+	vals := make([]value.Value, len(values))
+	for i, v := range values {
+		vv, err := toValue(v)
+		if err != nil {
+			p.err = fmt.Errorf("searchspace: parameter %q: %w", name, err)
+			return p
+		}
+		vals[i] = vv
+	}
+	p.def.Params = append(p.def.Params, model.Param{Name: name, Values: vals})
+	return p
+}
+
+// AddParamInts declares an integer parameter from a slice.
+func (p *Problem) AddParamInts(name string, values []int) *Problem {
+	anyVals := make([]any, len(values))
+	for i, v := range values {
+		anyVals[i] = v
+	}
+	return p.AddParam(name, anyVals...)
+}
+
+// AddConstraint registers a constraint written in the Python expression
+// subset (e.g. "32 <= block_size_x * block_size_y <= 1024").
+func (p *Problem) AddConstraint(src string) *Problem {
+	if p.err != nil {
+		return p
+	}
+	p.def.Constraints = append(p.def.Constraints, src)
+	return p
+}
+
+// AddConstraintFunc registers a native Go predicate over the named
+// parameters; args arrive in the order of vars as int64/float64/bool/
+// string.
+func (p *Problem) AddConstraintFunc(vars []string, fn func(args []any) bool) *Problem {
+	if p.err != nil {
+		return p
+	}
+	if fn == nil {
+		p.err = fmt.Errorf("searchspace: nil constraint function")
+		return p
+	}
+	varsCopy := append([]string(nil), vars...)
+	p.def.GoConstraints = append(p.def.GoConstraints, model.GoConstraint{
+		Vars: varsCopy,
+		Fn: func(vals []value.Value) bool {
+			args := make([]any, len(vals))
+			for i, v := range vals {
+				args[i] = v.Native()
+			}
+			return fn(args)
+		},
+	})
+	return p
+}
+
+// CartesianSize returns the unconstrained configuration count.
+func (p *Problem) CartesianSize() float64 { return p.def.CartesianSize() }
+
+// BuildStats reports how a construction run went.
+type BuildStats struct {
+	Method   Method
+	Duration time.Duration
+	// Cartesian is the unconstrained size; Valid the resolved size.
+	Cartesian float64
+	Valid     int
+}
+
+// Build resolves the search space with the chosen method.
+func (p *Problem) Build(m Method) (*SearchSpace, error) {
+	ss, _, err := p.BuildTimed(m)
+	return ss, err
+}
+
+// BuildParallel resolves the search space with the optimized solver using
+// up to workers goroutines (0 selects GOMAXPROCS). The search is
+// partitioned along the first solve-order variable's domain; the result is
+// identical to Build(Optimized), including configuration order.
+func (p *Problem) BuildParallel(workers int) (*SearchSpace, BuildStats, error) {
+	stats := BuildStats{Method: Optimized, Cartesian: p.def.CartesianSize()}
+	if p.err != nil {
+		return nil, stats, p.err
+	}
+	if err := p.def.Validate(); err != nil {
+		return nil, stats, err
+	}
+	prob, err := p.def.ToProblem()
+	if err != nil {
+		return nil, stats, err
+	}
+	start := time.Now()
+	col := prob.Compile(core.DefaultOptions()).SolveColumnarParallel(workers)
+	stats.Duration = time.Since(start)
+	sp, err := space.FromColumnar(p.def, col)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Valid = sp.Size()
+	return &SearchSpace{s: sp, def: p.def}, stats, nil
+}
+
+// BuildTimed resolves the search space and reports timing, the
+// measurement primitive behind every figure in the evaluation.
+func (p *Problem) BuildTimed(m Method) (*SearchSpace, BuildStats, error) {
+	stats := BuildStats{Method: m, Cartesian: p.def.CartesianSize()}
+	if p.err != nil {
+		return nil, stats, p.err
+	}
+	if err := p.def.Validate(); err != nil {
+		return nil, stats, err
+	}
+	start := time.Now()
+	col, err := construct(p.def, m)
+	stats.Duration = time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	sp, err := space.FromColumnar(p.def, col)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Valid = sp.Size()
+	return &SearchSpace{s: sp, def: p.def}, stats, nil
+}
+
+// construct dispatches to the selected construction backend; all return
+// the same columnar format.
+func construct(def *model.Definition, m Method) (*core.Columnar, error) {
+	switch m {
+	case Optimized:
+		prob, err := def.ToProblem()
+		if err != nil {
+			return nil, err
+		}
+		return prob.Compile(core.DefaultOptions()).SolveColumnar(), nil
+	case Original:
+		return naive.Solve(def)
+	case BruteForce:
+		col, _, err := bruteforce.Solve(def)
+		return col, err
+	case ChainOfTrees:
+		chain, err := chaintrees.Build(def, chaintrees.ModeCompiled)
+		if err != nil {
+			return nil, err
+		}
+		return chain.ToColumnar(), nil
+	case ChainOfTreesInterpreted:
+		chain, err := chaintrees.Build(def, chaintrees.ModeInterpreted)
+		if err != nil {
+			return nil, err
+		}
+		return chain.ToColumnar(), nil
+	case IterativeSAT:
+		col, _, err := itersolve.Solve(def)
+		return col, err
+	}
+	return nil, fmt.Errorf("searchspace: unknown method %v", m)
+}
+
+func toValue(v any) (value.Value, error) {
+	switch v.(type) {
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64,
+		float32, float64, bool, string:
+		return value.Of(v), nil
+	}
+	return value.Value{}, fmt.Errorf("unsupported value type %T", v)
+}
