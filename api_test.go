@@ -237,3 +237,43 @@ func TestAddConstraintFunc(t *testing.T) {
 		}
 	}
 }
+
+func TestDefinitionRoundTrip(t *testing.T) {
+	p := NewProblem("export")
+	p.AddParam("x", 1, 2, 4)
+	p.AddParam("mode", "a", "b")
+	p.AddConstraint("x <= 4")
+	def := p.Definition()
+	if def.Name != "export" || len(def.Params) != 2 || len(def.Constraints) != 1 {
+		t.Fatalf("Definition() = %+v", def)
+	}
+	// FromDefinition must build the identical space.
+	ss1, err := p.Build(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := FromDefinition(def.Clone()).Build(Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss1.Size() != ss2.Size() {
+		t.Fatalf("sizes differ: %d vs %d", ss1.Size(), ss2.Size())
+	}
+	for i := 0; i < ss1.Size(); i++ {
+		if !ss2.Contains(ss1.Get(i)) {
+			t.Fatalf("row %d missing after round trip", i)
+		}
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	for _, m := range Methods() {
+		got, ok := MethodByName(m.String())
+		if !ok || got != m {
+			t.Errorf("MethodByName(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := MethodByName("nope"); ok {
+		t.Error("MethodByName accepted an unknown name")
+	}
+}

@@ -2,7 +2,8 @@
 // file and reports on it: size, true bounds, samples, or the full
 // enumeration.
 //
-// JSON schema:
+// JSON schema (the same wire schema the spaced service accepts; numbers
+// without a fraction or exponent are ints, "2.0" is a float):
 //
 //	{
 //	  "name": "hotspot",
@@ -17,10 +18,16 @@
 //
 //	spacecli -in space.json [-method optimized] [-action stats|sample|list]
 //	spacecli -workload Hotspot -action stats        (built-in workloads)
+//
+// The submit subcommand runs the same actions against a running spaced
+// daemon instead of building locally, so repeated queries share the
+// daemon's cached construction:
+//
+//	spacecli submit -server http://localhost:8080 -in space.json
+//	spacecli submit -server http://localhost:8080 -workload Hotspot -action sample -k 5 -seed 1
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,21 +37,16 @@ import (
 	"time"
 
 	"searchspace"
-	"searchspace/internal/model"
 	"searchspace/internal/report"
+	"searchspace/internal/service"
 	"searchspace/internal/workloads"
 )
 
-type jsonSpace struct {
-	Name   string `json:"name"`
-	Params []struct {
-		Name   string `json:"name"`
-		Values []any  `json:"values"`
-	} `json:"params"`
-	Constraints []string `json:"constraints"`
-}
-
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "submit" {
+		submitMain(os.Args[2:])
+		return
+	}
 	in := flag.String("in", "", "JSON search-space definition file")
 	workload := flag.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM, \"ATF PRL 2x2\")")
 	methodName := flag.String("method", "optimized", "construction method: optimized|original|brute-force|chain-of-trees|chain-of-trees-interpreted|iterative-sat")
@@ -58,41 +60,28 @@ func main() {
 	case *workload != "":
 		def, ok := workloads.ByName(*workload)
 		if !ok {
-			log.Fatalf("unknown workload %q; available: Dedispersion, ExpDist, Hotspot, GEMM, MicroHH, ATF PRL 2x2/4x4/8x8", *workload)
+			log.Fatalf("unknown workload %q; available: %s", *workload, strings.Join(workloads.Names(), ", "))
 		}
-		prob = problemFromDefinition(def)
+		prob = searchspace.FromDefinition(def.Clone())
 	case *in != "":
 		raw, err := os.ReadFile(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var js jsonSpace
-		if err := json.Unmarshal(raw, &js); err != nil {
-			log.Fatal(err)
+		// The service codec parses the file, so local builds and
+		// `spacecli submit` interpret the same file identically
+		// (kind-faithful values: "2" is an int, "2.0" a float).
+		def, err := service.UnmarshalProblem(raw)
+		if err != nil {
+			log.Fatalf("%s: %v", *in, err)
 		}
-		prob = searchspace.NewProblem(js.Name)
-		for _, p := range js.Params {
-			vals := make([]any, len(p.Values))
-			for i, v := range p.Values {
-				// JSON numbers arrive as float64; keep integral ones as ints
-				// so constraints using % behave as users expect.
-				if f, ok := v.(float64); ok && f == float64(int64(f)) {
-					vals[i] = int64(f)
-					continue
-				}
-				vals[i] = v
-			}
-			prob.AddParam(p.Name, vals...)
-		}
-		for _, c := range js.Constraints {
-			prob.AddConstraint(c)
-		}
+		prob = searchspace.FromDefinition(def)
 	default:
 		fmt.Fprintln(os.Stderr, "need -in file.json or -workload name")
 		os.Exit(2)
 	}
 
-	method, ok := parseMethod(*methodName)
+	method, ok := searchspace.MethodByName(*methodName)
 	if !ok {
 		log.Fatalf("unknown method %q", *methodName)
 	}
@@ -142,30 +131,4 @@ func printConfig(ss *searchspace.SearchSpace, row int) {
 		parts[i] = fmt.Sprintf("%s=%v", names[i], vals[i])
 	}
 	fmt.Println(strings.Join(parts, " "))
-}
-
-func parseMethod(name string) (searchspace.Method, bool) {
-	for _, m := range searchspace.Methods() {
-		if m.String() == name {
-			return m, true
-		}
-	}
-	return 0, false
-}
-
-// problemFromDefinition lowers an internal workload definition into the
-// public builder (values converted to native Go types).
-func problemFromDefinition(def *model.Definition) *searchspace.Problem {
-	p := searchspace.NewProblem(def.Name)
-	for _, prm := range def.Params {
-		vals := make([]any, len(prm.Values))
-		for i, v := range prm.Values {
-			vals[i] = v.Native()
-		}
-		p.AddParam(prm.Name, vals...)
-	}
-	for _, c := range def.Constraints {
-		p.AddConstraint(c)
-	}
-	return p
 }

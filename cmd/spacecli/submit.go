@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+	"searchspace/internal/workloads"
+)
+
+// submitMain implements `spacecli submit`: send a definition to a
+// running spaced daemon and run the chosen action remotely. The daemon
+// constructs each distinct definition once; every later submit of the
+// same content is a cache hit.
+func submitMain(args []string) {
+	fs := flag.NewFlagSet("spacecli submit", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	in := fs.String("in", "", "JSON search-space definition file")
+	workload := fs.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM)")
+	method := fs.String("method", "", "construction method (daemon default: optimized)")
+	action := fs.String("action", "stats", "stats | sample | compare")
+	k := fs.Int("k", 10, "sample size for -action sample")
+	strategy := fs.String("strategy", "uniform", "sampling strategy: uniform | stratified | lhs")
+	seed := fs.Int64("seed", time.Now().UnixNano(), "sampling seed (same seed, same sample)")
+	_ = fs.Parse(args)
+
+	switch *action {
+	case "stats", "sample", "compare":
+	default:
+		// Catch typos before submitting: a bad action after a
+		// minutes-long remote build would waste the daemon's work.
+		log.Fatalf("unknown action %q (submit supports stats, sample, compare)", *action)
+	}
+	problem, err := loadProblemDoc(*in, *workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+
+	req := service.BuildRequest{Problem: problem, Method: *method}
+	if *action == "compare" {
+		var cmp service.CompareResponse
+		postDoc(client, *server+"/v1/compare", req, &cmp)
+		var rows [][]string
+		for _, res := range cmp.Results {
+			status := fmt.Sprintf("%d", res.Valid)
+			if res.Error != "" {
+				status = "error: " + res.Error
+			}
+			rows = append(rows, []string{res.Method, report.Seconds(res.WallSeconds), status})
+		}
+		fmt.Printf("space: %s   methods agree: %v\n", cmp.Name, cmp.Agree)
+		fmt.Print(report.Table([]string{"method", "construction", "valid"}, rows))
+		return
+	}
+
+	var built service.BuildResponse
+	postDoc(client, *server+"/v1/spaces", req, &built)
+
+	switch *action {
+	case "stats":
+		fmt.Printf("space:        %s\n", built.Name)
+		fmt.Printf("id:           %s\n", built.ID)
+		fmt.Printf("method:       %s\n", built.Build.Method)
+		fmt.Printf("cached:       %v\n", built.Cached)
+		fmt.Printf("construction: %s\n", report.Seconds(built.Build.WallSeconds))
+		fmt.Printf("cartesian:    %s\n", report.Count(built.Build.Cartesian))
+		fmt.Printf("valid:        %s (%.3f%%)\n", report.Count(float64(built.Size)),
+			100*float64(built.Size)/built.Build.Cartesian)
+		var desc service.DescribeResponse
+		getDoc(client, *server+"/v1/spaces/"+built.ID, &desc)
+		fmt.Println("\ntrue parameter bounds over valid configurations:")
+		var rows [][]string
+		for _, b := range desc.Bounds {
+			if b.Numeric {
+				rows = append(rows, []string{b.Name, fmt.Sprintf("%g", b.Min),
+					fmt.Sprintf("%g", b.Max), fmt.Sprintf("%d", b.DistinctValues)})
+			} else {
+				rows = append(rows, []string{b.Name, "-", "-", fmt.Sprintf("%d", b.DistinctValues)})
+			}
+		}
+		fmt.Print(report.Table([]string{"param", "min", "max", "#values"}, rows))
+	case "sample":
+		var sample service.SampleResponse
+		postDoc(client, *server+"/v1/spaces/"+built.ID+"/sample",
+			service.SampleRequest{K: *k, Strategy: *strategy, Seed: *seed}, &sample)
+		names := paramNames(problem)
+		for _, cfg := range sample.Configs {
+			parts := make([]string, 0, len(names))
+			for _, name := range names {
+				parts = append(parts, fmt.Sprintf("%s=%v", name, cfg[name].V.Native()))
+			}
+			fmt.Println(strings.Join(parts, " "))
+		}
+	}
+}
+
+// paramNames returns the parameter names of a problem doc in
+// declaration order, so samples print columns consistently.
+func paramNames(p *service.ProblemDoc) []string {
+	names := make([]string, len(p.Params))
+	for i, prm := range p.Params {
+		names[i] = prm.Name
+	}
+	return names
+}
+
+// loadProblemDoc reads the definition from a JSON file or a built-in
+// workload.
+func loadProblemDoc(in, workload string) (*service.ProblemDoc, error) {
+	switch {
+	case workload != "":
+		def, ok := workloads.ByName(workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q; available: %s", workload, strings.Join(workloads.Names(), ", "))
+		}
+		return service.EncodeProblem(def)
+	case in != "":
+		raw, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		var doc service.ProblemDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", in, err)
+		}
+		return &doc, nil
+	}
+	return nil, fmt.Errorf("need -in file.json or -workload name")
+}
+
+// postDoc sends a JSON request and decodes the response, exiting with
+// the server's error message on a non-2xx status.
+func postDoc(client *http.Client, url string, body, out any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatalf("POST %s: %v (is spaced running?)", url, err)
+	}
+	decodeDoc(resp, url, out)
+}
+
+func getDoc(client *http.Client, url string, out any) {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v (is spaced running?)", url, err)
+	}
+	decodeDoc(resp, url, out)
+}
+
+func decodeDoc(resp *http.Response, url string, out any) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("%s: reading response: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			log.Fatalf("%s: %s (HTTP %d)", url, apiErr.Error, resp.StatusCode)
+		}
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatalf("%s: bad response: %v", url, err)
+	}
+}

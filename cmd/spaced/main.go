@@ -1,0 +1,83 @@
+// Command spaced serves constructed search spaces over HTTP. Clients
+// submit a problem definition once; spaced constructs the space with
+// the optimized solver (or any baseline method), caches it under its
+// content address, and answers membership, bounds, sampling, and
+// neighbor queries from the materialized result — so many clients share
+// one construction.
+//
+//	spaced -addr :8080 -max-spaces 64 -max-bytes 2147483648
+//
+// Endpoints (see internal/service for request/response shapes):
+//
+//	POST /v1/spaces                   build or cache-hit; returns id + build stats
+//	GET  /v1/spaces/{id}              metadata and true parameter bounds
+//	POST /v1/spaces/{id}/contains     O(1) membership tests
+//	POST /v1/spaces/{id}/sample       seeded uniform/stratified/LHS sampling
+//	POST /v1/spaces/{id}/neighbors    hamming/adjacent neighbors
+//	GET  /v1/methods                  construction methods
+//	POST /v1/compare                  race methods on one definition
+//	GET  /v1/stats                    request + cache metrics
+//	GET  /healthz                     liveness
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"searchspace/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSpaces := flag.Int("max-spaces", 128, "max cached spaces (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 4<<30, "max estimated bytes of cached spaces (0 = unlimited)")
+	maxCartesian := flag.Float64("max-cartesian", 1e12, "reject definitions whose unconstrained size exceeds this before building (0 = unlimited)")
+	maxExhaustive := flag.Float64("max-exhaustive-cartesian", 1e8, "tighter pre-build limit for exhaustive methods (brute-force, original, iterative-sat; 0 = unlimited)")
+	maxBuilds := flag.Int("max-builds", 4, "max concurrent constructions; excess builds queue (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	reg := service.NewRegistry(service.RegistryConfig{
+		MaxEntries: *maxSpaces, MaxBytes: *maxBytes,
+		MaxCartesian: *maxCartesian, MaxExhaustiveCartesian: *maxExhaustive,
+		MaxConcurrentBuilds: *maxBuilds,
+	})
+	srv := service.NewServer(reg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("spaced listening on %s (max-spaces=%d max-bytes=%d)", *addr, *maxSpaces, *maxBytes)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("spaced: %v", err)
+	case sig := <-sigCh:
+		log.Printf("spaced: %v, draining (deadline %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("spaced: shutdown: %v", err)
+	}
+	log.Printf("spaced: final cache state: %s", reg.Stats())
+}

@@ -1,0 +1,210 @@
+// Command spaceload hammers a spaced service with a mixed hit/miss
+// workload and reports throughput and cache behavior. By default it
+// spins up an in-process server (the full HTTP path via net/http/httptest),
+// so the numbers measure the service stack, not a network; point
+// -server at a running daemon to load-test over the wire instead.
+//
+// The workload models many tuning clients sharing few kernels: workers
+// draw one of -spaces distinct definitions (uniformly), submit it via
+// POST /v1/spaces — a build on first contact, a cache hit after — and
+// follow up with sample and contains queries on the returned id.
+//
+//	spaceload -spaces 8 -requests 2000 -workers 16 -out BENCH_service.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"searchspace/internal/service"
+)
+
+func main() {
+	server := flag.String("server", "", "spaced base URL (default: in-process server)")
+	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
+	requests := flag.Int("requests", 2000, "total requests to issue")
+	workers := flag.Int("workers", 16, "concurrent clients")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	out := flag.String("out", "BENCH_service.json", "result file (empty = stdout only)")
+	flag.Parse()
+
+	base := *server
+	if base == "" {
+		ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.RegistryConfig{MaxEntries: 1024})))
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	// Distinct definitions: same parameter shape, different constraint
+	// bound, so every space is a separate content address with its own
+	// construction (names alone would not — they are display labels,
+	// excluded from the content address).
+	bodies := make([][]byte, *spaces)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf(`{"problem": {
+			"name": "load-%d",
+			"params": [
+				{"name": "block_size_x", "values": [1, 2, 4, 8, 16, 32, 64]},
+				{"name": "block_size_y", "values": [1, 2, 4, 8, 16]},
+				{"name": "tile", "values": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]}
+			],
+			"constraints": ["block_size_x * block_size_y <= %d", "tile <= block_size_x"]
+		}}`, i, 16+8*i))
+	}
+
+	client := &http.Client{Timeout: time.Minute}
+
+	// Snapshot the daemon's counters first so results are this run's
+	// delta — a long-lived -server target has traffic from before.
+	before, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		issued   atomic.Int64
+		failures atomic.Int64
+	)
+	start := time.Now()
+	wg.Add(*workers)
+	for w := 0; w < *workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for issued.Add(1) <= int64(*requests) {
+				body := bodies[rng.Intn(len(bodies))]
+				id, ok := postBuild(client, base, body)
+				if !ok {
+					failures.Add(1)
+					continue
+				}
+				// Follow-up queries exercise the cached space.
+				switch rng.Intn(3) {
+				case 0:
+					payload := fmt.Sprintf(`{"k": 4, "seed": %d}`, rng.Int63())
+					if !postOK(client, base+"/v1/spaces/"+id+"/sample", []byte(payload)) {
+						failures.Add(1)
+					}
+				case 1:
+					payload := fmt.Sprintf(`{"config": {"block_size_x": %d, "block_size_y": %d, "tile": %d}}`,
+						1<<rng.Intn(7), 1<<rng.Intn(5), 1+rng.Intn(10))
+					if !postOK(client, base+"/v1/spaces/"+id+"/contains", []byte(payload)) {
+						failures.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// This run's contribution: after minus before.
+	prior := make(map[string]int64, len(before.Endpoints))
+	for _, ep := range before.Endpoints {
+		prior[ep.Route] = ep.Count
+	}
+	total := int64(0)
+	for _, ep := range after.Endpoints {
+		total += ep.Count - prior[ep.Route]
+	}
+	dHits := (after.Cache.Hits + after.Cache.Joins) - (before.Cache.Hits + before.Cache.Joins)
+	dMisses := after.Cache.Misses - before.Cache.Misses
+	hitRatio := 0.0
+	if dHits+dMisses > 0 {
+		hitRatio = float64(dHits) / float64(dHits+dMisses)
+	}
+	result := map[string]any{
+		"benchmark":        "service-load",
+		"spaces":           *spaces,
+		"workers":          *workers,
+		"build_requests":   *requests,
+		"http_requests":    total,
+		"failures":         failures.Load(),
+		"duration_seconds": elapsed.Seconds(),
+		"req_per_sec":      float64(total) / elapsed.Seconds(),
+		"hit_ratio":        hitRatio,
+		"builds":           after.Cache.Builds - before.Cache.Builds,
+		"build_time_hist":  after.BuildTimeHist,
+		"endpoints":        after.Endpoints,
+	}
+	pretty, _ := json.MarshalIndent(result, "", "  ")
+	fmt.Printf("%s\n", pretty)
+	if *out != "" {
+		if err := os.WriteFile(*out, append(pretty, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// fetchStats reads the daemon's /v1/stats snapshot.
+func fetchStats(client *http.Client, base string) (service.MetricsSnapshot, error) {
+	var snap service.MetricsSnapshot
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return snap, fmt.Errorf("GET /v1/stats: %w", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, fmt.Errorf("bad stats response: %w", err)
+	}
+	return snap, nil
+}
+
+// postBuild submits a definition and returns the space id.
+func postBuild(client *http.Client, base string, body []byte) (string, bool) {
+	resp, err := client.Post(base+"/v1/spaces", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Printf("POST /v1/spaces: %v", err)
+		return "", false
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("POST /v1/spaces: HTTP %d: %s", resp.StatusCode, raw)
+		return "", false
+	}
+	var built service.BuildResponse
+	if err := json.Unmarshal(raw, &built); err != nil {
+		log.Printf("bad build response: %v", err)
+		return "", false
+	}
+	return built.ID, true
+}
+
+// postOK issues a POST and reports whether it returned 200.
+func postOK(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Printf("POST %s: %v", url, err)
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("POST %s: HTTP %d", url, resp.StatusCode)
+		return false
+	}
+	return true
+}

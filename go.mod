@@ -1,0 +1,3 @@
+module searchspace
+
+go 1.24

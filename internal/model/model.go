@@ -9,6 +9,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 
 	"searchspace/internal/core"
 	"searchspace/internal/expr"
@@ -146,6 +147,40 @@ func (d *Definition) ParsedConstraints() ([]expr.Node, error) {
 		nodes[i] = n
 	}
 	return nodes, nil
+}
+
+// Clone returns a deep copy of the definition: params and constraint
+// slices are copied so the clone can be mutated independently. Go
+// constraint functions are shared (they are immutable closures).
+func (d *Definition) Clone() *Definition {
+	c := &Definition{Name: d.Name}
+	if d.Params != nil {
+		c.Params = make([]Param, len(d.Params))
+		for i, p := range d.Params {
+			c.Params[i] = Param{Name: p.Name, Values: append([]value.Value(nil), p.Values...)}
+		}
+	}
+	c.Constraints = append([]string(nil), d.Constraints...)
+	if d.GoConstraints != nil {
+		c.GoConstraints = make([]GoConstraint, len(d.GoConstraints))
+		for i, gc := range d.GoConstraints {
+			c.GoConstraints[i] = GoConstraint{Vars: append([]string(nil), gc.Vars...), Fn: gc.Fn}
+		}
+	}
+	return c
+}
+
+// CanonicalConstraints returns the string constraints in canonical
+// (sorted) order. Constraint order never changes the resolved space —
+// every method applies the full conjunction — so content-addressed
+// identity sorts them before hashing. Parameter order is NOT canonical
+// and must be preserved: it fixes the enumeration order of the resolved
+// space and therefore row indices, sampling, and chain-of-trees
+// grouping.
+func (d *Definition) CanonicalConstraints() []string {
+	out := append([]string(nil), d.Constraints...)
+	sort.Strings(out)
+	return out
 }
 
 // IntsParam is a convenience constructor for integer-valued parameters.

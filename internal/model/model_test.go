@@ -129,3 +129,52 @@ func TestParamConstructors(t *testing.T) {
 		t.Errorf("IntsParam = %v", p.Values)
 	}
 }
+
+func TestClone(t *testing.T) {
+	orig := &Definition{
+		Name: "clone",
+		Params: []Param{
+			IntsParam("a", 1, 2, 3),
+			{Name: "s", Values: []value.Value{value.OfString("x")}},
+		},
+		Constraints: []string{"a < 3"},
+		GoConstraints: []GoConstraint{
+			{Vars: []string{"a"}, Fn: func([]value.Value) bool { return true }},
+		},
+	}
+	c := orig.Clone()
+	// Mutating the clone must not reach the original.
+	c.Name = "mutated"
+	c.Params[0].Name = "zz"
+	c.Params[0].Values[0] = value.OfInt(99)
+	c.Constraints[0] = "a > 100"
+	c.GoConstraints[0].Vars[0] = "zz"
+	if orig.Name != "clone" || orig.Params[0].Name != "a" {
+		t.Errorf("clone shares param headers: %+v", orig.Params[0])
+	}
+	if orig.Params[0].Values[0].Int() != 1 {
+		t.Error("clone shares value storage")
+	}
+	if orig.Constraints[0] != "a < 3" {
+		t.Error("clone shares constraint slice")
+	}
+	if orig.GoConstraints[0].Vars[0] != "a" {
+		t.Error("clone shares Go-constraint vars")
+	}
+}
+
+func TestCanonicalConstraints(t *testing.T) {
+	d := &Definition{
+		Name:        "canon",
+		Params:      []Param{IntsParam("a", 1), IntsParam("b", 2)},
+		Constraints: []string{"b > 1", "a < 2"},
+	}
+	got := d.CanonicalConstraints()
+	if got[0] != "a < 2" || got[1] != "b > 1" {
+		t.Errorf("not sorted: %v", got)
+	}
+	// The original order is untouched (it is part of the user's input).
+	if d.Constraints[0] != "b > 1" {
+		t.Errorf("CanonicalConstraints mutated the definition: %v", d.Constraints)
+	}
+}

@@ -1,0 +1,202 @@
+// Package service implements the spaced search-space service: a JSON
+// problem codec so definitions travel over the wire, a content-addressed
+// registry that builds each definition at most once and serves cached
+// spaces under an LRU budget, HTTP handlers exposing membership, bounds,
+// sampling, and neighbor queries, and request/cache metrics.
+//
+// The split it exploits is the paper's: construction is the expensive
+// step (seconds to hours at scale) while queries on the materialized
+// space are O(1) or near it, so a service that constructs once and
+// serves many query clients amortizes exactly the cost the optimized
+// solver minimizes.
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"searchspace"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+// ProblemDoc is the wire form of a search-space definition. It is the
+// same schema spacecli reads from disk, extended with type-faithful
+// value encoding: integers stay integers, floats keep a decimal point,
+// and bools and strings map to their JSON natives.
+//
+// Native Go constraint functions (Problem.AddConstraintFunc) are NOT
+// serializable — a closure has no canonical wire form — so EncodeProblem
+// rejects definitions that carry them; only string constraints in the
+// Python expression subset travel.
+type ProblemDoc struct {
+	Name        string     `json:"name"`
+	Params      []ParamDoc `json:"params"`
+	Constraints []string   `json:"constraints,omitempty"`
+}
+
+// ParamDoc is one parameter and its legal values on the wire.
+type ParamDoc struct {
+	Name   string     `json:"name"`
+	Values []ValueDoc `json:"values"`
+}
+
+// ValueDoc wraps a single parameter value so int/float/bool/string
+// round-trip with their kinds intact. Plain encoding/json would decode
+// every number as float64 and re-encode 2.0 as 2, silently turning
+// float domains into int domains across one hop.
+type ValueDoc struct {
+	V value.Value
+}
+
+// MarshalJSON renders the value as its JSON native, forcing a decimal
+// point (or exponent) onto integral floats so kind survives the trip.
+func (d ValueDoc) MarshalJSON() ([]byte, error) {
+	switch d.V.Kind() {
+	case value.Int:
+		return []byte(strconv.FormatInt(d.V.Int(), 10)), nil
+	case value.Float:
+		s := strconv.FormatFloat(d.V.Float(), 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return []byte(s), nil
+	case value.Bool:
+		return []byte(strconv.FormatBool(d.V.Bool())), nil
+	case value.String:
+		return json.Marshal(d.V.Str())
+	}
+	return nil, fmt.Errorf("service: unencodable value kind %v", d.V.Kind())
+}
+
+// UnmarshalJSON decodes a JSON scalar into a kinded value: numbers
+// without a fraction or exponent become ints, the rest floats.
+func (d *ValueDoc) UnmarshalJSON(raw []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case bool:
+		d.V = value.OfBool(x)
+	case string:
+		d.V = value.OfString(x)
+	case json.Number:
+		s := x.String()
+		if !strings.ContainsAny(s, ".eE") {
+			// Literals beyond int64 fall back to float, matching what a
+			// plain JSON decode would have produced.
+			if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+				d.V = value.OfInt(i)
+				return nil
+			}
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		d.V = value.OfFloat(f)
+	default:
+		return fmt.Errorf("service: parameter value must be a number, bool, or string, got %s", raw)
+	}
+	return nil
+}
+
+// EncodeProblem lowers a definition to its wire form. It fails on
+// definitions with Go constraint functions: closures cannot be
+// serialized, hashed, or replayed on another process, so they are
+// unsupported in the service path by design.
+func EncodeProblem(def *model.Definition) (*ProblemDoc, error) {
+	if len(def.GoConstraints) > 0 {
+		return nil, fmt.Errorf("service: definition %q has %d native Go constraint function(s); function constraints are not serializable — rewrite them as string constraints to submit over the wire",
+			def.Name, len(def.GoConstraints))
+	}
+	doc := &ProblemDoc{Name: def.Name, Constraints: append([]string(nil), def.Constraints...)}
+	doc.Params = make([]ParamDoc, len(def.Params))
+	for i, p := range def.Params {
+		pd := ParamDoc{Name: p.Name, Values: make([]ValueDoc, len(p.Values))}
+		for j, v := range p.Values {
+			pd.Values[j] = ValueDoc{V: v}
+		}
+		doc.Params[i] = pd
+	}
+	return doc, nil
+}
+
+// Decode raises the wire form back into a definition and validates it
+// (unique names, non-empty domains, parseable constraints).
+func (doc *ProblemDoc) Decode() (*model.Definition, error) {
+	def := &model.Definition{Name: doc.Name, Constraints: append([]string(nil), doc.Constraints...)}
+	def.Params = make([]model.Param, len(doc.Params))
+	for i, p := range doc.Params {
+		vals := make([]value.Value, len(p.Values))
+		for j, v := range p.Values {
+			vals[j] = v.V
+		}
+		def.Params[i] = model.Param{Name: p.Name, Values: vals}
+	}
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return def, nil
+}
+
+// MarshalProblem serializes a definition to JSON bytes.
+func MarshalProblem(def *model.Definition) ([]byte, error) {
+	doc, err := EncodeProblem(def)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalProblem parses JSON bytes into a validated definition.
+func UnmarshalProblem(raw []byte) (*model.Definition, error) {
+	var doc ProblemDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("service: bad problem JSON: %w", err)
+	}
+	return doc.Decode()
+}
+
+// CanonicalBytes renders the definition+method pair in its canonical
+// wire form: parameters in declaration order (order is semantic — it
+// fixes row enumeration), constraints sorted (order is not), values in
+// kind-faithful encoding, method by report label. The definition's
+// Name is a display label, not content, and is excluded — two
+// submissions with identical params+constraints+method produce
+// identical bytes whatever they are called, so renamed copies of one
+// space share a single construction.
+func CanonicalBytes(def *model.Definition, method searchspace.Method) ([]byte, error) {
+	canon := def.Clone()
+	canon.Name = ""
+	canon.Constraints = def.CanonicalConstraints()
+	doc, err := EncodeProblem(canon)
+	if err != nil {
+		return nil, err
+	}
+	payload := struct {
+		Method  string      `json:"method"`
+		Problem *ProblemDoc `json:"problem"`
+	}{Method: method.String(), Problem: doc}
+	return json.Marshal(payload)
+}
+
+// Fingerprint returns the content address of a definition+method pair:
+// the hex SHA-256 of its canonical bytes. It is the registry key and
+// the public space id.
+func Fingerprint(def *model.Definition, method searchspace.Method) (string, error) {
+	raw, err := CanonicalBytes(def, method)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"searchspace"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+// mixedDef exercises all four value kinds.
+func mixedDef() *model.Definition {
+	return &model.Definition{
+		Name: "mixed",
+		Params: []model.Param{
+			{Name: "n", Values: []value.Value{value.OfInt(1), value.OfInt(2), value.OfInt(64)}},
+			{Name: "scale", Values: []value.Value{value.OfFloat(0.5), value.OfFloat(2.0)}},
+			{Name: "cached", Values: []value.Value{value.OfBool(true), value.OfBool(false)}},
+			{Name: "layout", Values: []value.Value{value.OfString("row"), value.OfString("col")}},
+		},
+		Constraints: []string{"n <= 64", "scale * n <= 128"},
+	}
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	def := mixedDef()
+	raw, err := MarshalProblem(def)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := UnmarshalProblem(raw)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != def.Name {
+		t.Errorf("name: got %q want %q", back.Name, def.Name)
+	}
+	if len(back.Params) != len(def.Params) {
+		t.Fatalf("params: got %d want %d", len(back.Params), len(def.Params))
+	}
+	for i, p := range def.Params {
+		bp := back.Params[i]
+		if bp.Name != p.Name {
+			t.Errorf("param %d: name %q want %q", i, bp.Name, p.Name)
+		}
+		if len(bp.Values) != len(p.Values) {
+			t.Fatalf("param %q: %d values want %d", p.Name, len(bp.Values), len(p.Values))
+		}
+		for j, v := range p.Values {
+			bv := bp.Values[j]
+			if bv.Kind() != v.Kind() {
+				t.Errorf("param %q value %d: kind %v want %v", p.Name, j, bv.Kind(), v.Kind())
+			}
+			if !value.Equal(bv, v) {
+				t.Errorf("param %q value %d: %v want %v", p.Name, j, bv, v)
+			}
+		}
+	}
+	if len(back.Constraints) != len(def.Constraints) {
+		t.Fatalf("constraints: got %d want %d", len(back.Constraints), len(def.Constraints))
+	}
+	for i, c := range def.Constraints {
+		if back.Constraints[i] != c {
+			t.Errorf("constraint %d: %q want %q", i, back.Constraints[i], c)
+		}
+	}
+}
+
+// TestFloatKindSurvivesWire is the trap the ValueDoc encoding exists
+// for: an integral float (2.0) must not come back as an int.
+func TestFloatKindSurvivesWire(t *testing.T) {
+	def := &model.Definition{
+		Name:   "floaty",
+		Params: []model.Param{{Name: "x", Values: []value.Value{value.OfFloat(2.0)}}},
+	}
+	raw, err := MarshalProblem(def)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), "2.0") {
+		t.Fatalf("integral float not marked on the wire: %s", raw)
+	}
+	back, err := UnmarshalProblem(raw)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got := back.Params[0].Values[0].Kind(); got != value.Float {
+		t.Errorf("kind after round trip: %v want float", got)
+	}
+}
+
+func TestGoConstraintsRejected(t *testing.T) {
+	def := mixedDef()
+	def.GoConstraints = []model.GoConstraint{{
+		Vars: []string{"n"},
+		Fn:   func(vals []value.Value) bool { return true },
+	}}
+	if _, err := MarshalProblem(def); err == nil {
+		t.Fatal("expected error for Go constraint function")
+	} else if !strings.Contains(err.Error(), "not serializable") {
+		t.Errorf("error should explain function constraints are not serializable, got: %v", err)
+	}
+	if _, err := Fingerprint(def, searchspace.Optimized); err == nil {
+		t.Fatal("Fingerprint should reject Go constraint functions")
+	}
+}
+
+func TestUnmarshalRejectsBadValues(t *testing.T) {
+	for _, raw := range []string{
+		`{"name":"x","params":[{"name":"p","values":[[1,2]]}]}`,
+		`{"name":"x","params":[{"name":"p","values":[{"a":1}]}]}`,
+		`{"name":"x","params":[{"name":"p","values":[null]}]}`,
+	} {
+		if _, err := UnmarshalProblem([]byte(raw)); err == nil {
+			t.Errorf("expected error for %s", raw)
+		}
+	}
+}
+
+func TestUnmarshalValidates(t *testing.T) {
+	// Constraint referencing an unknown parameter must fail decode.
+	raw := `{"name":"x","params":[{"name":"p","values":[1]}],"constraints":["q > 0"]}`
+	if _, err := UnmarshalProblem([]byte(raw)); err == nil {
+		t.Fatal("expected validation error for unknown parameter in constraint")
+	}
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	a := mixedDef()
+	fpA, err := Fingerprint(a, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+
+	// Constraint order is not semantic: reversed constraints hash equal.
+	b := mixedDef()
+	b.Constraints = []string{b.Constraints[1], b.Constraints[0]}
+	fpB, err := Fingerprint(b, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if fpA != fpB {
+		t.Errorf("constraint order changed fingerprint: %s vs %s", fpA, fpB)
+	}
+
+	// The name is a display label, not content: renaming must not
+	// change the address (renamed resubmissions share one build).
+	named := mixedDef()
+	named.Name = "mixed-renamed"
+	fpN, err := Fingerprint(named, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if fpN != fpA {
+		t.Errorf("name changed fingerprint: %s vs %s", fpN, fpA)
+	}
+
+	// Method is part of the address.
+	fpM, err := Fingerprint(a, searchspace.BruteForce)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if fpM == fpA {
+		t.Error("method not reflected in fingerprint")
+	}
+
+	// Parameter order IS semantic (it fixes row enumeration): swapped
+	// parameters hash differently.
+	c := mixedDef()
+	c.Params[0], c.Params[1] = c.Params[1], c.Params[0]
+	fpC, err := Fingerprint(c, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if fpC == fpA {
+		t.Error("parameter order should change the fingerprint")
+	}
+
+	// And a changed value changes it too.
+	d := mixedDef()
+	d.Params[0].Values[0] = value.OfInt(3)
+	fpD, err := Fingerprint(d, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if fpD == fpA {
+		t.Error("changed value should change the fingerprint")
+	}
+}
+
+func TestValueDocJSONShapes(t *testing.T) {
+	cases := []struct {
+		in   value.Value
+		want string
+	}{
+		{value.OfInt(42), "42"},
+		{value.OfFloat(2.0), "2.0"},
+		{value.OfFloat(0.25), "0.25"},
+		{value.OfBool(true), "true"},
+		{value.OfString("row"), `"row"`},
+	}
+	for _, c := range cases {
+		raw, err := json.Marshal(ValueDoc{V: c.in})
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c.in, err)
+		}
+		if string(raw) != c.want {
+			t.Errorf("marshal %v: got %s want %s", c.in, raw, c.want)
+		}
+		var back ValueDoc
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if back.V.Kind() != c.in.Kind() || !value.Equal(back.V, c.in) {
+			t.Errorf("round trip %v: got %v (%v)", c.in, back.V, back.V.Kind())
+		}
+	}
+}
+
+// TestHugeIntegerFallsBackToFloat: literals beyond int64 decode as
+// floats instead of erroring (matching a plain JSON decode).
+func TestHugeIntegerFallsBackToFloat(t *testing.T) {
+	def, err := UnmarshalProblem([]byte(`{"name":"huge","params":[{"name":"p","values":[18446744073709551616]}]}`))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	v := def.Params[0].Values[0]
+	if v.Kind() != value.Float || v.Float() != 1.8446744073709552e19 {
+		t.Errorf("got %v (%v), want float 1.8446744073709552e19", v, v.Kind())
+	}
+}

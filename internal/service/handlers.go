@@ -1,0 +1,596 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"searchspace"
+	"searchspace/internal/value"
+)
+
+// maxBodyBytes caps request bodies; a definition with thousands of
+// parameter values fits in a fraction of this.
+const maxBodyBytes = 8 << 20
+
+// Server wires the registry and metrics into an http.Handler exposing
+// the spaced v1 API:
+//
+//	POST /v1/spaces                   build (or cache-hit) a space
+//	GET  /v1/spaces/{id}              metadata and true bounds
+//	POST /v1/spaces/{id}/contains     membership tests
+//	POST /v1/spaces/{id}/sample      	seeded uniform/stratified/lhs sampling
+//	POST /v1/spaces/{id}/neighbors    hamming/adjacent neighbors
+//	GET  /v1/methods                  available construction methods
+//	POST /v1/compare                  race methods on one definition
+//	GET  /v1/stats                    request + cache metrics
+//	GET  /healthz                     liveness
+type Server struct {
+	reg     *Registry
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// NewServer builds a Server around the given registry.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	routes := []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"POST /v1/spaces", s.handleBuild},
+		{"GET /v1/spaces/{id}", s.handleDescribe},
+		{"POST /v1/spaces/{id}/contains", s.handleContains},
+		{"POST /v1/spaces/{id}/sample", s.handleSample},
+		{"POST /v1/spaces/{id}/neighbors", s.handleNeighbors},
+		{"GET /v1/methods", s.handleMethods},
+		{"POST /v1/compare", s.handleCompare},
+		{"GET /v1/stats", s.handleStats},
+		{"GET /healthz", s.handleHealthz},
+	}
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.pattern, s.metrics.instrument(rt.pattern, rt.handler))
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server's metrics aggregator (used by tests and
+// the daemon's shutdown log).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the backing registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals before touching the ResponseWriter so an
+// unencodable value becomes a clean 500 instead of a 200 with an empty
+// body (json cannot represent NaN/Inf, and the status is immutable
+// once the header is written).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"response serialization failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes the request body into v, rejecting oversized bodies
+// and trailing garbage.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// writeBodyError maps a readJSON failure to its status: 413 when the
+// body blew the size limit (the client should shrink the payload, not
+// fix its JSON), 400 otherwise.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+}
+
+// BuildRequest is the POST /v1/spaces and /v1/compare payload.
+type BuildRequest struct {
+	Problem *ProblemDoc `json:"problem"`
+	// Method selects the construction algorithm by report label;
+	// empty means "optimized". Compare accepts Methods instead.
+	Method  string   `json:"method,omitempty"`
+	Methods []string `json:"methods,omitempty"`
+}
+
+// BuildStatsDoc is the wire form of searchspace.BuildStats, shared by
+// the build and compare responses so the service reports the same
+// numbers as cmd/benchtables.
+type BuildStatsDoc struct {
+	Method      string  `json:"method"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Cartesian   float64 `json:"cartesian"`
+	Valid       int     `json:"valid"`
+}
+
+func statsDoc(st searchspace.BuildStats) BuildStatsDoc {
+	return BuildStatsDoc{
+		Method:      st.Method.String(),
+		WallSeconds: st.Duration.Seconds(),
+		Cartesian:   st.Cartesian,
+		Valid:       st.Valid,
+	}
+}
+
+// BuildResponse answers POST /v1/spaces.
+type BuildResponse struct {
+	ID     string        `json:"id"`
+	Name   string        `json:"name"`
+	Size   int           `json:"size"`
+	Params int           `json:"params"`
+	Cached bool          `json:"cached"`
+	Build  BuildStatsDoc `json:"build"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	var req BuildRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if req.Problem == nil {
+		writeError(w, http.StatusBadRequest, "missing \"problem\"")
+		return
+	}
+	if len(req.Methods) > 0 {
+		writeError(w, http.StatusBadRequest, "\"methods\" belongs to POST /v1/compare; this endpoint takes a single \"method\"")
+		return
+	}
+	method := searchspace.Optimized
+	if req.Method != "" {
+		m, ok := searchspace.MethodByName(req.Method)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown method %q", req.Method)
+			return
+		}
+		method = m
+	}
+	def, err := req.Problem.Decode()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "invalid problem: %v", err)
+		return
+	}
+	entry, hit, err := s.reg.GetOrBuild(def, method)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrInternal) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if !hit {
+		s.metrics.ObserveBuild(entry.Stats.Duration)
+	}
+	// Name echoes the submission; the cached entry keeps the label of
+	// the first submitter (names are not part of the content address).
+	writeJSON(w, http.StatusOK, BuildResponse{
+		ID:     entry.ID,
+		Name:   def.Name,
+		Size:   entry.Space.Size(),
+		Params: entry.Space.NumParams(),
+		Cached: hit,
+		Build:  statsDoc(entry.Stats),
+	})
+}
+
+// BoundsDoc is one parameter's true bounds on the wire. Min/Max are
+// always present (a legitimate bound can be 0); Numeric tells the
+// client whether they mean anything.
+type BoundsDoc struct {
+	Name           string  `json:"name"`
+	Min            float64 `json:"min"`
+	Max            float64 `json:"max"`
+	Numeric        bool    `json:"numeric"`
+	DistinctValues int     `json:"distinct_values"`
+}
+
+// DescribeResponse answers GET /v1/spaces/{id}.
+type DescribeResponse struct {
+	ID          string        `json:"id"`
+	Name        string        `json:"name"`
+	Size        int           `json:"size"`
+	Cartesian   float64       `json:"cartesian"`
+	Params      []string      `json:"params"`
+	Constraints int           `json:"constraints"`
+	Bounds      []BoundsDoc   `json:"true_bounds"`
+	Bytes       int64         `json:"bytes"`
+	Build       BuildStatsDoc `json:"build"`
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	id := r.PathValue("id")
+	entry, ok := s.reg.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no space %q: unknown id or evicted; re-submit via POST /v1/spaces", id)
+		return nil, false
+	}
+	return entry, true
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	bounds := entry.Bounds
+	doc := DescribeResponse{
+		ID:          entry.ID,
+		Name:        entry.Def.Name,
+		Size:        entry.Space.Size(),
+		Cartesian:   entry.Def.CartesianSize(),
+		Params:      entry.Space.Names(),
+		Constraints: entry.Def.NumConstraints(),
+		Bounds:      make([]BoundsDoc, len(bounds)),
+		Bytes:       entry.Bytes,
+		Build:       statsDoc(entry.Stats),
+	}
+	for i, b := range bounds {
+		bd := BoundsDoc{Name: b.Name, Numeric: b.Numeric, DistinctValues: b.DistinctValues}
+		// Non-numeric params carry +/-Inf sentinels from TrueBounds;
+		// JSON cannot represent Inf, and the values are meaningless
+		// anyway, so they serialize as 0.
+		if b.Numeric {
+			bd.Min, bd.Max = b.Min, b.Max
+		}
+		doc.Bounds[i] = bd
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// ConfigDoc is a configuration on the wire, kind-faithful per value.
+type ConfigDoc map[string]ValueDoc
+
+// toConfig lowers a wire configuration to the public Config map.
+func (c ConfigDoc) toConfig() searchspace.Config {
+	out := make(searchspace.Config, len(c))
+	for k, v := range c {
+		out[k] = v.V.Native()
+	}
+	return out
+}
+
+// configDoc raises row i of a space to its wire form.
+func configDoc(ss *searchspace.SearchSpace, row int) ConfigDoc {
+	names := ss.Names()
+	vals := ss.GetValues(row)
+	out := make(ConfigDoc, len(names))
+	for i, name := range names {
+		out[name] = ValueDoc{V: value.Of(vals[i])}
+	}
+	return out
+}
+
+// ContainsRequest asks for membership of one or more configurations.
+type ContainsRequest struct {
+	Config  ConfigDoc   `json:"config,omitempty"`
+	Configs []ConfigDoc `json:"configs,omitempty"`
+}
+
+// ContainsResult is one membership verdict; Index is the row when the
+// configuration is valid.
+type ContainsResult struct {
+	Contains bool `json:"contains"`
+	Index    *int `json:"index,omitempty"`
+}
+
+// ContainsResponse answers POST /v1/spaces/{id}/contains.
+type ContainsResponse struct {
+	Results []ContainsResult `json:"results"`
+}
+
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req ContainsRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	configs := req.Configs
+	if req.Config != nil {
+		configs = append([]ConfigDoc{req.Config}, configs...)
+	}
+	if len(configs) == 0 {
+		writeError(w, http.StatusBadRequest, "need \"config\" or \"configs\"")
+		return
+	}
+	resp := ContainsResponse{Results: make([]ContainsResult, len(configs))}
+	for i, cd := range configs {
+		if idx, found := entry.Space.IndexOf(cd.toConfig()); found {
+			row := idx
+			resp.Results[i] = ContainsResult{Contains: true, Index: &row}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SampleRequest asks for k configurations under a named strategy with a
+// client-supplied seed, so identical requests return identical samples.
+type SampleRequest struct {
+	K        int    `json:"k"`
+	Strategy string `json:"strategy,omitempty"` // uniform (default) | stratified | lhs
+	Seed     int64  `json:"seed"`
+}
+
+// SampleResponse answers POST /v1/spaces/{id}/sample.
+type SampleResponse struct {
+	Strategy string      `json:"strategy"`
+	Seed     int64       `json:"seed"`
+	Rows     []int       `json:"rows"`
+	Configs  []ConfigDoc `json:"configs"`
+}
+
+// maxSampleK bounds one sample response; larger K belongs in paging or
+// a bulk export endpoint, not one JSON body.
+const maxSampleK = 100000
+
+// maxLHSK bounds Latin-Hypercube requests much tighter: SampleLHS's
+// without-replacement snap loop is O(k·rows·params), so a large k on a
+// big cached space would pin a core for one request.
+const maxLHSK = 1024
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SampleRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "\"k\" must be positive")
+		return
+	}
+	if req.K > maxSampleK {
+		writeError(w, http.StatusBadRequest, "\"k\" exceeds limit %d", maxSampleK)
+		return
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	var rows []int
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = "uniform"
+	}
+	switch strategy {
+	case "uniform":
+		rows = entry.Space.SampleUniform(rng, req.K)
+	case "stratified":
+		rows = entry.Space.SampleStratified(rng, req.K)
+	case "lhs":
+		if req.K > maxLHSK {
+			writeError(w, http.StatusBadRequest, "\"k\" exceeds the lhs limit %d (lhs cost grows with k times space size; use uniform or stratified for large samples)", maxLHSK)
+			return
+		}
+		rows = entry.Space.SampleLHS(rng, req.K)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown strategy %q (want uniform, stratified, or lhs)", strategy)
+		return
+	}
+	resp := SampleResponse{Strategy: strategy, Seed: req.Seed, Rows: rows,
+		Configs: make([]ConfigDoc, len(rows))}
+	for i, row := range rows {
+		resp.Configs[i] = configDoc(entry.Space, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// NeighborsRequest asks for the neighbors of a configuration, given as
+// a row index or as a configuration map.
+type NeighborsRequest struct {
+	Row    *int      `json:"row,omitempty"`
+	Config ConfigDoc `json:"config,omitempty"`
+	Kind   string    `json:"kind,omitempty"` // hamming (default) | adjacent
+}
+
+// NeighborsResponse answers POST /v1/spaces/{id}/neighbors.
+type NeighborsResponse struct {
+	Row     int         `json:"row"`
+	Kind    string      `json:"kind"`
+	Rows    []int       `json:"rows"`
+	Configs []ConfigDoc `json:"configs"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req NeighborsRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	var row int
+	switch {
+	case req.Row != nil:
+		row = *req.Row
+		if row < 0 || row >= entry.Space.Size() {
+			writeError(w, http.StatusBadRequest, "row %d out of range [0,%d)", row, entry.Space.Size())
+			return
+		}
+	case req.Config != nil:
+		idx, found := entry.Space.IndexOf(req.Config.toConfig())
+		if !found {
+			writeError(w, http.StatusBadRequest, "config is not a valid configuration of this space")
+			return
+		}
+		row = idx
+	default:
+		writeError(w, http.StatusBadRequest, "need \"row\" or \"config\"")
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "hamming"
+	}
+	var rows []int
+	switch kind {
+	case "hamming":
+		rows = entry.Space.HammingNeighbors(row)
+	case "adjacent":
+		rows = entry.Space.AdjacentNeighbors(row)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown kind %q (want hamming or adjacent)", kind)
+		return
+	}
+	resp := NeighborsResponse{Row: row, Kind: kind, Rows: rows,
+		Configs: make([]ConfigDoc, len(rows))}
+	for i, nr := range rows {
+		resp.Configs[i] = configDoc(entry.Space, nr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MethodsResponse answers GET /v1/methods.
+type MethodsResponse struct {
+	Methods []string `json:"methods"`
+	Default string   `json:"default"`
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(searchspace.Methods()))
+	for _, m := range searchspace.Methods() {
+		names = append(names, m.String())
+	}
+	writeJSON(w, http.StatusOK, MethodsResponse{Methods: names, Default: searchspace.Optimized.String()})
+}
+
+// CompareResult is one method's outcome in a comparison race.
+type CompareResult struct {
+	Method      string  `json:"method"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Valid       int     `json:"valid"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// CompareResponse answers POST /v1/compare. Agree reports whether at
+// least one method succeeded and all successful methods resolved the
+// same number of valid configurations — the paper's cross-method
+// correctness check. A race in which nothing ran cannot agree.
+type CompareResponse struct {
+	Name    string          `json:"name"`
+	Results []CompareResult `json:"results"`
+	Agree   bool            `json:"agree"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req BuildRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if req.Problem == nil {
+		writeError(w, http.StatusBadRequest, "missing \"problem\"")
+		return
+	}
+	def, err := req.Problem.Decode()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "invalid problem: %v", err)
+		return
+	}
+	// A lone "method" is a one-element race; supplying both forms is
+	// ambiguous and rejected rather than silently merged.
+	if req.Method != "" && len(req.Methods) > 0 {
+		writeError(w, http.StatusBadRequest, "use either \"method\" or \"methods\", not both")
+		return
+	}
+	names := req.Methods
+	if req.Method != "" {
+		names = []string{req.Method}
+	}
+	// Duplicates collapse to one race each, bounding the construction
+	// count at the number of distinct methods regardless of list length.
+	methods := searchspace.Methods()
+	if len(names) > 0 {
+		methods = methods[:0]
+		seen := make(map[searchspace.Method]struct{}, len(searchspace.Methods()))
+		for _, name := range names {
+			m, ok := searchspace.MethodByName(name)
+			if !ok {
+				writeError(w, http.StatusBadRequest, "unknown method %q", name)
+				return
+			}
+			if _, dup := seen[m]; dup {
+				continue
+			}
+			seen[m] = struct{}{}
+			methods = append(methods, m)
+		}
+	}
+	// Admission is per method: an exhaustive baseline over its budget is
+	// reported as an error in its result row while admissible methods
+	// still race. A definition too large even for the optimized solver
+	// is rejected outright.
+	if err := s.reg.Admit(def, searchspace.Optimized); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := CompareResponse{Name: def.Name}
+	sizes := make(map[int]struct{})
+	for _, m := range methods {
+		if err := s.reg.Admit(def, m); err != nil {
+			resp.Results = append(resp.Results, CompareResult{Method: m.String(), Error: err.Error()})
+			continue
+		}
+		_, st, buildErr := s.reg.runBuild(def.Clone(), m)
+		res := CompareResult{Method: m.String(), WallSeconds: st.Duration.Seconds(), Valid: st.Valid}
+		if buildErr != nil {
+			res.Error = buildErr.Error()
+		} else {
+			s.metrics.ObserveBuild(st.Duration)
+			sizes[st.Valid] = struct{}{}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	resp.Agree = len(sizes) == 1
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg.Stats()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// numBuildBuckets counts histogram buckets: the bounds below plus the
+// overflow bucket.
+const numBuildBuckets = 7
+
+// buildBuckets are the upper bounds of the build-time histogram,
+// matching the orders of magnitude the paper's evaluation spans (sub-ms
+// toy spaces through multi-minute brute force).
+var buildBuckets = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+	time.Minute,
+}
+
+var buildBucketLabels = []string{
+	"le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "le_1m", "gt_1m",
+}
+
+// Metrics aggregates per-endpoint request counters and a histogram of
+// construction wall times. All methods are safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointCounters
+	buildHist [numBuildBuckets]int64
+}
+
+type endpointCounters struct {
+	count    int64
+	errors   int64
+	totalDur time.Duration
+	maxDur   time.Duration
+}
+
+// NewMetrics creates an empty metrics aggregator.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointCounters)}
+}
+
+// ObserveRequest records one handled request for a route label (e.g.
+// "POST /v1/spaces"). Status >= 400 counts as an error.
+func (m *Metrics) ObserveRequest(route string, status int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.endpoints[route]
+	if c == nil {
+		c = &endpointCounters{}
+		m.endpoints[route] = c
+	}
+	c.count++
+	if status >= 400 {
+		c.errors++
+	}
+	c.totalDur += dur
+	if dur > c.maxDur {
+		c.maxDur = dur
+	}
+}
+
+// ObserveBuild records one construction wall time in the histogram.
+func (m *Metrics) ObserveBuild(dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, ub := range buildBuckets {
+		if dur <= ub {
+			m.buildHist[i]++
+			return
+		}
+	}
+	m.buildHist[len(buildBuckets)]++
+}
+
+// EndpointStats is one route's aggregate in a snapshot.
+type EndpointStats struct {
+	Route  string  `json:"route"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// MetricsSnapshot is the JSON shape served at /v1/stats. BuildTimeHist
+// covers every construction the server ran, including /v1/compare
+// races, which bypass the cache by design; Cache counts registry
+// builds only, so the histogram total can exceed cache.builds.
+type MetricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Endpoints     []EndpointStats  `json:"endpoints"`
+	BuildTimeHist map[string]int64 `json:"build_time_hist"`
+	Cache         RegistryStats    `json:"cache"`
+}
+
+// Snapshot captures the current counters; cache stats are merged in by
+// the caller so the snapshot is one consistent document.
+func (m *Metrics) Snapshot(cache RegistryStats) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		BuildTimeHist: make(map[string]int64, len(buildBucketLabels)),
+		Cache:         cache,
+	}
+	for i, label := range buildBucketLabels {
+		snap.BuildTimeHist[label] = m.buildHist[i]
+	}
+	for route, c := range m.endpoints {
+		es := EndpointStats{
+			Route:  route,
+			Count:  c.count,
+			Errors: c.errors,
+			MaxMs:  float64(c.maxDur) / float64(time.Millisecond),
+		}
+		if c.count > 0 {
+			es.MeanMs = float64(c.totalDur) / float64(c.count) / float64(time.Millisecond)
+		}
+		snap.Endpoints = append(snap.Endpoints, es)
+	}
+	sort.Slice(snap.Endpoints, func(i, j int) bool { return snap.Endpoints[i].Route < snap.Endpoints[j].Route })
+	return snap
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route metrics collection.
+func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, req)
+		m.ObserveRequest(route, rec.status, time.Since(start))
+	}
+}

@@ -1,0 +1,339 @@
+package service
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/model"
+)
+
+// RegistryConfig bounds the registry's cache. Zero values mean
+// unlimited.
+type RegistryConfig struct {
+	// MaxEntries caps the number of cached spaces.
+	MaxEntries int
+	// MaxBytes caps the estimated resident size of cached spaces. The
+	// most recently built space is always retained, so a single space
+	// larger than the budget still gets served (it just evicts
+	// everything else).
+	MaxBytes int64
+	// MaxCartesian rejects definitions whose unconstrained size exceeds
+	// this bound BEFORE construction starts — the cache budgets above
+	// only apply after a build completes, so this is the admission
+	// control that keeps one hostile or careless submission from
+	// pinning the daemon on an astronomically large build. It is
+	// calibrated for the optimized solver, whose cost scales with the
+	// constrained space, not the cartesian product. Known limit: the
+	// VALID size is only discovered by building, so a weakly
+	// constrained definition under this bound can still materialize a
+	// huge space; mid-build memory accounting needs solver cooperation
+	// and is deferred to a later PR.
+	MaxCartesian float64
+	// MaxExhaustiveCartesian is the (much tighter) bound applied to the
+	// exhaustive baselines — brute-force, original, iterative-sat —
+	// whose cost scales with the full cartesian product (or per-solution
+	// solving), so a size the optimized solver handles in seconds would
+	// pin them for hours.
+	MaxExhaustiveCartesian float64
+	// MaxConcurrentBuilds caps simultaneous constructions (across build
+	// and compare endpoints); excess builds queue for a slot. It bounds
+	// the peak of in-flight work, which the cache budgets — applied
+	// only to completed spaces — do not. 0 = unlimited.
+	MaxConcurrentBuilds int
+}
+
+// exhaustiveMethod reports whether a method's construction cost scales
+// with the cartesian product rather than the constrained space.
+func exhaustiveMethod(m searchspace.Method) bool {
+	switch m {
+	case searchspace.BruteForce, searchspace.Original, searchspace.IterativeSAT:
+		return true
+	}
+	return false
+}
+
+// Admit checks a definition against the pre-build admission bound for
+// the chosen construction method.
+func (r *Registry) Admit(def *model.Definition, method searchspace.Method) error {
+	limit, flag := r.cfg.MaxCartesian, "-max-cartesian"
+	if exhaustiveMethod(method) && r.cfg.MaxExhaustiveCartesian > 0 &&
+		(limit == 0 || r.cfg.MaxExhaustiveCartesian < limit) {
+		limit, flag = r.cfg.MaxExhaustiveCartesian, "-max-exhaustive-cartesian"
+	}
+	if limit > 0 && def.CartesianSize() > limit {
+		return fmt.Errorf("service: definition %q has cartesian size %g, above the server's limit %g for method %s; shrink the domains or raise %s",
+			def.Name, def.CartesianSize(), limit, method, flag)
+	}
+	return nil
+}
+
+// Entry is one cached (or in-flight) space. Space/Stats/Err are valid
+// only after the build completes; Registry hands entries out completed.
+type Entry struct {
+	// ID is the content address: hex SHA-256 of the canonical
+	// definition+method bytes.
+	ID string
+	// Def is the definition the space was built from (the registry's
+	// own clone; callers must not mutate it).
+	Def *model.Definition
+	// Method is the construction method used.
+	Method searchspace.Method
+	// Space is the materialized search space.
+	Space *searchspace.SearchSpace
+	// Stats reports how construction went (wall time, sizes).
+	Stats searchspace.BuildStats
+	// Bounds are the true parameter bounds, computed once at build time
+	// so describe requests don't rescan the space.
+	Bounds []searchspace.ParamBounds
+	// Bytes is the estimated resident size used for the LRU budget.
+	Bytes int64
+
+	ready chan struct{} // closed when the build finishes
+	err   error
+	elem  *list.Element // position in the LRU list; nil until cached
+}
+
+// Registry is a content-addressed cache of built search spaces. Builds
+// of the same canonical definition+method are deduplicated: concurrent
+// requests join the single in-flight construction (singleflight), later
+// requests hit the cache. Completed spaces are evicted LRU under the
+// configured entry/byte budget.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	lru     *list.List // front = most recently used; completed entries only
+	bytes   int64
+
+	builds     int64 // constructions actually executed
+	hits       int64 // served from a completed cache entry
+	joins      int64 // piggybacked on an in-flight build
+	misses     int64 // triggered a new build
+	evictions  int64
+	buildNanos int64 // cumulative construction wall time
+
+	buildSem chan struct{} // nil = unlimited concurrent builds
+}
+
+// NewRegistry creates an empty registry with the given budget.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	r := &Registry{
+		cfg:     cfg,
+		entries: make(map[string]*Entry),
+		lru:     list.New(),
+	}
+	if cfg.MaxConcurrentBuilds > 0 {
+		r.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
+	}
+	return r
+}
+
+// AcquireBuild blocks until a construction slot is free and returns its
+// release function. Joining an in-flight build never needs a slot —
+// only code that is about to run a construction does.
+func (r *Registry) AcquireBuild() (release func()) {
+	if r.buildSem == nil {
+		return func() {}
+	}
+	r.buildSem <- struct{}{}
+	return func() { <-r.buildSem }
+}
+
+// GetOrBuild returns the space for the definition+method pair, building
+// it only if no completed or in-flight entry exists. The returned hit
+// flag is true when no new construction was triggered by this call
+// (cache hit or joined an in-flight build). Failed builds are not
+// cached; every waiter receives the error and the next call retries.
+func (r *Registry) GetOrBuild(def *model.Definition, method searchspace.Method) (*Entry, bool, error) {
+	if err := r.Admit(def, method); err != nil {
+		return nil, false, err
+	}
+	id, err := Fingerprint(def, method)
+	if err != nil {
+		return nil, false, err
+	}
+
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		joined := false
+		select {
+		case <-e.ready:
+			// Completed entries in the map are always successful builds
+			// (failures are removed), so this is a clean hit.
+			r.hits++
+			r.touchLocked(e)
+		default:
+			joined = true
+		}
+		r.mu.Unlock()
+		<-e.ready
+		if joined {
+			// Only count the join once the outcome is known: a request
+			// that piggybacked on a build that then failed got no cached
+			// answer and must not inflate the hit ratio.
+			r.mu.Lock()
+			if e.err == nil {
+				r.joins++
+			} else {
+				r.misses++
+			}
+			r.mu.Unlock()
+		}
+		return e, true, e.err
+	}
+	e := &Entry{ID: id, Def: def.Clone(), Method: method, ready: make(chan struct{})}
+	r.entries[id] = e
+	r.misses++
+	r.mu.Unlock()
+
+	ss, stats, buildErr := r.runBuild(e.Def, method)
+
+	// The bounds scan is O(rows x params); do it outside the registry
+	// lock.
+	var bounds []searchspace.ParamBounds
+	if buildErr == nil {
+		bounds = ss.TrueBounds()
+	}
+
+	r.mu.Lock()
+	if buildErr != nil {
+		delete(r.entries, id)
+		e.err = buildErr
+	} else {
+		e.Space, e.Stats = ss, stats
+		e.Bounds = bounds
+		e.Bytes = EstimateBytes(ss)
+		e.elem = r.lru.PushFront(e)
+		r.bytes += e.Bytes
+		r.builds++
+		r.buildNanos += int64(stats.Duration)
+		r.evictLocked()
+	}
+	r.mu.Unlock()
+	close(e.ready)
+	return e, false, buildErr
+}
+
+// ErrInternal marks build failures that are the server's fault (a
+// panicking solver), as opposed to a rejectable definition; handlers
+// map it to 500 rather than 422.
+var ErrInternal = errors.New("internal construction failure")
+
+// runBuild executes one construction under a build slot. The deferred
+// release and recover keep a panicking solver from leaking the slot or
+// wedging waiters: the panic becomes a build error, so the entry is
+// removed and every waiter is woken with it.
+func (r *Registry) runBuild(def *model.Definition, method searchspace.Method) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
+	release := r.AcquireBuild()
+	defer release()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: construction of %q with %s panicked: %v", ErrInternal, def.Name, method, p)
+		}
+	}()
+	return searchspace.FromDefinition(def).BuildTimed(method)
+}
+
+// Lookup returns the completed entry with the given id, refreshing its
+// LRU position. In-flight builds are not visible to Lookup: an id only
+// becomes public once its POST /v1/spaces response exists.
+func (r *Registry) Lookup(id string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok || e.elem == nil {
+		return nil, false
+	}
+	r.touchLocked(e)
+	return e, true
+}
+
+// touchLocked moves a completed entry to the LRU front.
+func (r *Registry) touchLocked(e *Entry) {
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictLocked drops least-recently-used entries until the cache fits
+// the budget, always keeping at least the most recent entry.
+func (r *Registry) evictLocked() {
+	overBudget := func() bool {
+		if r.cfg.MaxEntries > 0 && r.lru.Len() > r.cfg.MaxEntries {
+			return true
+		}
+		return r.cfg.MaxBytes > 0 && r.bytes > r.cfg.MaxBytes
+	}
+	for r.lru.Len() > 1 && overBudget() {
+		back := r.lru.Back()
+		victim := back.Value.(*Entry)
+		r.lru.Remove(back)
+		victim.elem = nil
+		delete(r.entries, victim.ID)
+		r.bytes -= victim.Bytes
+		r.evictions++
+	}
+}
+
+// RegistryStats is a point-in-time snapshot of cache behavior.
+type RegistryStats struct {
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Builds    int64   `json:"builds"`
+	Hits      int64   `json:"hits"`
+	Joins     int64   `json:"joins"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRatio  float64 `json:"hit_ratio"`
+	// BuildTime is cumulative construction wall time.
+	BuildTime time.Duration `json:"build_time_ns"`
+}
+
+// Stats snapshots the registry counters. HitRatio counts joined
+// in-flight builds as hits: the request did not pay for a construction.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RegistryStats{
+		Entries:   r.lru.Len(),
+		Bytes:     r.bytes,
+		Builds:    r.builds,
+		Hits:      r.hits,
+		Joins:     r.joins,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+		BuildTime: time.Duration(r.buildNanos),
+	}
+	if total := s.Hits + s.Joins + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits+s.Joins) / float64(total)
+	}
+	return s
+}
+
+// String renders the snapshot for logs.
+func (s RegistryStats) String() string {
+	return fmt.Sprintf("entries=%d bytes=%d builds=%d hits=%d joins=%d misses=%d evictions=%d hit_ratio=%.3f",
+		s.Entries, s.Bytes, s.Builds, s.Hits, s.Joins, s.Misses, s.Evictions, s.HitRatio)
+}
+
+// EstimateBytes approximates the resident size of a materialized space:
+// the int32 columns, the packed-key row index (key bytes and map
+// overhead), and the per-parameter neighbor partition maps. Partitions
+// are built lazily on the first neighbor query, so counting their full
+// projected cost up front makes the byte budget conservative — a space
+// that never serves neighbor traffic occupies less than charged, never
+// more.
+func EstimateBytes(ss *searchspace.SearchSpace) int64 {
+	rows, params := int64(ss.Size()), int64(ss.NumParams())
+	cols := rows * params * 4
+	index := rows * (params*4 + 48)
+	// Worst case per partition: every row its own group, with a
+	// 4*(params-1)-byte key plus map/slice overhead.
+	partitions := params * rows * (4 + 4*(params-1) + 48)
+	return cols + index + partitions + 1024
+}

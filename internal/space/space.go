@@ -12,13 +12,17 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"searchspace/internal/core"
 	"searchspace/internal/model"
 	"searchspace/internal/value"
 )
 
-// Space is a fully resolved, immutable search space.
+// Space is a fully resolved, immutable search space. All methods are
+// safe for concurrent use (the spaced service shares one Space across
+// request goroutines); the only mutable state is the lazily built
+// neighbor partition cache, which partMu guards.
 type Space struct {
 	names   []string
 	nameIdx map[string]int
@@ -31,7 +35,9 @@ type Space struct {
 	index map[string]int32
 
 	// partitions[p] groups rows by the key of all columns except p; it
-	// backs Hamming-distance-1 neighbor queries and is built lazily.
+	// backs Hamming-distance-1 neighbor queries and is built lazily
+	// under partMu. Each published map is immutable thereafter.
+	partMu     sync.Mutex
 	partitions []map[string][]int32
 }
 
@@ -349,8 +355,12 @@ func (s *Space) SampleLHS(rng *rand.Rand, k int) []int {
 }
 
 // partition lazily builds the all-but-one-column row grouping for
-// parameter p.
+// parameter p. The mutex makes first-build-wins publication safe under
+// concurrent neighbor queries; callers read the returned map without
+// locking because published maps are never mutated.
 func (s *Space) partition(p int) map[string][]int32 {
+	s.partMu.Lock()
+	defer s.partMu.Unlock()
 	if s.partitions[p] != nil {
 		return s.partitions[p]
 	}

@@ -3,6 +3,7 @@ package space
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"searchspace/internal/core"
@@ -281,4 +282,23 @@ func TestNeighborsSortedAndDeterministic(t *testing.T) {
 	if len(a) != len(b) {
 		t.Error("repeated queries must agree")
 	}
+}
+
+// TestConcurrentNeighborQueries exercises the lazily built partition
+// cache from many goroutines; run with -race to catch unsynchronized
+// publication (the spaced service shares one Space across requests).
+func TestConcurrentNeighborQueries(t *testing.T) {
+	s := buildSpace(t, gridDef())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < s.Size(); r++ {
+				s.HammingNeighbors(r)
+				s.AdjacentNeighbors(r)
+			}
+		}()
+	}
+	wg.Wait()
 }

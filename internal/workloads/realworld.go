@@ -258,3 +258,13 @@ func ByName(name string) (*model.Definition, bool) {
 	}
 	return nil, false
 }
+
+// Names lists the available workload names, for CLI error messages.
+func Names() []string {
+	defs := RealWorld()
+	names := make([]string, len(defs))
+	for i, def := range defs {
+		names[i] = def.Name
+	}
+	return names
+}

@@ -87,6 +87,17 @@ func Methods() []Method {
 	return []Method{BruteForce, Original, ChainOfTrees, ChainOfTreesInterpreted, IterativeSAT, Optimized}
 }
 
+// MethodByName resolves a report label (e.g. "optimized",
+// "chain-of-trees") back to its Method.
+func MethodByName(name string) (Method, bool) {
+	for m, s := range methodNames {
+		if s == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // Problem accumulates parameters and constraints. Methods record the
 // first error and Build reports it, so call sites can chain adds without
 // per-call error handling (mirroring how tuning scripts declare spaces).
@@ -100,11 +111,18 @@ func NewProblem(name string) *Problem {
 	return &Problem{def: &model.Definition{Name: name}}
 }
 
-// fromDefinition wraps an existing internal definition (used by the
-// workload suites and benchmarks).
-func fromDefinition(def *model.Definition) *Problem {
+// FromDefinition wraps an existing internal definition into a Problem.
+// The definition is used as-is (not copied); it is the entry point for
+// callers — the workload suites, benchmarks, and the service codec —
+// that already hold a model.Definition.
+func FromDefinition(def *model.Definition) *Problem {
 	return &Problem{def: def}
 }
+
+// Definition returns the problem's underlying definition. The returned
+// value is shared with the Problem, so treat it as read-only; use
+// Definition().Clone() before mutating.
+func (p *Problem) Definition() *model.Definition { return p.def }
 
 // Name returns the problem's label.
 func (p *Problem) Name() string { return p.def.Name }
