@@ -25,6 +25,12 @@
 //
 //	spacecli submit -server http://localhost:8080 -in space.json
 //	spacecli submit -server http://localhost:8080 -workload Hotspot -action sample -k 5 -seed 1
+//
+// The tune subcommand runs a full remote auto-tuning loop: the daemon
+// drives the optimization strategy through an ask/tell session while
+// this client measures the proposed configurations (simulated kernel):
+//
+//	spacecli tune -server http://localhost:8080 -workload Hotspot -strategy greedy-ils -seed 1
 package main
 
 import (
@@ -45,6 +51,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "submit" {
 		submitMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tune" {
+		tuneMain(os.Args[2:])
 		return
 	}
 	in := flag.String("in", "", "JSON search-space definition file")

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+	"searchspace/internal/tuner"
+	"searchspace/internal/value"
+)
+
+// tuneMain implements `spacecli tune`: a complete remote auto-tuning
+// loop against a running spaced daemon. The daemon owns the space and
+// the optimization strategy (an ask/tell session); this client owns the
+// objective — here the simulated GPU kernel standing in for real
+// hardware, measured from the configuration VALUES the daemon proposes,
+// exactly as a client measuring real kernels would operate:
+//
+//	spacecli tune -server http://localhost:8080 -workload Hotspot \
+//	    -strategy genetic-algorithm -seed 1 -max-evals 200 -batch 8
+//
+// Determinism: equal (definition, strategy, seed, budget, kernel-seed)
+// reproduce the identical evaluation sequence and best configuration.
+func tuneMain(args []string) {
+	fs := flag.NewFlagSet("spacecli tune", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	in := fs.String("in", "", "JSON search-space definition file")
+	workload := fs.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM)")
+	method := fs.String("method", "", "construction method (daemon default: optimized)")
+	strategy := fs.String("strategy", "random-sampling", "optimization strategy: random-sampling | greedy-ils | simulated-annealing | genetic-algorithm")
+	seed := fs.Int64("seed", 1, "session seed (same seed, same proposals)")
+	kernelSeed := fs.Int64("kernel-seed", 11, "simulated kernel landscape seed")
+	maxEvals := fs.Int("max-evals", 200, "evaluation budget (0 = none; need this or -max-time)")
+	maxTime := fs.Float64("max-time", 0, "simulated-seconds budget (0 = none)")
+	batch := fs.Int("batch", 8, "configurations measured per ask/tell round trip")
+	_ = fs.Parse(args)
+
+	problem, err := loadProblemDoc(*in, *workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, err := problem.Decode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := tuner.NewSimKernel(def, *kernelSeed, 5, 1000)
+	client := &http.Client{Timeout: 10 * time.Minute}
+
+	var built service.BuildResponse
+	postDoc(client, *server+"/v1/spaces", service.BuildRequest{Problem: problem, Method: *method}, &built)
+	fmt.Printf("space: %s  id=%s  size=%d  cached=%v  construction=%s\n",
+		built.Name, built.ID[:12], built.Size, built.Cached, report.Seconds(built.Build.WallSeconds))
+
+	var created service.SessionCreateResponse
+	postDoc(client, *server+"/v1/spaces/"+built.ID+"/sessions", service.SessionCreateRequest{
+		Strategy: *strategy,
+		Seed:     *seed,
+		Budget:   service.SessionBudgetDoc{MaxEvals: *maxEvals, MaxTimeSeconds: *maxTime},
+	}, &created)
+	base := *server + "/v1/spaces/" + built.ID + "/sessions/" + created.Session
+
+	names := paramNames(problem)
+	measure := func(cfg service.ConfigDoc) (score, cost float64) {
+		vals := make([]value.Value, len(names))
+		for i, name := range names {
+			vals[i] = cfg[name].V
+		}
+		return kernel.Score(vals), kernel.TimeMs(vals) / 1000
+	}
+
+	asks, start := 0, time.Now()
+	for {
+		var ask service.AskResponse
+		postDoc(client, base+"/ask", service.AskRequest{Max: *batch}, &ask)
+		if len(ask.Rows) == 0 {
+			if !ask.Done {
+				log.Fatal("daemon returned an empty ask without done")
+			}
+			break
+		}
+		asks++
+		results := make([]tuner.Measurement, len(ask.Rows))
+		for i, row := range ask.Rows {
+			score, cost := measure(ask.Configs[i])
+			results[i] = tuner.Measurement{Row: row, Score: score, Cost: cost}
+		}
+		postDoc(client, base+"/tell", service.TellRequest{Results: results}, &service.TellResponse{})
+	}
+
+	var best service.BestResponse
+	getDoc(client, base+"/best", &best)
+	fmt.Printf("strategy:     %s (seed %d)\n", best.Strategy, *seed)
+	fmt.Printf("evaluations:  %d over %d ask/tell round trips (wall %s)\n",
+		best.Evaluations, asks, report.Seconds(time.Since(start).Seconds()))
+	fmt.Printf("tuning time:  %s simulated\n", report.Seconds(best.EndTime))
+	if best.Best == nil {
+		fmt.Println("no configuration evaluated within the budget")
+	} else {
+		fmt.Printf("best score:   %.2f (row %d)\n", best.Best.Score, best.Best.Row)
+		fmt.Print("best config:  ")
+		for i, name := range names {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%v", name, best.Best.Config[name].V.Native())
+		}
+		fmt.Println()
+	}
+	if len(best.Trace) > 0 {
+		var rows [][]string
+		for _, tp := range best.Trace {
+			rows = append(rows, []string{report.Seconds(tp.Time), fmt.Sprintf("%.2f", tp.Best)})
+		}
+		fmt.Print(report.Table([]string{"time", "best"}, rows))
+	}
+
+	// Free the daemon's session slot; the run is over.
+	deleteDoc(client, base)
+}
+
+// deleteDoc issues a DELETE, tolerating 404 (already expired).
+func deleteDoc(client *http.Client, url string) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

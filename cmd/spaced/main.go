@@ -14,12 +14,21 @@
 //	POST /v1/spaces/{id}/contains     O(1) membership tests
 //	POST /v1/spaces/{id}/sample       seeded uniform/stratified/LHS sampling
 //	POST /v1/spaces/{id}/neighbors    hamming/adjacent neighbors
+//	POST /v1/spaces/{id}/sessions     create an ask/tell tuning session
+//	POST .../sessions/{sid}/ask       next batch of configurations to measure
+//	POST .../sessions/{sid}/tell      report measured scores/costs
+//	GET  .../sessions/{sid}/best      best configuration found + trace
+//	DEL  .../sessions/{sid}           end the session
 //	GET  /v1/methods                  construction methods
 //	POST /v1/compare                  race methods on one definition
-//	GET  /v1/stats                    request + cache metrics
+//	GET  /v1/stats                    request + cache + session metrics
 //	GET  /healthz                     liveness
 //
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// A client that disconnects mid-build cancels the construction (unless
+// other clients are waiting on the same space); the optimized and
+// brute-force methods stop mid-build, the other baselines before
+// starting (their input size is admission-bounded). SIGINT/SIGTERM
+// drain in-flight requests before exit.
 package main
 
 import (
@@ -43,6 +52,8 @@ func main() {
 	maxCartesian := flag.Float64("max-cartesian", 1e12, "reject definitions whose unconstrained size exceeds this before building (0 = unlimited)")
 	maxExhaustive := flag.Float64("max-exhaustive-cartesian", 1e8, "tighter pre-build limit for exhaustive methods (brute-force, original, iterative-sat; 0 = unlimited)")
 	maxBuilds := flag.Int("max-builds", 4, "max concurrent constructions; excess builds queue (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 4096, "max live tuning sessions; least recently used beyond this are evicted (0 = unlimited)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle tuning sessions expire after this (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 
@@ -51,7 +62,9 @@ func main() {
 		MaxCartesian: *maxCartesian, MaxExhaustiveCartesian: *maxExhaustive,
 		MaxConcurrentBuilds: *maxBuilds,
 	})
-	srv := service.NewServer(reg)
+	srv := service.NewServerWith(reg, service.SessionConfig{
+		MaxSessions: *maxSessions, TTL: *sessionTTL,
+	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -80,4 +93,7 @@ func main() {
 		log.Printf("spaced: shutdown: %v", err)
 	}
 	log.Printf("spaced: final cache state: %s", reg.Stats())
+	st := srv.Sessions().Stats()
+	log.Printf("spaced: final session state: active=%d created=%d expired_ttl=%d evicted_lru=%d deleted=%d",
+		st.Active, st.Created, st.ExpiredTTL, st.EvictedLRU, st.Deleted)
 }

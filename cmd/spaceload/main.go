@@ -1,15 +1,24 @@
-// Command spaceload hammers a spaced service with a mixed hit/miss
-// workload and reports throughput and cache behavior. By default it
-// spins up an in-process server (the full HTTP path via net/http/httptest),
-// so the numbers measure the service stack, not a network; point
-// -server at a running daemon to load-test over the wire instead.
+// Command spaceload hammers a spaced service and reports throughput and
+// cache behavior. By default it spins up an in-process server (the full
+// HTTP path via net/http/httptest), so the numbers measure the service
+// stack, not a network; point -server at a running daemon to load-test
+// over the wire instead.
 //
-// The workload models many tuning clients sharing few kernels: workers
-// draw one of -spaces distinct definitions (uniformly), submit it via
-// POST /v1/spaces — a build on first contact, a cache hit after — and
-// follow up with sample and contains queries on the returned id.
+// Two workloads, selected with -mode:
 //
-//	spaceload -spaces 8 -requests 2000 -workers 16 -out BENCH_service.json
+//   - build (default): many tuning clients sharing few kernels — workers
+//     draw one of -spaces distinct definitions, submit it via POST
+//     /v1/spaces (a build on first contact, a cache hit after) and follow
+//     up with sample and contains queries. Writes BENCH_service.json.
+//
+//   - sessions: a tuning-server workload — workers create ask/tell
+//     sessions on the shared spaces, drive each to budget exhaustion
+//     (measuring a synthetic objective client-side), fetch the best and
+//     delete the session. Reports sessions/sec plus client-observed
+//     ask/tell latencies. Writes BENCH_sessions.json.
+//
+//     spaceload -spaces 8 -requests 2000 -workers 16
+//     spaceload -mode sessions -spaces 8 -requests 300 -workers 16
 package main
 
 import (
@@ -28,15 +37,19 @@ import (
 	"time"
 
 	"searchspace/internal/service"
+	"searchspace/internal/tuner"
 )
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
+	mode := flag.String("mode", "build", "workload: build | sessions")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
-	requests := flag.Int("requests", 2000, "total requests to issue")
+	requests := flag.Int("requests", 2000, "total build requests (build mode) or sessions (sessions mode)")
 	workers := flag.Int("workers", 16, "concurrent clients")
+	batch := flag.Int("batch", 8, "sessions mode: configurations per ask/tell round trip")
+	evals := flag.Int("evals", 40, "sessions mode: evaluation budget per session")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
-	out := flag.String("out", "BENCH_service.json", "result file (empty = stdout only)")
+	out := flag.String("out", "", "result file (default BENCH_service.json or BENCH_sessions.json by mode; \"-\" = stdout only)")
 	flag.Parse()
 
 	base := *server
@@ -65,6 +78,38 @@ func main() {
 
 	client := &http.Client{Timeout: time.Minute}
 
+	outFile := *out
+	var result map[string]any
+	switch *mode {
+	case "build":
+		if outFile == "" {
+			outFile = "BENCH_service.json"
+		}
+		result = runBuildLoad(client, base, bodies, *requests, *workers, *seed)
+	case "sessions":
+		if outFile == "" {
+			outFile = "BENCH_sessions.json"
+		}
+		result = runSessionLoad(client, base, bodies, *requests, *workers, *batch, *evals, *seed)
+	default:
+		log.Fatalf("unknown mode %q (want build or sessions)", *mode)
+	}
+
+	pretty, _ := json.MarshalIndent(result, "", "  ")
+	fmt.Printf("%s\n", pretty)
+	if outFile != "-" {
+		if err := os.WriteFile(outFile, append(pretty, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", outFile)
+	}
+	if result["failures"].(int64) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runBuildLoad is the original mixed build/query workload.
+func runBuildLoad(client *http.Client, base string, bodies [][]byte, requests, workers int, seed int64) map[string]any {
 	// Snapshot the daemon's counters first so results are this run's
 	// delta — a long-lived -server target has traffic from before.
 	before, err := fetchStats(client, base)
@@ -78,12 +123,12 @@ func main() {
 		failures atomic.Int64
 	)
 	start := time.Now()
-	wg.Add(*workers)
-	for w := 0; w < *workers; w++ {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			for issued.Add(1) <= int64(*requests) {
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for issued.Add(1) <= int64(requests) {
 				body := bodies[rng.Intn(len(bodies))]
 				id, ok := postBuild(client, base, body)
 				if !ok {
@@ -130,11 +175,11 @@ func main() {
 	if dHits+dMisses > 0 {
 		hitRatio = float64(dHits) / float64(dHits+dMisses)
 	}
-	result := map[string]any{
+	return map[string]any{
 		"benchmark":        "service-load",
-		"spaces":           *spaces,
-		"workers":          *workers,
-		"build_requests":   *requests,
+		"spaces":           len(bodies),
+		"workers":          workers,
+		"build_requests":   requests,
 		"http_requests":    total,
 		"failures":         failures.Load(),
 		"duration_seconds": elapsed.Seconds(),
@@ -144,17 +189,180 @@ func main() {
 		"build_time_hist":  after.BuildTimeHist,
 		"endpoints":        after.Endpoints,
 	}
-	pretty, _ := json.MarshalIndent(result, "", "  ")
-	fmt.Printf("%s\n", pretty)
-	if *out != "" {
-		if err := os.WriteFile(*out, append(pretty, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+}
+
+// latencyAgg accumulates client-observed request latencies.
+type latencyAgg struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+func (l *latencyAgg) add(d time.Duration) {
+	l.count++
+	l.total += d
+	if d > l.max {
+		l.max = d
+	}
+}
+
+func (l *latencyAgg) merge(o latencyAgg) {
+	l.count += o.count
+	l.total += o.total
+	if o.max > l.max {
+		l.max = o.max
+	}
+}
+
+func (l *latencyAgg) meanMs() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return float64(l.total) / float64(l.count) / float64(time.Millisecond)
+}
+
+// runSessionLoad is the tuning-server workload: each "request" is one
+// full session lifecycle (create, ask/tell to exhaustion, best, delete)
+// against one of the shared spaces, cycling through all four strategies.
+func runSessionLoad(client *http.Client, base string, bodies [][]byte, sessions, workers, batch, evals int, seed int64) map[string]any {
+	before, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategies := tuner.StrategyNames()
+
+	var (
+		wg        sync.WaitGroup
+		issued    atomic.Int64
+		failures  atomic.Int64
+		completed atomic.Int64
+		mu        sync.Mutex
+		askLat    latencyAgg
+		tellLat   latencyAgg
+	)
+	start := time.Now()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var asks, tells latencyAgg
+			defer func() {
+				mu.Lock()
+				askLat.merge(asks)
+				tellLat.merge(tells)
+				mu.Unlock()
+			}()
+			for {
+				n := issued.Add(1)
+				if n > int64(sessions) {
+					return
+				}
+				spaceID, ok := postBuild(client, base, bodies[rng.Intn(len(bodies))])
+				if !ok {
+					failures.Add(1)
+					continue
+				}
+				if !runOneSession(client, base, spaceID, strategies[int(n)%len(strategies)],
+					rng.Int63(), batch, evals, &asks, &tells) {
+					failures.Add(1)
+					continue
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return map[string]any{
+		"benchmark":        "session-load",
+		"spaces":           len(bodies),
+		"workers":          workers,
+		"sessions":         sessions,
+		"batch":            batch,
+		"evals_per_sess":   evals,
+		"completed":        completed.Load(),
+		"failures":         failures.Load(),
+		"duration_seconds": elapsed.Seconds(),
+		"sessions_per_sec": float64(completed.Load()) / elapsed.Seconds(),
+		"asks":             askLat.count,
+		"ask_mean_ms":      askLat.meanMs(),
+		"ask_max_ms":       float64(askLat.max) / float64(time.Millisecond),
+		"tells":            tellLat.count,
+		"tell_mean_ms":     tellLat.meanMs(),
+		"tell_max_ms":      float64(tellLat.max) / float64(time.Millisecond),
+		"server_evals":     sessionEvals(after) - sessionEvals(before),
+		"session_table":    after.SessionTable,
+		"strategies":       after.Sessions,
+	}
+}
+
+// runOneSession drives one session to exhaustion with a synthetic
+// objective (the service's cost is independent of the score landscape,
+// so any deterministic function loads it equally).
+func runOneSession(client *http.Client, base, spaceID, strategy string, seed int64, batch, evals int, asks, tells *latencyAgg) bool {
+	sbase := base + "/v1/spaces/" + spaceID + "/sessions"
+	var created service.SessionCreateResponse
+	body := fmt.Sprintf(`{"strategy": %q, "seed": %d, "budget": {"max_evals": %d}}`, strategy, seed, evals)
+	if !postInto(client, sbase, []byte(body), &created) {
+		return false
+	}
+	sbase += "/" + created.Session
+	for {
+		var ask service.AskResponse
+		t0 := time.Now()
+		if !postInto(client, sbase+"/ask", []byte(fmt.Sprintf(`{"max": %d}`, batch)), &ask) {
+			return false
 		}
-		log.Printf("wrote %s", *out)
+		asks.add(time.Since(t0))
+		if len(ask.Rows) == 0 {
+			break
+		}
+		results := make([]tuner.Measurement, len(ask.Rows))
+		for i, row := range ask.Rows {
+			// Synthetic objective: a hash-spread score, a tiny cost.
+			results[i] = tuner.Measurement{
+				Row:   row,
+				Score: float64((uint32(row) * 2654435761) % 100003),
+				Cost:  0.001,
+			}
+		}
+		raw, _ := json.Marshal(service.TellRequest{Results: results})
+		t0 = time.Now()
+		if !postInto(client, sbase+"/tell", raw, &service.TellResponse{}) {
+			return false
+		}
+		tells.add(time.Since(t0))
 	}
-	if failures.Load() > 0 {
-		os.Exit(1)
+	resp, err := client.Get(sbase + "/best")
+	if err != nil {
+		return false
 	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	req, _ := http.NewRequest(http.MethodDelete, sbase, nil)
+	if dresp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, dresp.Body)
+		dresp.Body.Close()
+	}
+	return true
+}
+
+// sessionEvals sums per-strategy evaluations in a snapshot.
+func sessionEvals(snap service.MetricsSnapshot) int64 {
+	var n int64
+	for _, s := range snap.Sessions {
+		n += s.Evaluations
+	}
+	return n
 }
 
 // fetchStats reads the daemon's /v1/stats snapshot.
@@ -174,23 +382,31 @@ func fetchStats(client *http.Client, base string) (service.MetricsSnapshot, erro
 
 // postBuild submits a definition and returns the space id.
 func postBuild(client *http.Client, base string, body []byte) (string, bool) {
-	resp, err := client.Post(base+"/v1/spaces", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Printf("POST /v1/spaces: %v", err)
+	var built service.BuildResponse
+	if !postInto(client, base+"/v1/spaces", body, &built) {
 		return "", false
+	}
+	return built.ID, true
+}
+
+// postInto issues a POST and decodes a 200 response into out.
+func postInto(client *http.Client, url string, body []byte, out any) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Printf("POST %s: %v", url, err)
+		return false
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		log.Printf("POST /v1/spaces: HTTP %d: %s", resp.StatusCode, raw)
-		return "", false
+		log.Printf("POST %s: HTTP %d: %s", url, resp.StatusCode, raw)
+		return false
 	}
-	var built service.BuildResponse
-	if err := json.Unmarshal(raw, &built); err != nil {
-		log.Printf("bad build response: %v", err)
-		return "", false
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Printf("POST %s: bad response: %v", url, err)
+		return false
 	}
-	return built.ID, true
+	return true
 }
 
 // postOK issues a POST and reports whether it returned 200.

@@ -7,6 +7,7 @@
 package bruteforce
 
 import (
+	"errors"
 	"fmt"
 
 	"searchspace/internal/core"
@@ -26,8 +27,19 @@ type Stats struct {
 	Valid int
 }
 
+// ErrCanceled reports an enumeration abandoned because its stop
+// function fired.
+var ErrCanceled = errors.New("bruteforce: enumeration canceled")
+
 // Solve enumerates all valid configurations of def in columnar form.
 func Solve(def *model.Definition) (*core.Columnar, *Stats, error) {
+	return SolveStop(def, nil)
+}
+
+// SolveStop is Solve with cooperative cancellation: stop is polled
+// every few thousand candidates and a true return abandons the
+// enumeration with ErrCanceled. A nil stop never cancels.
+func SolveStop(def *model.Definition, stop func() bool) (*core.Columnar, *Stats, error) {
 	out := &core.Columnar{
 		Names: make([]string, len(def.Params)),
 		Cols:  make([][]int32, len(def.Params)),
@@ -35,7 +47,7 @@ func Solve(def *model.Definition) (*core.Columnar, *Stats, error) {
 	for i, p := range def.Params {
 		out.Names[i] = p.Name
 	}
-	stats, err := forEach(def, func(idx []int32) bool {
+	stats, err := forEach(def, stop, func(idx []int32) bool {
 		for vi, di := range idx {
 			out.Cols[vi] = append(out.Cols[vi], di)
 		}
@@ -49,12 +61,16 @@ func Solve(def *model.Definition) (*core.Columnar, *Stats, error) {
 
 // Count enumerates without storing and returns only the statistics.
 func Count(def *model.Definition) (*Stats, error) {
-	return forEach(def, func([]int32) bool { return true })
+	return forEach(def, nil, func([]int32) bool { return true })
 }
+
+// stopCheckMask sets how often the odometer polls stop: every 8192
+// candidates.
+const stopCheckMask = 8192 - 1
 
 // forEach runs the odometer over the Cartesian product, invoking yield
 // with the per-parameter value indices for each valid combination.
-func forEach(def *model.Definition, yield func(idx []int32) bool) (*Stats, error) {
+func forEach(def *model.Definition, stop func() bool, yield func(idx []int32) bool) (*Stats, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,6 +111,9 @@ func forEach(def *model.Definition, yield func(idx []int32) bool) (*Stats, error
 
 	stats := &Stats{}
 	for {
+		if int64(stats.Candidates)&stopCheckMask == 0 && stop != nil && stop() {
+			return stats, ErrCanceled
+		}
 		stats.Candidates++
 		ok := true
 		for _, node := range nodes {

@@ -119,7 +119,7 @@ func TestGoConstraints(t *testing.T) {
 func TestEarlyStop(t *testing.T) {
 	def := smallDef()
 	seen := 0
-	if _, err := forEach(def, func([]int32) bool {
+	if _, err := forEach(def, nil, func([]int32) bool {
 		seen++
 		return seen < 3
 	}); err != nil {

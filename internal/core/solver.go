@@ -14,8 +14,23 @@ import (
 // explicit trial-index stack and in-place undo rather than a stack of
 // copied states: equivalent search tree, no per-node allocation.
 func (c *Compiled) ForEach(yield func(idx []int32) bool) {
+	c.ForEachStop(nil, yield)
+}
+
+// stopCheckMask sets how often ForEachStop polls its stop function: every
+// 8192 search-tree node visits. Node visits — not solutions — so even a
+// heavily constrained space that rarely yields still observes
+// cancellation promptly.
+const stopCheckMask = 8192 - 1
+
+// ForEachStop is ForEach with cooperative cancellation: every few
+// thousand search-tree nodes it polls stop and abandons the enumeration
+// when it returns true. The canceled return distinguishes an abandoned
+// run from a completed (or yield-terminated) one. A nil stop never
+// cancels.
+func (c *Compiled) ForEachStop(stop func() bool, yield func(idx []int32) bool) (canceled bool) {
 	if c.empty || len(c.order) == 0 {
-		return
+		return false
 	}
 	n := len(c.order)
 	st := &state{
@@ -27,7 +42,12 @@ func (c *Compiled) ForEach(yield func(idx []int32) bool) {
 	trial := make([]int, n)
 	trial[0] = -1
 	depth := 0
+	nodes := 0
 	for depth >= 0 {
+		if nodes&stopCheckMask == 0 && stop != nil && stop() {
+			return true
+		}
+		nodes++
 		trial[depth]++
 		dom := c.doms[depth]
 		if trial[depth] >= len(dom) {
@@ -60,13 +80,14 @@ func (c *Compiled) ForEach(yield func(idx []int32) bool) {
 		}
 		if depth == n-1 {
 			if !yield(idxOut) {
-				return
+				return false
 			}
 			continue
 		}
 		depth++
 		trial[depth] = -1
 	}
+	return false
 }
 
 // Count returns the number of valid configurations without storing them.
@@ -109,17 +130,25 @@ func (s *Columnar) NumSolutions() int {
 
 // SolveColumnar enumerates all solutions into columnar form.
 func (c *Compiled) SolveColumnar() *Columnar {
+	out, _ := c.SolveColumnarStop(nil)
+	return out
+}
+
+// SolveColumnarStop is SolveColumnar with cooperative cancellation; see
+// ForEachStop. A canceled run returns the partial columnar, which the
+// caller must discard.
+func (c *Compiled) SolveColumnarStop(stop func() bool) (*Columnar, bool) {
 	out := &Columnar{
 		Names: append([]string(nil), c.names...),
 		Cols:  make([][]int32, len(c.names)),
 	}
-	c.ForEach(func(idx []int32) bool {
+	canceled := c.ForEachStop(stop, func(idx []int32) bool {
 		for vi, di := range idx {
 			out.Cols[vi] = append(out.Cols[vi], di)
 		}
 		return true
 	})
-	return out
+	return out, canceled
 }
 
 // SolveTuples enumerates all solutions as rows of values in variable

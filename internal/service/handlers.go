@@ -16,6 +16,11 @@ import (
 // parameter values fits in a fraction of this.
 const maxBodyBytes = 8 << 20
 
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was ready. Used for metrics only —
+// the connection is already gone.
+const statusClientClosedRequest = 499
+
 // Server wires the registry and metrics into an http.Handler exposing
 // the spaced v1 API:
 //
@@ -24,19 +29,35 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/spaces/{id}/contains     membership tests
 //	POST /v1/spaces/{id}/sample      	seeded uniform/stratified/lhs sampling
 //	POST /v1/spaces/{id}/neighbors    hamming/adjacent neighbors
+//	POST /v1/spaces/{id}/sessions     create an ask/tell tuning session
+//	POST .../sessions/{sid}/ask       next batch of configurations
+//	POST .../sessions/{sid}/tell      report measured costs
+//	GET  .../sessions/{sid}/best      best configuration + trace
+//	DEL  .../sessions/{sid}           end the session
 //	GET  /v1/methods                  available construction methods
 //	POST /v1/compare                  race methods on one definition
-//	GET  /v1/stats                    request + cache metrics
+//	GET  /v1/stats                    request + cache + session metrics
 //	GET  /healthz                     liveness
 type Server struct {
-	reg     *Registry
-	metrics *Metrics
-	mux     *http.ServeMux
+	reg      *Registry
+	sessions *Sessions
+	metrics  *Metrics
+	mux      *http.ServeMux
 }
 
-// NewServer builds a Server around the given registry.
+// NewServer builds a Server around the given registry with the default
+// session limits.
 func NewServer(reg *Registry) *Server {
+	return NewServerWith(reg, DefaultSessionConfig())
+}
+
+// NewServerWith builds a Server with explicit session limits.
+func NewServerWith(reg *Registry, scfg SessionConfig) *Server {
 	s := &Server{reg: reg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	s.sessions = NewSessions(scfg, s.metrics)
+	// Registry eviction kills the evicted space's sessions, so their
+	// steppers stop pinning the space in memory.
+	reg.SetEvictionHook(s.sessions.KillBySpace)
 	routes := []struct {
 		pattern string
 		handler http.HandlerFunc
@@ -46,6 +67,11 @@ func NewServer(reg *Registry) *Server {
 		{"POST /v1/spaces/{id}/contains", s.handleContains},
 		{"POST /v1/spaces/{id}/sample", s.handleSample},
 		{"POST /v1/spaces/{id}/neighbors", s.handleNeighbors},
+		{"POST /v1/spaces/{id}/sessions", s.handleSessionCreate},
+		{"POST /v1/spaces/{id}/sessions/{sid}/ask", s.handleSessionAsk},
+		{"POST /v1/spaces/{id}/sessions/{sid}/tell", s.handleSessionTell},
+		{"GET /v1/spaces/{id}/sessions/{sid}/best", s.handleSessionBest},
+		{"DELETE /v1/spaces/{id}/sessions/{sid}", s.handleSessionDelete},
 		{"GET /v1/methods", s.handleMethods},
 		{"POST /v1/compare", s.handleCompare},
 		{"GET /v1/stats", s.handleStats},
@@ -66,6 +92,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Registry exposes the backing registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Sessions exposes the session table (used by tests and the daemon's
+// shutdown log).
+func (s *Server) Sessions() *Sessions { return s.sessions }
 
 // apiError is the uniform error envelope.
 type apiError struct {
@@ -185,10 +215,16 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "invalid problem: %v", err)
 		return
 	}
-	entry, hit, err := s.reg.GetOrBuild(def, method)
+	entry, hit, err := s.reg.GetOrBuild(r.Context(), def, method)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
-		if errors.Is(err, ErrInternal) {
+		switch {
+		case r.Context().Err() != nil:
+			// The client disconnected mid-build; nobody reads this
+			// response, but the metrics row should not claim a server
+			// fault (499 is the de-facto client-closed-request code).
+			status = statusClientClosedRequest
+		case errors.Is(err, ErrInternal):
 			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "%v", err)
@@ -573,7 +609,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			resp.Results = append(resp.Results, CompareResult{Method: m.String(), Error: err.Error()})
 			continue
 		}
-		_, st, buildErr := s.reg.runBuild(def.Clone(), m)
+		_, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done())
+		if errors.Is(buildErr, errBuildCanceled) {
+			// The compare client disconnected; nobody will read the
+			// response, so stop racing the remaining methods.
+			writeError(w, statusClientClosedRequest, "client disconnected during comparison")
+			return
+		}
 		res := CompareResult{Method: m.String(), WallSeconds: st.Duration.Seconds(), Valid: st.Valid}
 		if buildErr != nil {
 			res.Error = buildErr.Error()
@@ -588,7 +630,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg.Stats()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg.Stats(), s.sessions.Stats()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -27,13 +27,26 @@ var buildBucketLabels = []string{
 	"le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "le_1m", "gt_1m",
 }
 
-// Metrics aggregates per-endpoint request counters and a histogram of
-// construction wall times. All methods are safe for concurrent use.
+// Metrics aggregates per-endpoint request counters, a histogram of
+// construction wall times, and per-strategy tuning-session counters.
+// All methods are safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	endpoints map[string]*endpointCounters
-	buildHist [numBuildBuckets]int64
+	mu         sync.Mutex
+	start      time.Time
+	endpoints  map[string]*endpointCounters
+	buildHist  [numBuildBuckets]int64
+	strategies map[string]*strategyCounters
+}
+
+// strategyCounters aggregates one optimization strategy's session
+// traffic.
+type strategyCounters struct {
+	sessions  int64
+	asks      int64
+	proposed  int64 // configuration rows proposed across asks
+	tells     int64
+	evals     int64 // fresh evaluations accepted via tell
+	completed int64 // sessions that ran their budget to exhaustion
 }
 
 type endpointCounters struct {
@@ -45,7 +58,57 @@ type endpointCounters struct {
 
 // NewMetrics creates an empty metrics aggregator.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointCounters)}
+	return &Metrics{
+		start:      time.Now(),
+		endpoints:  make(map[string]*endpointCounters),
+		strategies: make(map[string]*strategyCounters),
+	}
+}
+
+// strategyLocked returns the counters for a strategy label, creating
+// them on first use.
+func (m *Metrics) strategyLocked(strategy string) *strategyCounters {
+	c := m.strategies[strategy]
+	if c == nil {
+		c = &strategyCounters{}
+		m.strategies[strategy] = c
+	}
+	return c
+}
+
+// ObserveSessionCreate records one session creation.
+func (m *Metrics) ObserveSessionCreate(strategy string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.strategyLocked(strategy).sessions++
+}
+
+// ObserveSessionAsk records one ask proposing rows configurations.
+func (m *Metrics) ObserveSessionAsk(strategy string, rows int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.strategyLocked(strategy)
+	c.asks++
+	c.proposed += int64(rows)
+}
+
+// ObserveSessionTell records one accepted tell contributing evals fresh
+// evaluations.
+func (m *Metrics) ObserveSessionTell(strategy string, evals int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.strategyLocked(strategy)
+	c.tells++
+	c.evals += int64(evals)
+}
+
+// ObserveSessionComplete records a session running its budget to
+// exhaustion (called once per session, whichever of ask or tell
+// discovers it).
+func (m *Metrics) ObserveSessionComplete(strategy string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.strategyLocked(strategy).completed++
 }
 
 // ObserveRequest records one handled request for a route label (e.g.
@@ -90,27 +153,51 @@ type EndpointStats struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// StrategySessionStats is one strategy's session aggregate in a
+// snapshot.
+type StrategySessionStats struct {
+	Strategy     string `json:"strategy"`
+	Sessions     int64  `json:"sessions"`
+	Asks         int64  `json:"asks"`
+	RowsProposed int64  `json:"rows_proposed"`
+	Tells        int64  `json:"tells"`
+	Evaluations  int64  `json:"evaluations"`
+	Completed    int64  `json:"completed"`
+}
+
 // MetricsSnapshot is the JSON shape served at /v1/stats. BuildTimeHist
 // covers every construction the server ran, including /v1/compare
 // races, which bypass the cache by design; Cache counts registry
 // builds only, so the histogram total can exceed cache.builds.
 type MetricsSnapshot struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Endpoints     []EndpointStats  `json:"endpoints"`
-	BuildTimeHist map[string]int64 `json:"build_time_hist"`
-	Cache         RegistryStats    `json:"cache"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Endpoints     []EndpointStats        `json:"endpoints"`
+	BuildTimeHist map[string]int64       `json:"build_time_hist"`
+	Cache         RegistryStats          `json:"cache"`
+	Sessions      []StrategySessionStats `json:"sessions,omitempty"`
+	SessionTable  SessionTableStats      `json:"session_table"`
 }
 
-// Snapshot captures the current counters; cache stats are merged in by
-// the caller so the snapshot is one consistent document.
-func (m *Metrics) Snapshot(cache RegistryStats) MetricsSnapshot {
+// Snapshot captures the current counters; cache and session-table
+// stats are merged in by the caller so the snapshot is one consistent
+// document.
+func (m *Metrics) Snapshot(cache RegistryStats, table SessionTableStats) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		BuildTimeHist: make(map[string]int64, len(buildBucketLabels)),
 		Cache:         cache,
+		SessionTable:  table,
 	}
+	for name, c := range m.strategies {
+		snap.Sessions = append(snap.Sessions, StrategySessionStats{
+			Strategy: name, Sessions: c.sessions,
+			Asks: c.asks, RowsProposed: c.proposed,
+			Tells: c.tells, Evaluations: c.evals, Completed: c.completed,
+		})
+	}
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].Strategy < snap.Sessions[j].Strategy })
 	for i, label := range buildBucketLabels {
 		snap.BuildTimeHist[label] = m.buildHist[i]
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,6 +96,14 @@ type Entry struct {
 	ready chan struct{} // closed when the build finishes
 	err   error
 	elem  *list.Element // position in the LRU list; nil until cached
+
+	// waiters counts requests (initiator included) blocked on this
+	// in-flight build; when the last one disconnects the build is
+	// canceled so the solver stops and its semaphore slot frees up.
+	// Guarded by Registry.mu.
+	waiters       int
+	cancelCh      chan struct{}
+	cancelRequest bool
 }
 
 // Registry is a content-addressed cache of built search spaces. Builds
@@ -115,10 +124,20 @@ type Registry struct {
 	joins      int64 // piggybacked on an in-flight build
 	misses     int64 // triggered a new build
 	evictions  int64
+	canceled   int64 // constructions abandoned after every client left
 	buildNanos int64 // cumulative construction wall time
 
 	buildSem chan struct{} // nil = unlimited concurrent builds
+
+	// onEvict, when set, is invoked (outside the registry lock) with the
+	// id of every evicted entry, so dependents — tuning sessions — can
+	// release their references instead of keeping the space resident
+	// past the byte budget.
+	onEvict func(id string)
 }
+
+// SetEvictionHook registers the eviction callback; call before serving.
+func (r *Registry) SetEvictionHook(fn func(id string)) { r.onEvict = fn }
 
 // NewRegistry creates an empty registry with the given budget.
 func NewRegistry(cfg RegistryConfig) *Registry {
@@ -133,23 +152,20 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	return r
 }
 
-// AcquireBuild blocks until a construction slot is free and returns its
-// release function. Joining an in-flight build never needs a slot —
-// only code that is about to run a construction does.
-func (r *Registry) AcquireBuild() (release func()) {
-	if r.buildSem == nil {
-		return func() {}
-	}
-	r.buildSem <- struct{}{}
-	return func() { <-r.buildSem }
-}
-
 // GetOrBuild returns the space for the definition+method pair, building
 // it only if no completed or in-flight entry exists. The returned hit
 // flag is true when no new construction was triggered by this call
 // (cache hit or joined an in-flight build). Failed builds are not
 // cached; every waiter receives the error and the next call retries.
-func (r *Registry) GetOrBuild(def *model.Definition, method searchspace.Method) (*Entry, bool, error) {
+//
+// The context covers only this caller's interest in the result: when
+// ctx ends, the call returns ctx.Err() immediately, and once the LAST
+// interested caller disconnects the in-flight construction itself is
+// canceled — the solver stops at its next cancellation point and the
+// build's semaphore slot frees (a build queued for a slot abandons the
+// queue at once). A caller that arrives while a cancellation is in
+// flight transparently retries with a fresh build.
+func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method searchspace.Method) (*Entry, bool, error) {
 	if err := r.Admit(def, method); err != nil {
 		return nil, false, err
 	}
@@ -158,40 +174,110 @@ func (r *Registry) GetOrBuild(def *model.Definition, method searchspace.Method) 
 		return nil, false, err
 	}
 
-	r.mu.Lock()
-	if e, ok := r.entries[id]; ok {
-		joined := false
-		select {
-		case <-e.ready:
-			// Completed entries in the map are always successful builds
-			// (failures are removed), so this is a clean hit.
-			r.hits++
-			r.touchLocked(e)
-		default:
-			joined = true
-		}
-		r.mu.Unlock()
-		<-e.ready
-		if joined {
-			// Only count the join once the outcome is known: a request
-			// that piggybacked on a build that then failed got no cached
-			// answer and must not inflate the hit ratio.
-			r.mu.Lock()
-			if e.err == nil {
-				r.joins++
-			} else {
-				r.misses++
+	for {
+		r.mu.Lock()
+		if e, ok := r.entries[id]; ok {
+			joined := false
+			select {
+			case <-e.ready:
+				// Completed entries in the map are always successful builds
+				// (failures are removed), so this is a clean hit.
+				r.hits++
+				r.touchLocked(e)
+			default:
+				joined = true
+				e.waiters++
 			}
 			r.mu.Unlock()
+			if joined {
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					r.dropWaiter(e)
+					return nil, false, ctx.Err()
+				}
+			}
+			err := e.err
+			if joined {
+				// Only count the join once the outcome is known: a request
+				// that piggybacked on a build that then failed got no cached
+				// answer and must not inflate the hit ratio. A canceled
+				// build is not counted here — the surviving joiner's retry
+				// accounts the request on its next pass, so one logical
+				// request never counts two misses.
+				r.mu.Lock()
+				e.waiters--
+				switch {
+				case err == nil:
+					r.joins++
+				case errors.Is(err, errBuildCanceled):
+				default:
+					r.misses++
+				}
+				r.mu.Unlock()
+			}
+			if errors.Is(err, errBuildCanceled) {
+				// The build this caller piggybacked on was torn down by
+				// other clients disconnecting; it still wants the space.
+				if ctx.Err() != nil {
+					return nil, false, ctx.Err()
+				}
+				continue
+			}
+			return e, true, err
 		}
-		return e, true, e.err
-	}
-	e := &Entry{ID: id, Def: def.Clone(), Method: method, ready: make(chan struct{})}
-	r.entries[id] = e
-	r.misses++
-	r.mu.Unlock()
+		e := &Entry{
+			ID: id, Def: def.Clone(), Method: method,
+			ready:    make(chan struct{}),
+			cancelCh: make(chan struct{}),
+			waiters:  1,
+		}
+		r.entries[id] = e
+		r.misses++
+		r.mu.Unlock()
 
-	ss, stats, buildErr := r.runBuild(e.Def, method)
+		go r.buildEntry(e)
+
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			r.dropWaiter(e)
+			return nil, false, ctx.Err()
+		}
+		r.mu.Lock()
+		e.waiters--
+		r.mu.Unlock()
+		if errors.Is(e.err, errBuildCanceled) && ctx.Err() == nil {
+			// Lost a cancellation race with a disconnecting joiner.
+			continue
+		}
+		return e, false, e.err
+	}
+}
+
+// dropWaiter unregisters a disconnected waiter, canceling the build
+// when it was the last one (unless the build already finished).
+func (r *Registry) dropWaiter(e *Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.waiters--
+	if e.waiters > 0 || e.cancelRequest {
+		return
+	}
+	select {
+	case <-e.ready:
+		// Build finished before the disconnect was observed; the cached
+		// result stands.
+	default:
+		e.cancelRequest = true
+		close(e.cancelCh)
+	}
+}
+
+// buildEntry runs one registered construction to completion (or
+// cancellation) and publishes the outcome to every waiter.
+func (r *Registry) buildEntry(e *Entry) {
+	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh)
 
 	// The bounds scan is O(rows x params); do it outside the registry
 	// lock.
@@ -200,10 +286,14 @@ func (r *Registry) GetOrBuild(def *model.Definition, method searchspace.Method) 
 		bounds = ss.TrueBounds()
 	}
 
+	var evicted []string
 	r.mu.Lock()
 	if buildErr != nil {
-		delete(r.entries, id)
+		delete(r.entries, e.ID)
 		e.err = buildErr
+		if errors.Is(buildErr, errBuildCanceled) {
+			r.canceled++
+		}
 	} else {
 		e.Space, e.Stats = ss, stats
 		e.Bounds = bounds
@@ -212,11 +302,15 @@ func (r *Registry) GetOrBuild(def *model.Definition, method searchspace.Method) 
 		r.bytes += e.Bytes
 		r.builds++
 		r.buildNanos += int64(stats.Duration)
-		r.evictLocked()
+		evicted = r.evictLocked()
 	}
 	r.mu.Unlock()
 	close(e.ready)
-	return e, false, buildErr
+	if r.onEvict != nil {
+		for _, id := range evicted {
+			r.onEvict(id)
+		}
+	}
 }
 
 // ErrInternal marks build failures that are the server's fault (a
@@ -224,19 +318,48 @@ func (r *Registry) GetOrBuild(def *model.Definition, method searchspace.Method) 
 // map it to 500 rather than 422.
 var ErrInternal = errors.New("internal construction failure")
 
-// runBuild executes one construction under a build slot. The deferred
-// release and recover keep a panicking solver from leaking the slot or
-// wedging waiters: the panic becomes a build error, so the entry is
-// removed and every waiter is woken with it.
-func (r *Registry) runBuild(def *model.Definition, method searchspace.Method) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
-	release := r.AcquireBuild()
-	defer release()
+// errBuildCanceled marks a construction torn down because every client
+// waiting on it disconnected. It never escapes GetOrBuild: surviving
+// callers retry and disconnected callers report their own ctx.Err().
+// (handleCompare drives runBuild directly and suppresses it itself.)
+var errBuildCanceled = errors.New("service: construction canceled: all requesting clients disconnected")
+
+// runBuild executes one construction under a build slot, abandoning it
+// when cancel closes — while queued for the slot or, via the solver's
+// cooperative stop, mid-construction. The deferred release and recover
+// keep a panicking solver from leaking the slot or wedging waiters:
+// the panic becomes a build error, so the entry is removed and every
+// waiter is woken with it. A nil cancel builds uncancelably.
+func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
+	if r.buildSem != nil {
+		select {
+		case r.buildSem <- struct{}{}:
+		case <-cancel:
+			return nil, stats, errBuildCanceled
+		}
+		defer func() { <-r.buildSem }()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: construction of %q with %s panicked: %v", ErrInternal, def.Name, method, p)
 		}
 	}()
-	return searchspace.FromDefinition(def).BuildTimed(method)
+	var stop func() bool
+	if cancel != nil {
+		stop = func() bool {
+			select {
+			case <-cancel:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	ss, stats, err = searchspace.FromDefinition(def).BuildTimedStop(method, stop)
+	if errors.Is(err, searchspace.ErrCanceled) {
+		err = errBuildCanceled
+	}
+	return ss, stats, err
 }
 
 // Lookup returns the completed entry with the given id, refreshing its
@@ -261,14 +384,17 @@ func (r *Registry) touchLocked(e *Entry) {
 }
 
 // evictLocked drops least-recently-used entries until the cache fits
-// the budget, always keeping at least the most recent entry.
-func (r *Registry) evictLocked() {
+// the budget, always keeping at least the most recent entry. It
+// returns the evicted ids so the caller can fire the eviction hook
+// once outside the lock.
+func (r *Registry) evictLocked() []string {
 	overBudget := func() bool {
 		if r.cfg.MaxEntries > 0 && r.lru.Len() > r.cfg.MaxEntries {
 			return true
 		}
 		return r.cfg.MaxBytes > 0 && r.bytes > r.cfg.MaxBytes
 	}
+	var evicted []string
 	for r.lru.Len() > 1 && overBudget() {
 		back := r.lru.Back()
 		victim := back.Value.(*Entry)
@@ -277,7 +403,9 @@ func (r *Registry) evictLocked() {
 		delete(r.entries, victim.ID)
 		r.bytes -= victim.Bytes
 		r.evictions++
+		evicted = append(evicted, victim.ID)
 	}
+	return evicted
 }
 
 // RegistryStats is a point-in-time snapshot of cache behavior.
@@ -289,6 +417,7 @@ type RegistryStats struct {
 	Joins     int64   `json:"joins"`
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
+	Canceled  int64   `json:"canceled"`
 	HitRatio  float64 `json:"hit_ratio"`
 	// BuildTime is cumulative construction wall time.
 	BuildTime time.Duration `json:"build_time_ns"`
@@ -307,6 +436,7 @@ func (r *Registry) Stats() RegistryStats {
 		Joins:     r.joins,
 		Misses:    r.misses,
 		Evictions: r.evictions,
+		Canceled:  r.canceled,
 		BuildTime: time.Duration(r.buildNanos),
 	}
 	if total := s.Hits + s.Joins + s.Misses; total > 0 {
@@ -317,8 +447,8 @@ func (r *Registry) Stats() RegistryStats {
 
 // String renders the snapshot for logs.
 func (s RegistryStats) String() string {
-	return fmt.Sprintf("entries=%d bytes=%d builds=%d hits=%d joins=%d misses=%d evictions=%d hit_ratio=%.3f",
-		s.Entries, s.Bytes, s.Builds, s.Hits, s.Joins, s.Misses, s.Evictions, s.HitRatio)
+	return fmt.Sprintf("entries=%d bytes=%d builds=%d hits=%d joins=%d misses=%d evictions=%d canceled=%d hit_ratio=%.3f",
+		s.Entries, s.Bytes, s.Builds, s.Hits, s.Joins, s.Misses, s.Evictions, s.Canceled, s.HitRatio)
 }
 
 // EstimateBytes approximates the resident size of a materialized space:

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ func boundedDef(name string, bound int) *model.Definition {
 
 func TestGetOrBuildCachesByContent(t *testing.T) {
 	reg := NewRegistry(RegistryConfig{})
-	e1, hit1, err := reg.GetOrBuild(smallDef("a"), searchspace.Optimized)
+	e1, hit1, err := reg.GetOrBuild(context.Background(), smallDef("a"), searchspace.Optimized)
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
@@ -45,7 +46,7 @@ func TestGetOrBuildCachesByContent(t *testing.T) {
 	}
 
 	// Same content in a fresh Definition object: must hit.
-	e2, hit2, err := reg.GetOrBuild(smallDef("a"), searchspace.Optimized)
+	e2, hit2, err := reg.GetOrBuild(context.Background(), smallDef("a"), searchspace.Optimized)
 	if err != nil {
 		t.Fatalf("rebuild: %v", err)
 	}
@@ -54,7 +55,7 @@ func TestGetOrBuildCachesByContent(t *testing.T) {
 	}
 
 	// Different method is a different address.
-	_, hit3, err := reg.GetOrBuild(smallDef("a"), searchspace.BruteForce)
+	_, hit3, err := reg.GetOrBuild(context.Background(), smallDef("a"), searchspace.BruteForce)
 	if err != nil {
 		t.Fatalf("brute force build: %v", err)
 	}
@@ -86,7 +87,7 @@ func TestConcurrentIdenticalBuildsSingleflight(t *testing.T) {
 		go func() {
 			defer done.Done()
 			start.Wait()
-			e, _, err := reg.GetOrBuild(smallDef("racer"), searchspace.Optimized)
+			e, _, err := reg.GetOrBuild(context.Background(), smallDef("racer"), searchspace.Optimized)
 			if err != nil {
 				t.Errorf("build: %v", err)
 				return
@@ -118,7 +119,7 @@ func TestEvictionLRU(t *testing.T) {
 	reg := NewRegistry(RegistryConfig{MaxEntries: 2})
 	ids := make([]string, 3)
 	for i := range ids {
-		e, _, err := reg.GetOrBuild(boundedDef(fmt.Sprintf("s%d", i), 8+8*i), searchspace.Optimized)
+		e, _, err := reg.GetOrBuild(context.Background(), boundedDef(fmt.Sprintf("s%d", i), 8+8*i), searchspace.Optimized)
 		if err != nil {
 			t.Fatalf("build %d: %v", i, err)
 		}
@@ -146,16 +147,16 @@ func TestEvictionLRU(t *testing.T) {
 
 func TestEvictionByBytes(t *testing.T) {
 	// Budget fits one small space but not two; newest always survives.
-	e0, _, err := NewRegistry(RegistryConfig{}).GetOrBuild(smallDef("probe"), searchspace.Optimized)
+	e0, _, err := NewRegistry(RegistryConfig{}).GetOrBuild(context.Background(), smallDef("probe"), searchspace.Optimized)
 	if err != nil {
 		t.Fatalf("probe build: %v", err)
 	}
 	reg := NewRegistry(RegistryConfig{MaxBytes: e0.Bytes + e0.Bytes/2})
-	a, _, err := reg.GetOrBuild(boundedDef("a", 32), searchspace.Optimized)
+	a, _, err := reg.GetOrBuild(context.Background(), boundedDef("a", 32), searchspace.Optimized)
 	if err != nil {
 		t.Fatalf("build a: %v", err)
 	}
-	b, _, err := reg.GetOrBuild(boundedDef("b", 48), searchspace.Optimized)
+	b, _, err := reg.GetOrBuild(context.Background(), boundedDef("b", 48), searchspace.Optimized)
 	if err != nil {
 		t.Fatalf("build b: %v", err)
 	}
@@ -172,7 +173,7 @@ func TestFailedBuildsAreNotCached(t *testing.T) {
 	bad := smallDef("bad")
 	bad.Constraints = append(bad.Constraints, "unknown_param > 0")
 	for i := 0; i < 2; i++ {
-		if _, _, err := reg.GetOrBuild(bad, searchspace.Optimized); err == nil {
+		if _, _, err := reg.GetOrBuild(context.Background(), bad, searchspace.Optimized); err == nil {
 			t.Fatalf("attempt %d: expected build error", i)
 		}
 	}
@@ -194,7 +195,7 @@ func TestAdmissionControl(t *testing.T) {
 			model.RangeParam("b", 1, 20),
 		},
 	}
-	if _, _, err := reg.GetOrBuild(big, searchspace.Optimized); err == nil {
+	if _, _, err := reg.GetOrBuild(context.Background(), big, searchspace.Optimized); err == nil {
 		t.Fatal("expected admission rejection for cartesian 400 > limit 100")
 	} else if !strings.Contains(err.Error(), "max-cartesian") {
 		t.Errorf("admission error should point at the limit: %v", err)
@@ -202,7 +203,7 @@ func TestAdmissionControl(t *testing.T) {
 	if st := reg.Stats(); st.Builds != 0 || st.Misses != 0 {
 		t.Errorf("rejected definition must not touch build counters: %+v", st)
 	}
-	if _, _, err := reg.GetOrBuild(smallDef("fits"), searchspace.Optimized); err != nil {
+	if _, _, err := reg.GetOrBuild(context.Background(), smallDef("fits"), searchspace.Optimized); err != nil {
 		t.Errorf("definition under the limit rejected: %v", err)
 	}
 }
@@ -210,11 +211,11 @@ func TestAdmissionControl(t *testing.T) {
 func TestExhaustiveAdmission(t *testing.T) {
 	// 24 cartesian: fine for optimized, over the exhaustive budget.
 	reg := NewRegistry(RegistryConfig{MaxExhaustiveCartesian: 10})
-	if _, _, err := reg.GetOrBuild(smallDef("opt"), searchspace.Optimized); err != nil {
+	if _, _, err := reg.GetOrBuild(context.Background(), smallDef("opt"), searchspace.Optimized); err != nil {
 		t.Fatalf("optimized should not be bound by the exhaustive limit: %v", err)
 	}
 	for _, m := range []searchspace.Method{searchspace.BruteForce, searchspace.Original, searchspace.IterativeSAT} {
-		_, _, err := reg.GetOrBuild(smallDef("exh"), m)
+		_, _, err := reg.GetOrBuild(context.Background(), smallDef("exh"), m)
 		if err == nil {
 			t.Errorf("%v: expected exhaustive admission rejection", m)
 		} else if !strings.Contains(err.Error(), "max-exhaustive-cartesian") {
@@ -232,7 +233,7 @@ func TestBuildSemaphoreLiveness(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, _, err := reg.GetOrBuild(boundedDef("sem", 8+8*i), searchspace.Optimized); err != nil {
+			if _, _, err := reg.GetOrBuild(context.Background(), boundedDef("sem", 8+8*i), searchspace.Optimized); err != nil {
 				t.Errorf("build %d: %v", i, err)
 			}
 		}(i)
@@ -260,7 +261,7 @@ func TestFailedJoinsDoNotInflateHitRatio(t *testing.T) {
 		go func() {
 			defer done.Done()
 			start.Wait()
-			if _, _, err := reg.GetOrBuild(bad, searchspace.Optimized); err == nil {
+			if _, _, err := reg.GetOrBuild(context.Background(), bad, searchspace.Optimized); err == nil {
 				t.Error("expected build error")
 			}
 		}()

@@ -1,0 +1,398 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"searchspace/internal/tuner"
+)
+
+// This file implements the tuning-session endpoints — the ask/tell
+// protocol that turns spaced from a space cache into a tuning server:
+//
+//	POST   /v1/spaces/{id}/sessions            create a seeded session
+//	POST   /v1/spaces/{id}/sessions/{sid}/ask  propose the next batch
+//	POST   /v1/spaces/{id}/sessions/{sid}/tell report measured costs
+//	GET    /v1/spaces/{id}/sessions/{sid}/best current best + trace
+//	DELETE /v1/spaces/{id}/sessions/{sid}      end the session
+//
+// Determinism contract: a session is fully determined by (strategy,
+// parameters, seed, budget, told measurements). Two clients creating
+// sessions with equal values receive identical proposals, and the
+// remote loop reproduces the in-process Strategy.Run exactly (batch 1
+// under any budget; any batch under a pure max_evals budget).
+//
+// Every session operation touches its space in the registry LRU, so an
+// actively tuned space stays hot; if byte pressure evicts it anyway,
+// the session fails loudly with 410 and is removed.
+
+// maxAskBatch bounds one ask response; GA generations and Hamming
+// neighborhoods fit comfortably.
+const maxAskBatch = 1024
+
+// SessionBudgetDoc is the wire form of tuner.Budget.
+type SessionBudgetDoc struct {
+	// MaxEvals bounds configuration evaluations (<=0 unlimited).
+	MaxEvals int `json:"max_evals,omitempty"`
+	// MaxTimeSeconds bounds cumulative reported cost (<=0 unlimited).
+	MaxTimeSeconds float64 `json:"max_time_seconds,omitempty"`
+	// StartTimeSeconds offsets the budget clock, modeling time already
+	// spent (e.g. on construction) before tuning began.
+	StartTimeSeconds float64 `json:"start_time_seconds,omitempty"`
+}
+
+// SessionParamsDoc carries per-strategy tuning parameters; zero values
+// select the strategy defaults.
+type SessionParamsDoc struct {
+	// PopSize / MutationRate / Crossover configure genetic-algorithm.
+	PopSize      int     `json:"pop_size,omitempty"`
+	MutationRate float64 `json:"mutation_rate,omitempty"`
+	Crossover    bool    `json:"crossover,omitempty"`
+	// T0 / Alpha configure simulated-annealing.
+	T0    float64 `json:"t0,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// SessionCreateRequest is the POST /v1/spaces/{id}/sessions payload.
+type SessionCreateRequest struct {
+	// Strategy is the optimizer's report label (default random-sampling).
+	Strategy string `json:"strategy,omitempty"`
+	// Seed makes the session reproducible; same seed, same proposals.
+	Seed   int64            `json:"seed"`
+	Budget SessionBudgetDoc `json:"budget"`
+	Params SessionParamsDoc `json:"params,omitempty"`
+}
+
+// SessionCreateResponse answers session creation.
+type SessionCreateResponse struct {
+	Session  string           `json:"session"`
+	Space    string           `json:"space"`
+	Strategy string           `json:"strategy"`
+	Seed     int64            `json:"seed"`
+	Budget   SessionBudgetDoc `json:"budget"`
+}
+
+// AskRequest is the POST .../ask payload.
+type AskRequest struct {
+	// Max caps the proposed batch (default 1, limit maxAskBatch). An
+	// outstanding un-told batch is re-proposed as-is regardless of Max.
+	Max int `json:"max,omitempty"`
+}
+
+// AskResponse proposes configurations to measure. Done with empty Rows
+// means the budget is exhausted; fetch .../best.
+type AskResponse struct {
+	Session     string      `json:"session"`
+	Rows        []int       `json:"rows"`
+	Configs     []ConfigDoc `json:"configs"`
+	Done        bool        `json:"done"`
+	Evaluations int         `json:"evaluations"`
+}
+
+// TellRequest reports measurements for exactly the rows of the
+// outstanding ask, in order.
+type TellRequest struct {
+	Results []tuner.Measurement `json:"results"`
+}
+
+// TellResponse acknowledges a tell.
+type TellResponse struct {
+	Session     string   `json:"session"`
+	Accepted    int      `json:"accepted"`
+	Done        bool     `json:"done"`
+	Evaluations int      `json:"evaluations"`
+	Best        *BestDoc `json:"best,omitempty"`
+}
+
+// BestDoc is the best configuration found so far; absent until the
+// first evaluation lands.
+type BestDoc struct {
+	Row    int       `json:"row"`
+	Score  float64   `json:"score"`
+	Config ConfigDoc `json:"config"`
+}
+
+// TracePointDoc is one best-so-far improvement event.
+type TracePointDoc struct {
+	Time float64 `json:"time"`
+	Best float64 `json:"best"`
+}
+
+// BestResponse answers GET .../best.
+type BestResponse struct {
+	Session     string          `json:"session"`
+	Strategy    string          `json:"strategy"`
+	Done        bool            `json:"done"`
+	Evaluations int             `json:"evaluations"`
+	EndTime     float64         `json:"end_time"`
+	Best        *BestDoc        `json:"best,omitempty"`
+	Trace       []TracePointDoc `json:"trace"`
+}
+
+// strategyFor builds the tuner strategy a session requested.
+func strategyFor(req *SessionCreateRequest) (tuner.Strategy, error) {
+	name := req.Strategy
+	if name == "" {
+		name = tuner.RandomSampling{}.Name()
+	}
+	base, ok := tuner.StrategyByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown strategy %q (want %s)", name, strings.Join(tuner.StrategyNames(), ", "))
+	}
+	p := req.Params
+	if p.PopSize < 0 || p.PopSize > 10000 {
+		return nil, fmt.Errorf("\"pop_size\" must be in [0,10000]")
+	}
+	if p.MutationRate < 0 || p.MutationRate > 1 {
+		return nil, fmt.Errorf("\"mutation_rate\" must be in [0,1]")
+	}
+	if p.T0 < 0 {
+		return nil, fmt.Errorf("\"t0\" must be >= 0")
+	}
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		return nil, fmt.Errorf("\"alpha\" must be in [0,1) (0 selects the default)")
+	}
+	switch s := base.(type) {
+	case tuner.SimulatedAnnealing:
+		s.T0, s.Alpha = p.T0, p.Alpha
+		return s, nil
+	case tuner.GeneticAlgorithm:
+		s.PopSize, s.MutationRate, s.Crossover = p.PopSize, p.MutationRate, p.Crossover
+		return s, nil
+	}
+	return base, nil
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SessionCreateRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	strat, err := strategyFor(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if entry.Space.Size() == 0 {
+		// An over-constrained definition builds (and caches) an empty
+		// space; there is nothing to tune over.
+		writeError(w, http.StatusUnprocessableEntity, "space %q is empty: no valid configurations to tune over", entry.ID)
+		return
+	}
+	b := req.Budget
+	if b.MaxEvals <= 0 && b.MaxTimeSeconds <= 0 {
+		writeError(w, http.StatusBadRequest, "budget required: set \"budget.max_evals\" and/or \"budget.max_time_seconds\"")
+		return
+	}
+	if b.MaxEvals > maxSessionEvals {
+		writeError(w, http.StatusBadRequest, "\"budget.max_evals\" exceeds limit %d", maxSessionEvals)
+		return
+	}
+	if b.StartTimeSeconds < 0 {
+		writeError(w, http.StatusBadRequest, "\"budget.start_time_seconds\" must be >= 0")
+		return
+	}
+	budget := tuner.Budget{
+		MaxEvals:  b.MaxEvals,
+		MaxTime:   b.MaxTimeSeconds,
+		StartTime: b.StartTimeSeconds,
+	}
+	sess, err := s.sessions.Create(entry.ID, strat, req.Seed, budget, entry.Space)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Close the create/evict race: if the space was evicted between our
+	// registry lookup and the table insert, the eviction hook ran too
+	// early to see this session — kill it now rather than hand out a
+	// session pinning an evicted space.
+	if _, ok := s.reg.Lookup(entry.ID); !ok {
+		s.sessions.KillBySpace(entry.ID)
+		writeError(w, http.StatusGone, "space %q was evicted during session creation; rebuild the space and retry", entry.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionCreateResponse{
+		Session: sess.ID, Space: entry.ID,
+		Strategy: sess.Strategy, Seed: sess.Seed, Budget: b,
+	})
+}
+
+// lookupSession resolves {id}/{sid} to a live session and its backing
+// space, writing 404 for unknown/expired sessions and 410 when the
+// space was evicted out from under the session (which killed it).
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*Session, *Entry, bool) {
+	spaceID, sid := r.PathValue("id"), r.PathValue("sid")
+	sess, ok := s.sessions.Lookup(sid)
+	if !ok || sess.SpaceID != spaceID {
+		if killedSpace, killed := s.sessions.KilledSpace(sid); killed && killedSpace == spaceID {
+			writeError(w, http.StatusGone, "space %q backing session %q was evicted; rebuild the space and create a new session", spaceID, sid)
+			return nil, nil, false
+		}
+		writeError(w, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
+		return nil, nil, false
+	}
+	entry, ok := s.reg.Lookup(spaceID)
+	if !ok {
+		// The eviction hook normally kills sessions first; this covers
+		// the race where the lookup lands in between. Same outcome: the
+		// session dies loudly and stops pinning the space.
+		s.sessions.KillBySpace(spaceID)
+		writeError(w, http.StatusGone, "space %q backing session %q was evicted; rebuild the space and create a new session", spaceID, sid)
+		return nil, nil, false
+	}
+	return sess, entry, true
+}
+
+func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
+	sess, entry, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req AskRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	max := req.Max
+	if max == 0 {
+		max = 1
+	}
+	if max < 1 || max > maxAskBatch {
+		writeError(w, http.StatusBadRequest, "\"max\" must be in [1,%d]", maxAskBatch)
+		return
+	}
+	sess.mu.Lock()
+	retry := sess.pendingAsk
+	rows := sess.stepper.Ask(max)
+	if rows == nil {
+		rows = []int{} // exhausted: an empty list, not JSON null
+	}
+	sess.pendingAsk = len(rows) > 0
+	done := sess.stepper.Done()
+	evals := sess.stepper.Evaluations()
+	completed := done && !sess.completedSeen
+	if completed {
+		sess.completedSeen = true
+	}
+	sess.mu.Unlock()
+	// A re-asked outstanding batch is a retry: count the round trip but
+	// not the rows, which were already proposed once.
+	proposed := len(rows)
+	if retry {
+		proposed = 0
+	}
+	s.metrics.ObserveSessionAsk(sess.Strategy, proposed)
+	if completed {
+		s.metrics.ObserveSessionComplete(sess.Strategy)
+	}
+	resp := AskResponse{
+		Session: sess.ID, Rows: rows, Done: done, Evaluations: evals,
+		Configs: make([]ConfigDoc, len(rows)),
+	}
+	for i, row := range rows {
+		resp.Configs[i] = configDoc(entry.Space, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionTell(w http.ResponseWriter, r *http.Request) {
+	sess, entry, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req TellRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(req.Results) == 0 {
+		writeError(w, http.StatusBadRequest, "need \"results\"")
+		return
+	}
+	sess.mu.Lock()
+	before := sess.stepper.Evaluations()
+	err := sess.stepper.Tell(req.Results)
+	if err == nil {
+		sess.pendingAsk = false
+	}
+	evals := sess.stepper.Evaluations()
+	bestRow, bestScore := sess.stepper.Best()
+	done := sess.stepper.Done()
+	completed := err == nil && done && !sess.completedSeen
+	if completed {
+		sess.completedSeen = true
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		// Batch/state mismatch: a stale or duplicate tell. 409 tells the
+		// client to re-ask and continue from the outstanding batch.
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.metrics.ObserveSessionTell(sess.Strategy, evals-before)
+	if completed {
+		s.metrics.ObserveSessionComplete(sess.Strategy)
+	}
+	writeJSON(w, http.StatusOK, TellResponse{
+		Session: sess.ID, Accepted: len(req.Results), Done: done,
+		Evaluations: evals,
+		Best:        bestDoc(entry, bestRow, bestScore),
+	})
+}
+
+func (s *Server) handleSessionBest(w http.ResponseWriter, r *http.Request) {
+	sess, entry, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	res := sess.stepper.Result()
+	done := sess.stepper.Done()
+	sess.mu.Unlock()
+	resp := BestResponse{
+		Session: sess.ID, Strategy: sess.Strategy, Done: done,
+		Evaluations: res.Evaluations, EndTime: res.EndTime,
+		Best:  bestDoc(entry, res.BestRow, res.BestScore),
+		Trace: make([]TracePointDoc, len(res.Trace)),
+	}
+	for i, tp := range res.Trace {
+		resp.Trace[i] = TracePointDoc{Time: tp.Time, Best: tp.Best}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	spaceID, sid := r.PathValue("id"), r.PathValue("sid")
+	sess, ok := s.sessions.Lookup(sid)
+	if !ok || sess.SpaceID != spaceID {
+		if killedSpace, killed := s.sessions.KilledSpace(sid); killed && killedSpace == spaceID {
+			// Same loud signal as ask/tell/best: the session died with
+			// its space; there is nothing left to delete.
+			writeError(w, http.StatusGone, "space %q backing session %q was evicted; the session is already gone", spaceID, sid)
+			return
+		}
+		writeError(w, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
+		return
+	}
+	s.sessions.Remove(sid)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// bestDoc renders the best configuration, nil until the first
+// evaluation lands (the score is -Inf then, which JSON cannot carry).
+func bestDoc(entry *Entry, bestRow int, bestScore float64) *BestDoc {
+	if bestRow < 0 {
+		return nil
+	}
+	return &BestDoc{
+		Row:    bestRow,
+		Score:  bestScore,
+		Config: configDoc(entry.Space, bestRow),
+	}
+}

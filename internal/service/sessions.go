@@ -1,0 +1,266 @@
+package service
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"time"
+
+	"searchspace/internal/tuner"
+)
+
+// SessionConfig bounds the session table.
+type SessionConfig struct {
+	// MaxSessions caps live sessions; the least recently used beyond it
+	// are evicted (0 = unlimited).
+	MaxSessions int
+	// TTL expires sessions idle longer than this (0 = never). Expiry is
+	// lazy: checked on access and swept on session creation, so an idle
+	// daemon holds expired sessions only until the next request.
+	TTL time.Duration
+}
+
+// DefaultSessionConfig is the daemon default: generous enough for slow
+// real-hardware measurement loops, bounded enough that abandoned
+// sessions cannot pin their spaces forever.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{MaxSessions: 4096, TTL: 30 * time.Minute}
+}
+
+// maxSessionEvals caps one session's evaluation budget; a tuning run
+// needing more than this should shard across sessions.
+const maxSessionEvals = 1 << 20
+
+// Session is one ask/tell tuning run pinned to a cached space. The
+// stepper's state is serializable by contract: (strategy, seed, told
+// measurements) replays to the identical state via tuner.Replay. All
+// stepper access goes through mu — concurrent ask/tell on one session
+// serializes, and a tell racing another tell fails the outstanding-ask
+// match with 409 rather than corrupting state.
+type Session struct {
+	ID       string
+	SpaceID  string
+	Strategy string
+	Seed     int64
+	Budget   tuner.Budget
+
+	mu      sync.Mutex
+	stepper tuner.Stepper
+	// pendingAsk marks an outstanding un-told batch, so metrics count a
+	// re-asked (retried) batch's rows only once.
+	pendingAsk bool
+	// completedSeen dedupes the done→metrics transition: whichever of
+	// ask or tell first observes exhaustion reports it, once.
+	completedSeen bool
+
+	// created/lastUsed and elem are guarded by the owning table's mutex.
+	created  time.Time
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// Sessions is the daemon's session table: TTL for abandoned runs, LRU
+// for capacity, and lazy sweeping on creation.
+type Sessions struct {
+	cfg     SessionConfig
+	metrics *Metrics
+
+	mu    sync.Mutex
+	table map[string]*Session
+	lru   *list.List // front = most recently used
+
+	// tombstones remembers sessions killed because their space was
+	// evicted (sid → space id), so clients get a loud 410 instead of a
+	// generic 404. FIFO-bounded; ids beyond the cap degrade to 404.
+	tombstones     map[string]string
+	tombstoneOrder []string
+
+	created      int64
+	expiredTTL   int64
+	evictedLRU   int64
+	deleted      int64
+	spaceEvicted int64
+
+	// now is the clock, injectable so TTL tests don't sleep.
+	now func() time.Time
+}
+
+// maxTombstones caps the killed-session memory.
+const maxTombstones = 4096
+
+// NewSessions creates an empty session table.
+func NewSessions(cfg SessionConfig, metrics *Metrics) *Sessions {
+	return &Sessions{
+		cfg:        cfg,
+		metrics:    metrics,
+		table:      make(map[string]*Session),
+		lru:        list.New(),
+		tombstones: make(map[string]string),
+		now:        time.Now,
+	}
+}
+
+// KillBySpace removes every session bound to an evicted space,
+// releasing the stepper references that would otherwise keep the space
+// resident past the registry's byte budget, and leaves tombstones so
+// clients learn their session died with a 410 rather than a 404. Wired
+// as the registry's eviction hook.
+func (t *Sessions) KillBySpace(spaceID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sess := range t.table {
+		if sess.SpaceID != spaceID {
+			continue
+		}
+		t.removeLocked(sess)
+		t.spaceEvicted++
+		t.tombstones[sess.ID] = spaceID
+		t.tombstoneOrder = append(t.tombstoneOrder, sess.ID)
+	}
+	for len(t.tombstoneOrder) > maxTombstones {
+		delete(t.tombstones, t.tombstoneOrder[0])
+		t.tombstoneOrder = t.tombstoneOrder[1:]
+	}
+}
+
+// KilledSpace reports whether the session id was killed by a space
+// eviction, returning the space it was bound to.
+func (t *Sessions) KilledSpace(id string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spaceID, ok := t.tombstones[id]
+	return spaceID, ok
+}
+
+// newSessionID returns a fresh opaque session id.
+func newSessionID() (string, error) {
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("service: session id: %w", err)
+	}
+	return hex.EncodeToString(raw[:]), nil
+}
+
+// Create registers a new session running strat over sp (the space
+// cached under spaceID), seeded for reproducibility: equal (strategy,
+// seed, budget, measurements) always propose equal configurations.
+func (t *Sessions) Create(spaceID string, strat tuner.Strategy, seed int64, budget tuner.Budget, sp tuner.Space) (*Session, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		ID:       id,
+		SpaceID:  spaceID,
+		Strategy: strat.Name(),
+		Seed:     seed,
+		Budget:   budget,
+		stepper:  strat.Stepper(mrand.New(mrand.NewSource(seed)), sp, budget),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.sweepLocked(now)
+	sess.created, sess.lastUsed = now, now
+	t.table[id] = sess
+	sess.elem = t.lru.PushFront(sess)
+	t.created++
+	// Room for the newcomer: evict the coldest beyond the cap.
+	for t.cfg.MaxSessions > 0 && t.lru.Len() > t.cfg.MaxSessions {
+		victim := t.lru.Back().Value.(*Session)
+		t.removeLocked(victim)
+		t.evictedLRU++
+	}
+	t.metrics.ObserveSessionCreate(sess.Strategy)
+	return sess, nil
+}
+
+// Lookup returns the live session with the given id, refreshing its
+// idle clock and LRU position. An expired session is removed and
+// reported as absent.
+func (t *Sessions) Lookup(id string) (*Session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sess, ok := t.table[id]
+	if !ok {
+		return nil, false
+	}
+	now := t.now()
+	if t.expiredLocked(sess, now) {
+		t.removeLocked(sess)
+		t.expiredTTL++
+		return nil, false
+	}
+	sess.lastUsed = now
+	t.lru.MoveToFront(sess.elem)
+	return sess, true
+}
+
+// Remove deletes a session (client DELETE, or a dead space).
+func (t *Sessions) Remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sess, ok := t.table[id]
+	if !ok {
+		return false
+	}
+	t.removeLocked(sess)
+	t.deleted++
+	return true
+}
+
+func (t *Sessions) expiredLocked(sess *Session, now time.Time) bool {
+	return t.cfg.TTL > 0 && now.Sub(sess.lastUsed) > t.cfg.TTL
+}
+
+func (t *Sessions) removeLocked(sess *Session) {
+	delete(t.table, sess.ID)
+	if sess.elem != nil {
+		t.lru.Remove(sess.elem)
+		sess.elem = nil
+	}
+}
+
+// sweepLocked expires idle sessions from the cold end of the LRU.
+func (t *Sessions) sweepLocked(now time.Time) {
+	for back := t.lru.Back(); back != nil; {
+		sess := back.Value.(*Session)
+		if !t.expiredLocked(sess, now) {
+			// LRU order means everything further front is fresher.
+			return
+		}
+		prev := back.Prev()
+		t.removeLocked(sess)
+		t.expiredTTL++
+		back = prev
+	}
+}
+
+// SessionTableStats is a point-in-time snapshot of table behavior.
+type SessionTableStats struct {
+	Active     int   `json:"active"`
+	Created    int64 `json:"created"`
+	ExpiredTTL int64 `json:"expired_ttl"`
+	EvictedLRU int64 `json:"evicted_lru"`
+	Deleted    int64 `json:"deleted"`
+	// SpaceEvicted counts sessions killed because the registry evicted
+	// their backing space.
+	SpaceEvicted int64 `json:"space_evicted"`
+}
+
+// Stats snapshots the table counters.
+func (t *Sessions) Stats() SessionTableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return SessionTableStats{
+		Active:       t.lru.Len(),
+		Created:      t.created,
+		ExpiredTTL:   t.expiredTTL,
+		EvictedLRU:   t.evictedLRU,
+		Deleted:      t.deleted,
+		SpaceEvicted: t.spaceEvicted,
+	}
+}

@@ -1,0 +1,320 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Measurement reports one evaluated configuration back to a stepper:
+// the proposed row, the measured score (quantity to maximize), and the
+// evaluation's wall-clock cost in simulated seconds.
+type Measurement struct {
+	Row   int     `json:"row"`
+	Score float64 `json:"score"`
+	Cost  float64 `json:"cost"`
+}
+
+// Stepper is the resumable ask/tell form of a Strategy: the strategy
+// proposes configurations, the caller measures them (locally, remotely,
+// on real hardware) and tells the results back. A stepper's entire
+// state is determined by (strategy parameters, RNG seed, measurement
+// history) — steppers are deterministic, so Replay reconstructs one
+// exactly from that serializable triple.
+//
+// Protocol: Ask proposes up to max fresh rows (never rows it already
+// knows a score for). Repeated Ask without an intervening Tell returns
+// the same outstanding batch, so retries are safe. Tell must report
+// measurements for exactly the outstanding rows, in order. An empty
+// Ask means the run is over; consult Result.
+type Stepper interface {
+	// Name returns the strategy's report label.
+	Name() string
+	// Ask proposes up to max (>=1) configuration rows to measure next,
+	// or nil when the run is over.
+	Ask(max int) []int
+	// Tell reports measurements for the rows of the outstanding Ask and
+	// advances the strategy. It fails without mutating state when there
+	// is no outstanding ask or the batch does not match it.
+	Tell(ms []Measurement) error
+	// Done reports whether the budget is exhausted or the strategy has
+	// finished exploring.
+	Done() bool
+	// Evaluations returns the fresh-evaluation count so far — the hot
+	// counter, without Result's trace copy.
+	Evaluations() int
+	// Best returns the best row and score so far (row -1 before the
+	// first evaluation), without Result's trace copy.
+	Best() (row int, score float64)
+	// Result snapshots the outcome so far.
+	Result() Result
+}
+
+// stepCore is the bookkeeping shared by every strategy stepper — the
+// ask/tell analog of runState. Strategies express themselves as a
+// sequence of eval plans: the exact row-evaluation order the closed
+// loop would perform for the current decision step (duplicates and
+// already-measured rows included). The core drains a plan by replaying
+// memoized rows for free and consuming fresh measurements as they are
+// told, with budget accounting identical to runState.eval; when a plan
+// is consumed it calls the strategy's step callback to install the
+// next one.
+type stepCore struct {
+	sp     Space
+	budget Budget
+	now    float64
+	res    Result
+	// visited memoizes measured rows; repeat proposals cost no budget
+	// and are never re-asked. The first told score for a row wins, as a
+	// memoizing tuner would behave with noisy measurements.
+	visited map[int]float64
+	// stale counts consecutive memoized evaluations, terminating
+	// strategies stuck proposing only known configurations (see
+	// runState.stale).
+	stale int
+	done  bool
+
+	plan    []int
+	planPos int
+	staged  map[int]Measurement
+	asked   []int
+	// step installs the strategy's next plan (or sets done) once the
+	// current plan is fully consumed.
+	step func()
+}
+
+func newStepCore(name string, sp Space, budget Budget) *stepCore {
+	return &stepCore{
+		sp:     sp,
+		budget: budget,
+		now:    budget.StartTime,
+		res: Result{
+			Strategy:  name,
+			BestRow:   -1,
+			BestScore: math.Inf(-1),
+		},
+		visited: make(map[int]float64),
+		staged:  make(map[int]Measurement),
+	}
+}
+
+// Name implements Stepper.
+func (c *stepCore) Name() string { return c.res.Strategy }
+
+// Done implements Stepper.
+func (c *stepCore) Done() bool { return c.done }
+
+// Evaluations implements Stepper.
+func (c *stepCore) Evaluations() int { return c.res.Evaluations }
+
+// Best implements Stepper.
+func (c *stepCore) Best() (int, float64) { return c.res.BestRow, c.res.BestScore }
+
+// Result implements Stepper.
+func (c *stepCore) Result() Result {
+	res := c.res
+	res.EndTime = c.now
+	res.Trace = append([]TracePoint(nil), c.res.Trace...)
+	return res
+}
+
+// exhausted mirrors runState.exhausted.
+func (c *stepCore) exhausted() bool {
+	if c.budget.MaxTime > 0 && c.now >= c.budget.MaxTime {
+		return true
+	}
+	if c.budget.MaxEvals > 0 && c.res.Evaluations >= c.budget.MaxEvals {
+		return true
+	}
+	if c.stale > 20*c.sp.Size()+1000 {
+		return true
+	}
+	return false
+}
+
+// evalCached replays a memoized evaluation (runState.eval's seen
+// branch); false means the budget ran out.
+func (c *stepCore) evalCached() bool {
+	c.stale++
+	return !c.exhausted()
+}
+
+// evalFresh applies one fresh measurement (runState.eval's unseen
+// branch); false means the budget ran out before or during it.
+func (c *stepCore) evalFresh(row int, m Measurement) bool {
+	c.stale = 0
+	if c.exhausted() {
+		return false
+	}
+	if c.budget.MaxTime > 0 && c.now+m.Cost > c.budget.MaxTime {
+		// Not enough time left to finish measuring this configuration.
+		c.now = c.budget.MaxTime
+		return false
+	}
+	c.now += m.Cost
+	c.visited[row] = m.Score
+	c.res.Evaluations++
+	if m.Score > c.res.BestScore {
+		c.res.BestScore = m.Score
+		c.res.BestRow = row
+		c.res.Trace = append(c.res.Trace, TracePoint{Time: c.now, Best: m.Score})
+	}
+	return true
+}
+
+// setPlan installs the next eval plan.
+func (c *stepCore) setPlan(rows []int) {
+	c.plan = rows
+	c.planPos = 0
+}
+
+// drain consumes the plan as far as available measurements allow,
+// advancing the strategy through step whenever a plan completes. It
+// stops at the first row that still needs a measurement, or when the
+// budget runs out.
+func (c *stepCore) drain() {
+	for !c.done {
+		if c.planPos >= len(c.plan) {
+			c.step()
+			continue
+		}
+		row := c.plan[c.planPos]
+		if _, seen := c.visited[row]; seen {
+			if !c.evalCached() {
+				c.done = true
+				return
+			}
+			c.planPos++
+			continue
+		}
+		m, staged := c.staged[row]
+		if !staged {
+			return // needs a fresh measurement
+		}
+		delete(c.staged, row)
+		if !c.evalFresh(row, m) {
+			c.done = true
+			return
+		}
+		c.planPos++
+	}
+}
+
+// Ask implements Stepper.
+func (c *stepCore) Ask(max int) []int {
+	if c.done {
+		return nil
+	}
+	if len(c.asked) > 0 {
+		// Outstanding batch: re-asking is a retry, not a new proposal.
+		return append([]int(nil), c.asked...)
+	}
+	if c.exhausted() {
+		c.done = true
+		return nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	// Never propose more fresh evaluations than the budget can count.
+	if c.budget.MaxEvals > 0 {
+		if left := c.budget.MaxEvals - c.res.Evaluations; left < max {
+			max = left
+		}
+	}
+	proposed := make(map[int]struct{}, max)
+	for i := c.planPos; i < len(c.plan) && len(c.asked) < max; i++ {
+		row := c.plan[i]
+		if _, seen := c.visited[row]; seen {
+			continue
+		}
+		if _, dup := proposed[row]; dup {
+			continue
+		}
+		proposed[row] = struct{}{}
+		c.asked = append(c.asked, row)
+	}
+	return append([]int(nil), c.asked...)
+}
+
+// Tell implements Stepper.
+func (c *stepCore) Tell(ms []Measurement) error {
+	if len(c.asked) == 0 {
+		if c.done {
+			return fmt.Errorf("tuner: tell on a finished run")
+		}
+		return fmt.Errorf("tuner: tell without an outstanding ask")
+	}
+	if len(ms) != len(c.asked) {
+		return fmt.Errorf("tuner: tell reports %d measurements for an ask of %d rows", len(ms), len(c.asked))
+	}
+	for i, m := range ms {
+		if m.Row != c.asked[i] {
+			return fmt.Errorf("tuner: measurement %d reports row %d, ask proposed row %d", i, m.Row, c.asked[i])
+		}
+		if math.IsNaN(m.Score) || math.IsInf(m.Score, 0) {
+			return fmt.Errorf("tuner: measurement %d has non-finite score", i)
+		}
+		if m.Cost < 0 || math.IsNaN(m.Cost) || math.IsInf(m.Cost, 0) {
+			return fmt.Errorf("tuner: measurement %d has invalid cost", i)
+		}
+	}
+	for _, m := range ms {
+		c.staged[m.Row] = m
+	}
+	c.asked = nil
+	c.drain()
+	return nil
+}
+
+// RunStepper drives a stepper to completion against a local objective,
+// measuring batch rows per round trip. With batch 1 the evaluation
+// sequence is identical to the historical closed-loop Run under any
+// budget; larger batches remain identical under pure MaxEvals budgets
+// (a MaxTime budget can truncate mid-batch, dropping measurements the
+// sequential loop would never have started).
+func RunStepper(st Stepper, obj Objective, batch int) Result {
+	if batch < 1 {
+		batch = 1
+	}
+	for {
+		rows := st.Ask(batch)
+		if len(rows) == 0 {
+			break
+		}
+		ms := make([]Measurement, len(rows))
+		for i, row := range rows {
+			ms[i] = Measurement{Row: row, Score: obj.Score(row), Cost: obj.Cost(row)}
+		}
+		if err := st.Tell(ms); err != nil {
+			// Unreachable with a well-formed driver; stop rather than spin.
+			break
+		}
+	}
+	return st.Result()
+}
+
+// Replay reconstructs a stepper from its serializable state: the
+// strategy (with parameters), the RNG seed, the budget, and the full
+// measurement history in told order. Because steppers are
+// deterministic, feeding the history back through the ask/tell
+// protocol rebuilds the exact internal state, whatever batch sizes
+// produced it. It fails if the history diverges from what the strategy
+// would have asked — the signature of a history recorded under
+// different parameters or a different space.
+func Replay(s Strategy, seed int64, sp Space, budget Budget, history []Measurement) (Stepper, error) {
+	st := s.Stepper(rand.New(rand.NewSource(seed)), sp, budget)
+	for i := 0; i < len(history); i++ {
+		rows := st.Ask(1)
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("tuner: replay: run ended after %d of %d measurements", i, len(history))
+		}
+		if rows[0] != history[i].Row {
+			return nil, fmt.Errorf("tuner: replay diverged at measurement %d: history has row %d, strategy asks row %d", i, history[i].Row, rows[0])
+		}
+		if err := st.Tell(history[i : i+1]); err != nil {
+			return nil, fmt.Errorf("tuner: replay: %w", err)
+		}
+	}
+	return st, nil
+}

@@ -5,6 +5,14 @@
 // DESIGN.md's substitution table). The construction-time measurements are
 // real; only kernel execution time is simulated, which preserves the
 // figures' shape: time spent constructing is time not spent tuning.
+//
+// Every strategy exists in two equivalent forms: the classic closed
+// Run loop, and a resumable ask/tell Stepper (propose a batch of
+// configuration rows, accept measured costs, carry replayable state)
+// that the spaced service drives over HTTP. Run is implemented on top
+// of the stepper, so the two forms cannot drift; the golden-trace
+// tests pin that the stepper form reproduces the historical closed
+// loops exactly.
 package tuner
 
 import (
@@ -65,95 +73,40 @@ type Result struct {
 	EndTime float64
 }
 
-// Strategy explores a space under a budget.
+// Strategy explores a space under a budget. Stepper returns the
+// resumable ask/tell form; Run drives it to completion against a local
+// objective with batch size 1, which reproduces the historical closed
+// loop exactly.
 type Strategy interface {
 	Name() string
 	Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result
+	Stepper(rng *rand.Rand, sp Space, budget Budget) Stepper
 }
 
-// runState factors the bookkeeping every strategy shares: budget
-// accounting, deduplicated evaluation, and trace recording.
-type runState struct {
-	sp      Space
-	obj     Objective
-	budget  Budget
-	now     float64
-	res     Result
-	visited map[int]float64
-	// stale counts consecutive cached (free) evaluations. Memoized
-	// revisits cost no budget, so a strategy stuck proposing only
-	// already-measured configurations would never terminate; after a
-	// bound proportional to the space size the run is declared
-	// exhausted.
-	stale int
+// StrategyByName resolves a report label to a fresh strategy with
+// default parameters — the service's factory.
+func StrategyByName(name string) (Strategy, bool) {
+	switch name {
+	case RandomSampling{}.Name():
+		return RandomSampling{}, true
+	case GreedyILS{}.Name():
+		return GreedyILS{}, true
+	case SimulatedAnnealing{}.Name():
+		return SimulatedAnnealing{}, true
+	case GeneticAlgorithm{}.Name():
+		return GeneticAlgorithm{}, true
+	}
+	return nil, false
 }
 
-func newRun(name string, sp Space, obj Objective, budget Budget) *runState {
-	return &runState{
-		sp:     sp,
-		obj:    obj,
-		budget: budget,
-		now:    budget.StartTime,
-		res: Result{
-			Strategy:  name,
-			BestRow:   -1,
-			BestScore: math.Inf(-1),
-		},
-		visited: make(map[int]float64),
+// StrategyNames lists the strategy report labels in a stable order.
+func StrategyNames() []string {
+	return []string{
+		RandomSampling{}.Name(),
+		GreedyILS{}.Name(),
+		SimulatedAnnealing{}.Name(),
+		GeneticAlgorithm{}.Name(),
 	}
-}
-
-// exhausted reports whether the budget is spent (or the strategy has
-// stopped discovering new configurations).
-func (st *runState) exhausted() bool {
-	if st.budget.MaxTime > 0 && st.now >= st.budget.MaxTime {
-		return true
-	}
-	if st.budget.MaxEvals > 0 && st.res.Evaluations >= st.budget.MaxEvals {
-		return true
-	}
-	if st.stale > 20*st.sp.Size()+1000 {
-		return true
-	}
-	return false
-}
-
-// eval scores row (cached for repeat visits, which cost nothing extra —
-// tuners memoize measured configurations). It returns false when the
-// budget was exhausted before the evaluation could run.
-func (st *runState) eval(row int) (float64, bool) {
-	if score, seen := st.visited[row]; seen {
-		st.stale++
-		if st.exhausted() {
-			return score, false
-		}
-		return score, true
-	}
-	st.stale = 0
-	if st.exhausted() {
-		return 0, false
-	}
-	cost := st.obj.Cost(row)
-	if st.budget.MaxTime > 0 && st.now+cost > st.budget.MaxTime {
-		// Not enough time left to finish measuring this configuration.
-		st.now = st.budget.MaxTime
-		return 0, false
-	}
-	st.now += cost
-	score := st.obj.Score(row)
-	st.visited[row] = score
-	st.res.Evaluations++
-	if score > st.res.BestScore {
-		st.res.BestScore = score
-		st.res.BestRow = row
-		st.res.Trace = append(st.res.Trace, TracePoint{Time: st.now, Best: score})
-	}
-	return score, true
-}
-
-func (st *runState) finish() Result {
-	st.res.EndTime = st.now
-	return st.res
 }
 
 // RandomSampling evaluates uniformly random configurations without
@@ -165,15 +118,18 @@ type RandomSampling struct{}
 func (RandomSampling) Name() string { return "random-sampling" }
 
 // Run implements Strategy.
-func (RandomSampling) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
-	st := newRun(RandomSampling{}.Name(), sp, obj, budget)
-	perm := rng.Perm(sp.Size())
-	for _, row := range perm {
-		if _, ok := st.eval(row); !ok {
-			break
-		}
-	}
-	return st.finish()
+func (s RandomSampling) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
+	return RunStepper(s.Stepper(rng, sp, budget), obj, 1)
+}
+
+// Stepper implements Strategy. The whole permutation is one eval plan;
+// consuming it means the space is exhausted.
+func (s RandomSampling) Stepper(rng *rand.Rand, sp Space, budget Budget) Stepper {
+	c := newStepCore(s.Name(), sp, budget)
+	c.setPlan(rng.Perm(sp.Size()))
+	c.step = func() { c.done = true }
+	c.drain()
+	return c
 }
 
 // GreedyILS is greedy iterated local search: repeated best-improvement
@@ -185,32 +141,70 @@ func (GreedyILS) Name() string { return "greedy-ils" }
 
 // Run implements Strategy.
 func (g GreedyILS) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
-	st := newRun(g.Name(), sp, obj, budget)
-	for !st.exhausted() {
-		cur := rng.Intn(sp.Size())
-		curScore, ok := st.eval(cur)
-		if !ok {
-			break
-		}
-		for {
-			bestN, bestScore := -1, curScore
-			improved := false
-			for _, nb := range sp.HammingNeighbors(cur) {
-				s, ok := st.eval(nb)
-				if !ok {
-					return st.finish()
-				}
-				if s > bestScore {
-					bestN, bestScore, improved = nb, s, true
-				}
-			}
-			if !improved {
-				break // local optimum; restart
-			}
-			cur, curScore = bestN, bestScore
+	return RunStepper(g.Stepper(rng, sp, budget), obj, 1)
+}
+
+// Stepper implements Strategy.
+func (g GreedyILS) Stepper(rng *rand.Rand, sp Space, budget Budget) Stepper {
+	c := newStepCore(g.Name(), sp, budget)
+	st := &greedyState{c: c, rng: rng}
+	c.step = st.step
+	st.restart()
+	c.drain()
+	return c
+}
+
+// greedyState is GreedyILS's explicit stepper state.
+type greedyState struct {
+	c   *stepCore
+	rng *rand.Rand
+	// cur is the climb position; curScore its score.
+	cur      int
+	curScore float64
+	// neighbors is the Hamming neighborhood being evaluated when
+	// climbing is true; otherwise the pending plan is the restart point.
+	neighbors []int
+	climbing  bool
+}
+
+// restart begins a new climb from a random configuration (the outer
+// loop of the closed form, including its pre-draw budget check).
+func (st *greedyState) restart() {
+	if st.c.exhausted() {
+		st.c.done = true
+		return
+	}
+	st.cur = st.rng.Intn(st.c.sp.Size())
+	st.climbing = false
+	st.c.setPlan([]int{st.cur})
+}
+
+// step advances after the current plan is fully evaluated.
+func (st *greedyState) step() {
+	if !st.climbing {
+		st.curScore = st.c.visited[st.cur]
+		st.beginClimb()
+		return
+	}
+	// Best-improvement move over the just-evaluated neighborhood.
+	bestN, bestScore, improved := -1, st.curScore, false
+	for _, nb := range st.neighbors {
+		if s := st.c.visited[nb]; s > bestScore {
+			bestN, bestScore, improved = nb, s, true
 		}
 	}
-	return st.finish()
+	if !improved {
+		st.restart() // local optimum
+		return
+	}
+	st.cur, st.curScore = bestN, bestScore
+	st.beginClimb()
+}
+
+func (st *greedyState) beginClimb() {
+	st.neighbors = st.c.sp.HammingNeighbors(st.cur)
+	st.climbing = true
+	st.c.setPlan(st.neighbors)
 }
 
 // SimulatedAnnealing random-walks over Hamming neighbors, accepting
@@ -228,62 +222,123 @@ func (SimulatedAnnealing) Name() string { return "simulated-annealing" }
 
 // Run implements Strategy.
 func (sa SimulatedAnnealing) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
-	st := newRun(sa.Name(), sp, obj, budget)
+	return RunStepper(sa.Stepper(rng, sp, budget), obj, 1)
+}
+
+// Stepper implements Strategy.
+func (sa SimulatedAnnealing) Stepper(rng *rand.Rand, sp Space, budget Budget) Stepper {
+	c := newStepCore(sa.Name(), sp, budget)
 	alpha := sa.Alpha
 	if alpha == 0 {
 		alpha = 0.995
 	}
-	cur := rng.Intn(sp.Size())
-	curScore, ok := st.eval(cur)
-	if !ok {
-		return st.finish()
-	}
-	temp := sa.T0
-	if temp == 0 {
-		temp = math.Abs(curScore)/10 + 1e-9
-	}
+	st := &saState{c: c, rng: rng, t0: sa.T0, alpha: alpha, phase: saInit}
+	st.cur = rng.Intn(sp.Size())
+	c.setPlan([]int{st.cur})
+	c.step = st.step
+	c.drain()
+	return c
+}
+
+// saState is SimulatedAnnealing's explicit stepper state.
+type saState struct {
+	c         *stepCore
+	rng       *rand.Rand
+	t0, alpha float64
+	cur       int
+	curScore  float64
+	temp      float64
 	// noProgress counts proposals since the last accepted move or fresh
 	// evaluation; a frozen walk at a fully-explored local optimum is
 	// kicked to a random restart rather than spinning.
-	noProgress := 0
-	for !st.exhausted() {
-		nb, ok := sp.RandomNeighbor(rng, cur)
-		if !ok {
-			break
+	noProgress int
+	// nb is the proposed neighbor awaiting evaluation; evalsBefore the
+	// evaluation count when it was proposed.
+	nb          int
+	evalsBefore int
+	phase       saPhase
+}
+
+type saPhase int
+
+const (
+	saInit saPhase = iota // evaluating the starting configuration
+	saWalk                // evaluating a proposed neighbor
+	saRestart
+)
+
+// defaultTemp mirrors the closed form's temperature initialization.
+func (st *saState) defaultTemp() float64 {
+	t := st.t0
+	if t == 0 {
+		t = math.Abs(st.curScore)/10 + 1e-9
+	}
+	return t
+}
+
+func (st *saState) step() {
+	switch st.phase {
+	case saInit:
+		st.curScore = st.c.visited[st.cur]
+		st.temp = st.defaultTemp()
+		st.noProgress = 0
+		st.propose()
+	case saWalk:
+		s := st.c.visited[st.nb]
+		accepted := s >= st.curScore
+		if !accepted {
+			// Short-circuit preserved: the acceptance draw happens only
+			// for worsening moves.
+			accepted = st.rng.Float64() < math.Exp((s-st.curScore)/st.temp)
 		}
-		evalsBefore := st.res.Evaluations
-		s, ok := st.eval(nb)
-		if !ok {
-			break
-		}
-		accepted := s >= curScore || rng.Float64() < math.Exp((s-curScore)/temp)
 		if accepted {
-			cur, curScore = nb, s
+			st.cur, st.curScore = st.nb, s
 		}
-		if accepted || st.res.Evaluations > evalsBefore {
-			noProgress = 0
+		if accepted || st.c.res.Evaluations > st.evalsBefore {
+			st.noProgress = 0
 		} else {
-			noProgress++
-			if noProgress > 200 {
-				cur = rng.Intn(sp.Size())
-				if s, ok := st.eval(cur); ok {
-					curScore = s
-				} else {
-					break
-				}
-				temp = sa.T0
-				if temp == 0 {
-					temp = math.Abs(curScore)/10 + 1e-9
-				}
-				noProgress = 0
+			st.noProgress++
+			if st.noProgress > 200 {
+				st.cur = st.rng.Intn(st.c.sp.Size())
+				st.phase = saRestart
+				st.c.setPlan([]int{st.cur})
+				return
 			}
 		}
-		temp *= alpha
-		if temp < 1e-12 {
-			temp = 1e-12
-		}
+		st.cool()
+		st.propose()
+	case saRestart:
+		st.curScore = st.c.visited[st.cur]
+		st.temp = st.defaultTemp()
+		st.noProgress = 0
+		st.cool()
+		st.propose()
 	}
-	return st.finish()
+}
+
+func (st *saState) cool() {
+	st.temp *= st.alpha
+	if st.temp < 1e-12 {
+		st.temp = 1e-12
+	}
+}
+
+// propose draws the next neighbor (the walk loop's head, including its
+// budget check).
+func (st *saState) propose() {
+	if st.c.exhausted() {
+		st.c.done = true
+		return
+	}
+	nb, ok := st.c.sp.RandomNeighbor(st.rng, st.cur)
+	if !ok {
+		st.c.done = true
+		return
+	}
+	st.nb = nb
+	st.evalsBefore = st.c.res.Evaluations
+	st.phase = saWalk
+	st.c.setPlan([]int{nb})
 }
 
 // GeneticAlgorithm evolves a population with tournament selection,
@@ -313,7 +368,15 @@ func (GeneticAlgorithm) Name() string { return "genetic-algorithm" }
 
 // Run implements Strategy.
 func (ga GeneticAlgorithm) Run(rng *rand.Rand, sp Space, obj Objective, budget Budget) Result {
-	st := newRun(ga.Name(), sp, obj, budget)
+	return RunStepper(ga.Stepper(rng, sp, budget), obj, 1)
+}
+
+// Stepper implements Strategy. An entire generation's children are one
+// eval plan: child construction draws from the RNG but never reads a
+// child's score, so a generation can be proposed as a batch without
+// perturbing the closed form's RNG stream.
+func (ga GeneticAlgorithm) Stepper(rng *rand.Rand, sp Space, budget Budget) Stepper {
+	c := newStepCore(ga.Name(), sp, budget)
 	pop := ga.PopSize
 	if pop == 0 {
 		pop = 20
@@ -326,80 +389,115 @@ func (ga GeneticAlgorithm) Run(rng *rand.Rand, sp Space, obj Objective, budget B
 		mrate = 0.3
 	}
 	idxSp, canCross := sp.(indexedSpace)
-
-	rows := sp.SampleUniform(rng, pop)
-	scores := make([]float64, len(rows))
-	for i, r := range rows {
-		s, ok := st.eval(r)
-		if !ok {
-			return st.finish()
-		}
-		scores[i] = s
+	st := &gaState{
+		c: c, rng: rng,
+		crossover: ga.Crossover && canCross, idxSp: idxSp,
+		mrate: mrate,
+		rows:  sp.SampleUniform(rng, pop),
 	}
+	st.scores = make([]float64, len(st.rows))
+	c.setPlan(st.rows)
+	c.step = st.step
+	c.drain()
+	return c
+}
 
-	tournament := func() int {
-		a, b := rng.Intn(len(rows)), rng.Intn(len(rows))
-		if scores[a] >= scores[b] {
-			return a
-		}
-		return b
+// gaState is GeneticAlgorithm's explicit stepper state.
+type gaState struct {
+	c         *stepCore
+	rng       *rand.Rand
+	crossover bool
+	idxSp     indexedSpace
+	mrate     float64
+	// rows/scores are the current population; nextRows the generation
+	// being evaluated (nil while the initial population evaluates).
+	rows     []int
+	scores   []float64
+	nextRows []int
+}
+
+func (st *gaState) tournament() int {
+	a, b := st.rng.Intn(len(st.rows)), st.rng.Intn(len(st.rows))
+	if st.scores[a] >= st.scores[b] {
+		return a
 	}
+	return b
+}
 
-	for !st.exhausted() {
-		nextRows := make([]int, 0, len(rows))
-		nextScores := make([]float64, 0, len(rows))
-		// Elitism: carry the best individual over.
-		bestI := 0
-		for i := range rows {
-			if scores[i] > scores[bestI] {
-				bestI = i
-			}
+func (st *gaState) step() {
+	if st.nextRows != nil {
+		st.rows = st.nextRows
+		st.nextRows = nil
+	}
+	for i, r := range st.rows {
+		st.scores[i] = st.c.visited[r]
+	}
+	st.generation()
+}
+
+// generation breeds the next generation (the closed form's loop body)
+// and installs its children as the next eval plan.
+func (st *gaState) generation() {
+	if st.c.exhausted() {
+		st.c.done = true
+		return
+	}
+	if len(st.rows) < 2 {
+		// A single-individual population cannot breed: every generation
+		// would be the elite alone, an empty eval plan that advances
+		// nothing. (The closed loop spun forever here; the service
+		// surfaces pop_size, so terminate instead.)
+		st.c.done = true
+		return
+	}
+	// Elitism: carry the best individual over (without re-evaluating).
+	bestI := 0
+	for i := range st.rows {
+		if st.scores[i] > st.scores[bestI] {
+			bestI = i
 		}
-		nextRows = append(nextRows, rows[bestI])
-		nextScores = append(nextScores, scores[bestI])
-
-		for len(nextRows) < len(rows) {
-			pa, pb := tournament(), tournament()
-			child := -1
-			if ga.Crossover && canCross {
-				ia, ib := idxSp.Indices(rows[pa]), idxSp.Indices(rows[pb])
-				mixed := make([]int32, len(ia))
-				for k := range mixed {
-					if rng.Intn(2) == 0 {
-						mixed[k] = ia[k]
-					} else {
-						mixed[k] = ib[k]
-					}
-				}
-				if row, ok := idxSp.Lookup(mixed); ok {
-					child = row
-				}
-			}
-			if child < 0 {
-				// Mutation fallback: a Hamming step from the fitter parent.
-				parent := pa
-				if scores[pb] > scores[pa] {
-					parent = pb
-				}
-				if nb, ok := sp.RandomNeighbor(rng, rows[parent]); ok {
-					child = nb
+	}
+	next := make([]int, 0, len(st.rows))
+	next = append(next, st.rows[bestI])
+	for len(next) < len(st.rows) {
+		pa, pb := st.tournament(), st.tournament()
+		child := -1
+		if st.crossover {
+			ia, ib := st.idxSp.Indices(st.rows[pa]), st.idxSp.Indices(st.rows[pb])
+			mixed := make([]int32, len(ia))
+			for k := range mixed {
+				if st.rng.Intn(2) == 0 {
+					mixed[k] = ia[k]
 				} else {
-					child = rows[parent]
+					mixed[k] = ib[k]
 				}
 			}
-			if rng.Float64() < mrate {
-				if nb, ok := sp.RandomNeighbor(rng, child); ok {
-					child = nb
-				}
+			if row, ok := st.idxSp.Lookup(mixed); ok {
+				child = row
 			}
-			s, ok := st.eval(child)
-			if !ok {
-				return st.finish()
-			}
-			nextRows = append(nextRows, child)
-			nextScores = append(nextScores, s)
 		}
-		rows, scores = nextRows, nextScores
+		if child < 0 {
+			// Mutation fallback: a Hamming step from the fitter parent.
+			parent := pa
+			if st.scores[pb] > st.scores[pa] {
+				parent = pb
+			}
+			if nb, ok := st.c.sp.RandomNeighbor(st.rng, st.rows[parent]); ok {
+				child = nb
+			} else {
+				child = st.rows[parent]
+			}
+		}
+		if st.rng.Float64() < st.mrate {
+			if nb, ok := st.c.sp.RandomNeighbor(st.rng, child); ok {
+				child = nb
+			}
+		}
+		next = append(next, child)
 	}
-	return st.finish()
+	st.nextRows = next
+	// The elite's score is known; only the children need evaluating —
+	// though cached children still replay through the memo, charging
+	// the same stale accounting as the closed form.
+	st.c.setPlan(next[1:])
 }

@@ -214,15 +214,24 @@ func TestEvalMemoization(t *testing.T) {
 		Score: func(row int) float64 { calls++; return k.Score(sp.Row(row)) },
 		Cost:  func(row int) float64 { return 0.001 },
 	}
-	st := newRun("memo", sp, obj, Budget{MaxEvals: 100})
-	st.eval(0)
-	st.eval(0)
-	st.eval(0)
+	st := newStepCore("memo", sp, Budget{MaxEvals: 100})
+	st.setPlan([]int{0, 0, 0})
+	st.step = func() { st.done = true }
+	rows := st.Ask(10)
+	if len(rows) != 1 || rows[0] != 0 {
+		t.Fatalf("ask proposed %v, want the single fresh row 0", rows)
+	}
+	if err := st.Tell([]Measurement{{Row: 0, Score: obj.Score(0), Cost: obj.Cost(0)}}); err != nil {
+		t.Fatal(err)
+	}
 	if calls != 1 {
 		t.Fatalf("Score called %d times for a repeated row, want 1", calls)
 	}
-	if st.res.Evaluations != 1 {
-		t.Fatalf("evaluations = %d, want 1", st.res.Evaluations)
+	if got := st.Result().Evaluations; got != 1 {
+		t.Fatalf("evaluations = %d, want 1", got)
+	}
+	if !st.Done() {
+		t.Fatal("plan of one distinct row should finish after one measurement")
 	}
 }
 

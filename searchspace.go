@@ -25,6 +25,7 @@
 package searchspace
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -242,6 +243,23 @@ func (p *Problem) BuildParallel(workers int) (*SearchSpace, BuildStats, error) {
 // BuildTimed resolves the search space and reports timing, the
 // measurement primitive behind every figure in the evaluation.
 func (p *Problem) BuildTimed(m Method) (*SearchSpace, BuildStats, error) {
+	return p.BuildTimedStop(m, nil)
+}
+
+// ErrCanceled reports a construction abandoned because its stop
+// function fired.
+var ErrCanceled = errors.New("searchspace: construction canceled")
+
+// BuildTimedStop is BuildTimed with cooperative cancellation: stop is
+// polled periodically during construction and a true return abandons
+// the build with ErrCanceled. Mid-build cancellation points exist for
+// the optimized solver (the service's default method) and the
+// brute-force baseline (the most expensive one); the remaining
+// baselines check stop only before starting, since their value is
+// faithfully reproducing the paper's unoptimized construction loops
+// and the service admission-bounds their input size. A nil stop never
+// cancels.
+func (p *Problem) BuildTimedStop(m Method, stop func() bool) (*SearchSpace, BuildStats, error) {
 	stats := BuildStats{Method: m, Cartesian: p.def.CartesianSize()}
 	if p.err != nil {
 		return nil, stats, p.err
@@ -250,11 +268,13 @@ func (p *Problem) BuildTimed(m Method) (*SearchSpace, BuildStats, error) {
 		return nil, stats, err
 	}
 	start := time.Now()
-	col, err := construct(p.def, m)
+	col, err := construct(p.def, m, stop)
 	stats.Duration = time.Since(start)
 	if err != nil {
 		return nil, stats, err
 	}
+	// A stop firing after construct completed is ignored: the expensive
+	// work is done, so publishing the result beats discarding it.
 	sp, err := space.FromColumnar(p.def, col)
 	if err != nil {
 		return nil, stats, err
@@ -265,18 +285,28 @@ func (p *Problem) BuildTimed(m Method) (*SearchSpace, BuildStats, error) {
 
 // construct dispatches to the selected construction backend; all return
 // the same columnar format.
-func construct(def *model.Definition, m Method) (*core.Columnar, error) {
+func construct(def *model.Definition, m Method, stop func() bool) (*core.Columnar, error) {
+	if stop != nil && stop() {
+		return nil, ErrCanceled
+	}
 	switch m {
 	case Optimized:
 		prob, err := def.ToProblem()
 		if err != nil {
 			return nil, err
 		}
-		return prob.Compile(core.DefaultOptions()).SolveColumnar(), nil
+		col, canceled := prob.Compile(core.DefaultOptions()).SolveColumnarStop(stop)
+		if canceled {
+			return nil, ErrCanceled
+		}
+		return col, nil
 	case Original:
 		return naive.Solve(def)
 	case BruteForce:
-		col, _, err := bruteforce.Solve(def)
+		col, _, err := bruteforce.SolveStop(def, stop)
+		if errors.Is(err, bruteforce.ErrCanceled) {
+			return nil, ErrCanceled
+		}
 		return col, err
 	case ChainOfTrees:
 		chain, err := chaintrees.Build(def, chaintrees.ModeCompiled)

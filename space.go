@@ -130,6 +130,19 @@ func (ss *SearchSpace) SampleLHS(rng *rand.Rand, k int) []int {
 	return ss.s.SampleLHS(rng, k)
 }
 
+// Indices returns row i's per-parameter value indices into the declared
+// domains — the genotype form optimizers recombine. Use Lookup to map a
+// recombined index vector back to a row.
+func (ss *SearchSpace) Indices(i int) []int32 {
+	return ss.s.Indices(i)
+}
+
+// Lookup returns the row whose per-parameter value indices equal idx, or
+// ok=false when that combination is not a valid configuration.
+func (ss *SearchSpace) Lookup(idx []int32) (int, bool) {
+	return ss.s.Lookup(idx)
+}
+
 // HammingNeighbors returns the rows differing from row i in exactly one
 // parameter.
 func (ss *SearchSpace) HammingNeighbors(i int) []int {
