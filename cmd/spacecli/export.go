@@ -1,0 +1,169 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"searchspace"
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+	"searchspace/internal/store"
+	"searchspace/internal/workloads"
+)
+
+// The export/import subcommands move materialized spaces as snapshot
+// files — the same versioned, checksummed binary format the spaced
+// daemon's -store-dir tier uses — so an expensive construction can be
+// done once (on a big machine, in CI) and shipped:
+//
+//	spacecli export -workload Hotspot -out hotspot.snap
+//	spacecli import -in hotspot.snap -action stats
+//	spacecli import -in hotspot.snap -store-dir /var/lib/spaced
+//
+// Importing into a -store-dir installs the blob under its content
+// address, so a daemon pointed at that directory serves the space as a
+// warm cache hit without ever building it.
+
+func exportMain(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "", "JSON search-space definition file")
+	workload := fs.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM)")
+	methodName := fs.String("method", "optimized", "construction method")
+	out := fs.String("out", "", "snapshot file to write (required)")
+	fs.Parse(args)
+
+	if *out == "" {
+		log.Fatal("export: need -out file.snap")
+	}
+	prob := loadProblem(*in, *workload)
+	method, ok := searchspace.MethodByName(*methodName)
+	if !ok {
+		log.Fatalf("unknown method %q", *methodName)
+	}
+	ss, stats, err := prob.BuildTimed(method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := &store.Snapshot{
+		Def:    prob.Definition(),
+		Method: method,
+		Stats:  stats,
+		Bounds: ss.TrueBounds(),
+		Space:  ss,
+	}
+	raw, err := store.EncodeBytes(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	id, err := service.Fingerprint(prob.Definition(), method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %s: %d valid configurations, %d bytes, built in %s\n",
+		prob.Name(), ss.Size(), len(raw), report.Seconds(stats.Duration.Seconds()))
+	fmt.Printf("content address: %s\n", id)
+}
+
+func importMain(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file to read (required)")
+	action := fs.String("action", "stats", "stats | sample | list")
+	k := fs.Int("k", 10, "sample size for -action sample")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	storeDir := fs.String("store-dir", "", "also install the snapshot into this store directory (a daemon's -store-dir)")
+	fs.Parse(args)
+
+	if *in == "" {
+		log.Fatal("import: need -in file.snap")
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := store.DecodeBytes(raw)
+	if err != nil {
+		log.Fatalf("%s: %v", *in, err)
+	}
+	id, err := service.Fingerprint(snap.Def, snap.Method)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Put(id, snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("installed %s into %s\n", id, *storeDir)
+	}
+
+	ss := snap.Space
+	switch *action {
+	case "stats":
+		fmt.Printf("space:           %s\n", snap.Def.Name)
+		fmt.Printf("content address: %s\n", id)
+		fmt.Printf("method:          %s\n", snap.Method)
+		fmt.Printf("original build:  %s\n", report.Seconds(snap.Stats.Duration.Seconds()))
+		fmt.Printf("cartesian:       %s\n", report.Count(snap.Stats.Cartesian))
+		fmt.Printf("valid:           %s (%.3f%%)\n", report.Count(float64(ss.Size())),
+			100*float64(ss.Size())/snap.Stats.Cartesian)
+		fmt.Println("\ntrue parameter bounds over valid configurations:")
+		var rows [][]string
+		for _, b := range snap.Bounds {
+			if b.Numeric {
+				rows = append(rows, []string{b.Name, fmt.Sprintf("%g", b.Min),
+					fmt.Sprintf("%g", b.Max), fmt.Sprintf("%d", b.DistinctValues)})
+			} else {
+				rows = append(rows, []string{b.Name, "-", "-", fmt.Sprintf("%d", b.DistinctValues)})
+			}
+		}
+		fmt.Print(report.Table([]string{"param", "min", "max", "#values"}, rows))
+	case "sample":
+		rng := rand.New(rand.NewSource(*seed))
+		for _, row := range ss.SampleUniform(rng, *k) {
+			printConfig(ss, row)
+		}
+	case "list":
+		for row := 0; row < ss.Size(); row++ {
+			printConfig(ss, row)
+		}
+	default:
+		log.Fatalf("unknown action %q", *action)
+	}
+}
+
+// loadProblem resolves -in/-workload into a Problem the same way the
+// top-level spacecli invocation does.
+func loadProblem(in, workload string) *searchspace.Problem {
+	switch {
+	case workload != "":
+		def, ok := workloads.ByName(workload)
+		if !ok {
+			log.Fatalf("unknown workload %q; available: %s", workload, strings.Join(workloads.Names(), ", "))
+		}
+		return searchspace.FromDefinition(def.Clone())
+	case in != "":
+		raw, err := os.ReadFile(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		def, err := service.UnmarshalProblem(raw)
+		if err != nil {
+			log.Fatalf("%s: %v", in, err)
+		}
+		return searchspace.FromDefinition(def)
+	}
+	fmt.Fprintln(os.Stderr, "need -in file.json or -workload name")
+	os.Exit(2)
+	return nil
+}

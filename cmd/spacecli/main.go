@@ -31,6 +31,16 @@
 // this client measures the proposed configurations (simulated kernel):
 //
 //	spacecli tune -server http://localhost:8080 -workload Hotspot -strategy greedy-ils -seed 1
+//
+// The export and import subcommands exchange materialized spaces as
+// snapshot files (the binary format of spaced's -store-dir tier):
+// export builds locally and writes a snapshot, import reads one back —
+// to query it without rebuilding, or to install it into a daemon's
+// store directory so the daemon warm-starts with it:
+//
+//	spacecli export -workload Hotspot -out hotspot.snap
+//	spacecli import -in hotspot.snap -action stats
+//	spacecli import -in hotspot.snap -store-dir /var/lib/spaced
 package main
 
 import (
@@ -55,6 +65,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "tune" {
 		tuneMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "export" {
+		exportMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "import" {
+		importMain(os.Args[2:])
 		return
 	}
 	in := flag.String("in", "", "JSON search-space definition file")

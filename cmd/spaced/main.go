@@ -29,6 +29,15 @@
 // brute-force methods stop mid-build, the other baselines before
 // starting (their input size is admission-bounded). SIGINT/SIGTERM
 // drain in-flight requests before exit.
+//
+// With -store-dir set, built spaces also live in an on-disk snapshot
+// tier: completed builds are written through, LRU eviction demotes to
+// disk instead of discarding, queries on a demoted space restore it
+// transparently, and a restarted daemon warm-starts from the blobs —
+// re-submitting a previously built definition is a cache hit with zero
+// new solver work.
+//
+//	spaced -addr :8080 -store-dir /var/lib/spaced -store-max-bytes 34359738368
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"searchspace/internal/service"
+	"searchspace/internal/store"
 )
 
 func main() {
@@ -54,13 +64,29 @@ func main() {
 	maxBuilds := flag.Int("max-builds", 4, "max concurrent constructions; excess builds queue (0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", 4096, "max live tuning sessions; least recently used beyond this are evicted (0 = unlimited)")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle tuning sessions expire after this (0 = never)")
+	storeDir := flag.String("store-dir", "", "directory for the on-disk snapshot tier; built spaces are written through and survive eviction and restarts (empty = persistence off)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 32<<30, "max bytes of snapshot blobs in -store-dir; least recently used beyond this are garbage-collected (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	flag.Parse()
+
+	var blobs *store.Store
+	if *storeDir != "" {
+		var err error
+		blobs, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeMaxBytes})
+		if err != nil {
+			log.Fatalf("spaced: snapshot store: %v", err)
+		}
+		st := blobs.Stats()
+		// Warm start: every scanned blob is a space the next build of
+		// that definition gets as a cache hit without rebuilding.
+		log.Printf("spaced: snapshot store %s: warm start with %d snapshot(s), %d bytes", *storeDir, st.Blobs, st.Bytes)
+	}
 
 	reg := service.NewRegistry(service.RegistryConfig{
 		MaxEntries: *maxSpaces, MaxBytes: *maxBytes,
 		MaxCartesian: *maxCartesian, MaxExhaustiveCartesian: *maxExhaustive,
 		MaxConcurrentBuilds: *maxBuilds,
+		Store:               blobs,
 	})
 	srv := service.NewServerWith(reg, service.SessionConfig{
 		MaxSessions: *maxSessions, TTL: *sessionTTL,
@@ -93,7 +119,10 @@ func main() {
 		log.Printf("spaced: shutdown: %v", err)
 	}
 	log.Printf("spaced: final cache state: %s", reg.Stats())
+	if blobs != nil {
+		log.Printf("spaced: final store state: %s", blobs.Stats())
+	}
 	st := srv.Sessions().Stats()
-	log.Printf("spaced: final session state: active=%d created=%d expired_ttl=%d evicted_lru=%d deleted=%d",
-		st.Active, st.Created, st.ExpiredTTL, st.EvictedLRU, st.Deleted)
+	log.Printf("spaced: final session state: active=%d created=%d expired_ttl=%d evicted_lru=%d deleted=%d dehydrated=%d rehydrated=%d",
+		st.Active, st.Created, st.ExpiredTTL, st.EvictedLRU, st.Deleted, st.Dehydrated, st.Rehydrated)
 }

@@ -17,8 +17,19 @@
 //     delete the session. Reports sessions/sec plus client-observed
 //     ask/tell latencies. Writes BENCH_sessions.json.
 //
+//   - restart: the persistence workload — builds -spaces large
+//     constrained spaces (Hotspot variants) on a server backed by a
+//     snapshot store, captures their answers, simulates a daemon
+//     restart (new server, same store directory), re-submits every
+//     definition and verifies each comes back as a cache hit restored
+//     from disk with zero new builds and byte-identical describe/
+//     contains/sample answers. Reports restore-vs-rebuild speedup.
+//     Writes BENCH_store.json. (In-process only: -server is rejected,
+//     since a remote daemon cannot be restarted from here.)
+//
 //     spaceload -spaces 8 -requests 2000 -workers 16
 //     spaceload -mode sessions -spaces 8 -requests 300 -workers 16
+//     spaceload -mode restart -spaces 4
 package main
 
 import (
@@ -36,13 +47,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"searchspace/internal/model"
 	"searchspace/internal/service"
+	"searchspace/internal/store"
 	"searchspace/internal/tuner"
+	"searchspace/internal/workloads"
 )
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
-	mode := flag.String("mode", "build", "workload: build | sessions")
+	mode := flag.String("mode", "build", "workload: build | sessions | restart")
+	storeDir := flag.String("store-dir", "", "restart mode: snapshot store directory (default: a fresh temp dir)")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
 	requests := flag.Int("requests", 2000, "total build requests (build mode) or sessions (sessions mode)")
 	workers := flag.Int("workers", 16, "concurrent clients")
@@ -53,7 +68,9 @@ func main() {
 	flag.Parse()
 
 	base := *server
-	if base == "" {
+	if base == "" && *mode != "restart" {
+		// restart mode manages its own pair of servers (before/after the
+		// simulated restart), so no default server is needed for it.
 		ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.RegistryConfig{MaxEntries: 1024})))
 		defer ts.Close()
 		base = ts.URL
@@ -91,8 +108,16 @@ func main() {
 			outFile = "BENCH_sessions.json"
 		}
 		result = runSessionLoad(client, base, bodies, *requests, *workers, *batch, *evals, *seed)
+	case "restart":
+		if *server != "" {
+			log.Fatal("restart mode manages its own in-process servers; -server is not supported")
+		}
+		if outFile == "" {
+			outFile = "BENCH_store.json"
+		}
+		result = runRestartLoad(client, *spaces, *storeDir)
 	default:
-		log.Fatalf("unknown mode %q (want build or sessions)", *mode)
+		log.Fatalf("unknown mode %q (want build, sessions, or restart)", *mode)
 	}
 
 	pretty, _ := json.MarshalIndent(result, "", "  ")
@@ -354,6 +379,265 @@ func runOneSession(client *http.Client, base, spaceID, strategy string, seed int
 		dresp.Body.Close()
 	}
 	return true
+}
+
+// runRestartLoad measures what the snapshot tier buys across a daemon
+// restart. Phase 1 boots a store-backed in-process server, builds n
+// large constrained spaces (Hotspot variants — the paper's flagship
+// workload — each with one extra tile constraint so every variant is a
+// distinct content address needing its own construction), and captures
+// each space's full describe/contains/sample answers. Phase 2 tears
+// that server down, boots a fresh one over the same store directory (a
+// restart: all RAM state gone, blobs remain), re-submits every
+// definition, and requires each to come back `cached:true` with ZERO
+// new builds, answers byte-identical to phase 1, and a client-observed
+// restore latency at least an order of magnitude under the rebuild's.
+func runRestartLoad(client *http.Client, n int, storeDir string) map[string]any {
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "spaceload-store-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	// Distinct Hotspot variants: power_scale is an inert single-value
+	// parameter (no constraint mentions it), so giving each variant a
+	// different value changes the content address — forcing a separate
+	// construction per variant — without changing the solver's workload
+	// or the space's shape.
+	bodies := make([][]byte, n)
+	names := make([]string, n)
+	for i := range bodies {
+		def := workloads.Hotspot()
+		def.Name = fmt.Sprintf("hotspot-restart-%d", i)
+		for pi, p := range def.Params {
+			if p.Name == "power_scale" {
+				def.Params[pi] = model.IntsParam("power_scale", i+1)
+			}
+		}
+		raw, err := service.MarshalProblem(def)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = []byte(fmt.Sprintf(`{"problem": %s}`, raw))
+		names[i] = def.Name
+	}
+
+	newServer := func() (*httptest.Server, *service.Registry) {
+		st, err := store.Open(store.Config{Dir: storeDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg := service.NewRegistry(service.RegistryConfig{MaxEntries: 64, Store: st})
+		return httptest.NewServer(service.NewServer(reg)), reg
+	}
+
+	// A fixed probe per space: one describe, one membership batch, one
+	// seeded sample. Byte-identical responses across the restart prove
+	// size, bounds, and membership answers survived intact.
+	type probe struct {
+		id       string
+		describe []byte
+		contains []byte
+		sample   []byte
+	}
+	// The first config is valid (32x4 block, trivial tiling), the second
+	// invalid (1x1 block violates block_size_x*block_size_y >= 32), so
+	// the probe pins both membership polarities. power_scale must match
+	// the variant's value for the valid one to stay valid.
+	containsBody := func(variant int) []byte {
+		return []byte(fmt.Sprintf(`{"configs": [
+		{"block_size_x": 32, "block_size_y": 4, "tile_size_x": 1, "tile_size_y": 1,
+		 "temporal_tiling_factor": 2, "loop_unroll_factor_t": 1, "sh_power": 0,
+		 "blocks_per_sm": 0, "use_double_buffer": 0, "power_scale": %d, "version": 0},
+		{"block_size_x": 1, "block_size_y": 1, "tile_size_x": 1, "tile_size_y": 1,
+		 "temporal_tiling_factor": 1, "loop_unroll_factor_t": 1, "sh_power": 0,
+		 "blocks_per_sm": 0, "use_double_buffer": 0, "power_scale": %d, "version": 0}]}`,
+			variant+1, variant+1))
+	}
+	sampleBody := []byte(`{"k": 16, "seed": 42, "strategy": "uniform"}`)
+	probeSpace := func(base, id string, variant int) (probe, bool) {
+		p := probe{id: id}
+		var ok bool
+		if p.describe, ok = getRaw(client, base+"/v1/spaces/"+id); !ok {
+			return p, false
+		}
+		if p.contains, ok = postRaw(client, base+"/v1/spaces/"+id+"/contains", containsBody(variant)); !ok {
+			return p, false
+		}
+		if p.sample, ok = postRaw(client, base+"/v1/spaces/"+id+"/sample", sampleBody); !ok {
+			return p, false
+		}
+		return p, true
+	}
+
+	var failures int64
+	fail := func(format string, args ...any) {
+		failures++
+		log.Printf("restart: "+format, args...)
+	}
+
+	// Phase 1: cold builds.
+	ts1, reg1 := newServer()
+	buildMs := make([]float64, n)
+	solverSeconds := make([]float64, n)
+	sizes := make([]int, n)
+	probes := make([]probe, n)
+	for i, body := range bodies {
+		var built service.BuildResponse
+		t0 := time.Now()
+		if !postInto(client, ts1.URL+"/v1/spaces", body, &built) {
+			log.Fatalf("restart: building %s failed", names[i])
+		}
+		buildMs[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		if built.Cached {
+			fail("%s: first build claims cached", names[i])
+		}
+		solverSeconds[i] = built.Build.WallSeconds
+		sizes[i] = built.Size
+		p, ok := probeSpace(ts1.URL, built.ID, i)
+		if !ok {
+			log.Fatalf("restart: probing %s failed", names[i])
+		}
+		probes[i] = p
+	}
+	before := reg1.Stats()
+	if before.Builds != int64(n) {
+		fail("phase 1 ran %d builds, want %d", before.Builds, n)
+	}
+	ts1.Close()
+
+	// Phase 2: the restart, repeated a few times (each repetition is a
+	// fresh registry over the same blobs) with the per-space MINIMUM
+	// restore latency kept — one-shot restore timings are noisy at the
+	// tens-of-milliseconds scale, and the minimum is the honest cost of
+	// the restore itself.
+	const restartReps = 3
+	restoreMs := make([]float64, n)
+	speedups := make([]float64, n)
+	var after service.RegistryStats
+	var storeStats *store.Stats
+	for rep := 0; rep < restartReps; rep++ {
+		ts2, reg2 := newServer()
+		for i, body := range bodies {
+			var built service.BuildResponse
+			t0 := time.Now()
+			if !postInto(client, ts2.URL+"/v1/spaces", body, &built) {
+				log.Fatalf("restart: re-submitting %s failed", names[i])
+			}
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			if rep == 0 || ms < restoreMs[i] {
+				restoreMs[i] = ms
+			}
+			if !built.Cached {
+				fail("%s: re-submit after restart was not a cache hit", names[i])
+			}
+			if built.ID != probes[i].id {
+				fail("%s: id changed across restart: %s -> %s", names[i], probes[i].id, built.ID)
+			}
+			if built.Size != sizes[i] {
+				fail("%s: size changed across restart: %d -> %d", names[i], sizes[i], built.Size)
+			}
+			p, ok := probeSpace(ts2.URL, built.ID, i)
+			if !ok {
+				log.Fatalf("restart: re-probing %s failed", names[i])
+			}
+			if !bytes.Equal(p.describe, probes[i].describe) {
+				fail("%s: describe (size/bounds) differs after restore", names[i])
+			}
+			if !bytes.Equal(p.contains, probes[i].contains) {
+				fail("%s: membership answers differ after restore", names[i])
+			}
+			if !bytes.Equal(p.sample, probes[i].sample) {
+				fail("%s: seeded sample differs after restore", names[i])
+			}
+		}
+		after = reg2.Stats()
+		if after.Builds != 0 {
+			fail("restarted server (rep %d) ran %d builds, want 0 (everything should restore)", rep, after.Builds)
+		}
+		if after.Restores != int64(n) {
+			fail("restarted server (rep %d) restored %d spaces, want %d", rep, after.Restores, n)
+		}
+		storeStats = reg2.StoreStats()
+		ts2.Close()
+	}
+	for i := range speedups {
+		speedups[i] = buildMs[i] / restoreMs[i]
+	}
+
+	minSpeedup, meanSpeedup := speedups[0], 0.0
+	for _, s := range speedups {
+		meanSpeedup += s
+		if s < minSpeedup {
+			minSpeedup = s
+		}
+	}
+	meanSpeedup /= float64(n)
+
+	perSpace := make([]map[string]any, n)
+	for i := range perSpace {
+		perSpace[i] = map[string]any{
+			"name":           names[i],
+			"id":             probes[i].id,
+			"valid":          sizes[i],
+			"solver_seconds": solverSeconds[i],
+			"build_ms":       buildMs[i],
+			"restore_ms":     restoreMs[i],
+			"speedup":        speedups[i],
+		}
+	}
+	return map[string]any{
+		"benchmark":          "store-restart",
+		"spaces":             n,
+		"store_dir_bytes":    storeStats.Bytes,
+		"store_blobs":        storeStats.Blobs,
+		"builds_after_boot":  after.Builds,
+		"restores":           after.Restores,
+		"mean_speedup":       meanSpeedup,
+		"min_speedup":        minSpeedup,
+		"failures":           failures,
+		"per_space":          perSpace,
+		"identical_answers":  failures == 0,
+		"restore_vs_rebuild": fmt.Sprintf("disk restore is %.1fx faster than rebuild (mean over %d spaces)", meanSpeedup, n),
+	}
+}
+
+// getRaw issues a GET and returns the body on 200.
+func getRaw(client *http.Client, url string) ([]byte, bool) {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Printf("GET %s: %v", url, err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("GET %s: HTTP %d: %s", url, resp.StatusCode, raw)
+		return nil, false
+	}
+	return raw, true
+}
+
+// postRaw issues a POST and returns the body on 200.
+func postRaw(client *http.Client, url string, body []byte) ([]byte, bool) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Printf("POST %s: %v", url, err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("POST %s: HTTP %d: %s", url, resp.StatusCode, raw)
+		return nil, false
+	}
+	return raw, true
 }
 
 // sessionEvals sums per-strategy evaluations in a snapshot.

@@ -55,9 +55,18 @@ func NewServer(reg *Registry) *Server {
 func NewServerWith(reg *Registry, scfg SessionConfig) *Server {
 	s := &Server{reg: reg, metrics: NewMetrics(), mux: http.NewServeMux()}
 	s.sessions = NewSessions(scfg, s.metrics)
-	// Registry eviction kills the evicted space's sessions, so their
-	// steppers stop pinning the space in memory.
-	reg.SetEvictionHook(s.sessions.KillBySpace)
+	// Registry eviction must stop sessions' steppers from pinning the
+	// evicted space in memory. When the eviction was a demotion (a
+	// snapshot survives on disk) the sessions merely dehydrate — the
+	// next ask restores the space and replays them; only when the space
+	// is truly gone are they killed.
+	reg.SetEvictionHook(func(id string, demoted bool) {
+		if demoted {
+			s.sessions.DehydrateBySpace(id)
+		} else {
+			s.sessions.KillBySpace(id)
+		}
+	})
 	routes := []struct {
 		pattern string
 		handler http.HandlerFunc
@@ -224,6 +233,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			// response, but the metrics row should not claim a server
 			// fault (499 is the de-facto client-closed-request code).
 			status = statusClientClosedRequest
+		case errors.Is(err, ErrBusy):
+			// Not the definition's fault: in-flight constructions fill
+			// the byte budget. Retryable once they drain.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrInternal):
 			status = http.StatusInternalServerError
 		}
@@ -269,12 +283,20 @@ type DescribeResponse struct {
 	Build       BuildStatsDoc `json:"build"`
 }
 
-// lookup resolves {id} or writes a 404.
+// lookup resolves {id} through both cache tiers — a demoted space is
+// transparently restored from its snapshot — or writes a 404 when the
+// id is unknown in memory and on disk.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
 	id := r.PathValue("id")
-	entry, ok := s.reg.Lookup(id)
+	entry, ok := s.reg.LookupOrRestore(r.Context(), id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no space %q: unknown id or evicted; re-submit via POST /v1/spaces", id)
+		if r.Context().Err() != nil {
+			// The client went away mid-lookup/restore; nobody reads this,
+			// but the metrics row should not claim the space was absent.
+			writeError(w, statusClientClosedRequest, "client disconnected while resolving space %q", id)
+			return nil, false
+		}
+		writeError(w, http.StatusNotFound, "no space %q: unknown id, or evicted with no snapshot; re-submit via POST /v1/spaces", id)
 		return nil, false
 	}
 	return entry, true
@@ -630,7 +652,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg.Stats(), s.sessions.Stats()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg.Stats(), s.reg.StoreStats(), s.sessions.Stats()))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"searchspace/internal/store"
 )
 
 // numBuildBuckets counts histogram buckets: the bounds below plus the
@@ -170,24 +172,28 @@ type StrategySessionStats struct {
 // races, which bypass the cache by design; Cache counts registry
 // builds only, so the histogram total can exceed cache.builds.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                `json:"uptime_seconds"`
-	Endpoints     []EndpointStats        `json:"endpoints"`
-	BuildTimeHist map[string]int64       `json:"build_time_hist"`
-	Cache         RegistryStats          `json:"cache"`
-	Sessions      []StrategySessionStats `json:"sessions,omitempty"`
-	SessionTable  SessionTableStats      `json:"session_table"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Endpoints     []EndpointStats  `json:"endpoints"`
+	BuildTimeHist map[string]int64 `json:"build_time_hist"`
+	Cache         RegistryStats    `json:"cache"`
+	// Store reports the on-disk snapshot tier; absent when the daemon
+	// runs without -store-dir.
+	Store        *store.Stats           `json:"store,omitempty"`
+	Sessions     []StrategySessionStats `json:"sessions,omitempty"`
+	SessionTable SessionTableStats      `json:"session_table"`
 }
 
-// Snapshot captures the current counters; cache and session-table
-// stats are merged in by the caller so the snapshot is one consistent
-// document.
-func (m *Metrics) Snapshot(cache RegistryStats, table SessionTableStats) MetricsSnapshot {
+// Snapshot captures the current counters; cache, store, and
+// session-table stats are merged in by the caller so the snapshot is
+// one consistent document.
+func (m *Metrics) Snapshot(cache RegistryStats, diskStore *store.Stats, table SessionTableStats) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		BuildTimeHist: make(map[string]int64, len(buildBucketLabels)),
 		Cache:         cache,
+		Store:         diskStore,
 		SessionTable:  table,
 	}
 	for name, c := range m.strategies {

@@ -1,0 +1,673 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/model"
+	"searchspace/internal/store"
+)
+
+// persistDef returns a small constrained definition; variant changes
+// the content address without changing the shape.
+func persistDef(variant int) *model.Definition {
+	return &model.Definition{
+		Name: fmt.Sprintf("persist-%d", variant),
+		Params: []model.Param{
+			model.IntsParam("bx", 1, 2, 4, 8, 16, 32),
+			model.IntsParam("by", 1, 2, 4, 8),
+			model.IntsParam("tag", variant),
+		},
+		Constraints: []string{"bx * by <= 64", "bx * by >= 4"},
+	}
+}
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRestartServesFromSnapshots is the core warm-start contract: a
+// second registry over the same store directory serves a previously
+// built definition as a cache hit — zero new builds, identical size,
+// bounds, and membership answers.
+func TestRestartServesFromSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	def := persistDef(0)
+
+	reg1 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	e1, hit, err := reg1.GetOrBuild(context.Background(), def, searchspace.Optimized)
+	if err != nil || hit {
+		t.Fatalf("first build: hit=%v err=%v", hit, err)
+	}
+
+	// "Restart": new registry, new store handle, same directory.
+	reg2 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	e2, hit, err := reg2.GetOrBuild(context.Background(), def, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("post-restart build: %v", err)
+	}
+	if !hit {
+		t.Fatal("post-restart build was not a cache hit")
+	}
+	st := reg2.Stats()
+	if st.Builds != 0 || st.Restores != 1 {
+		t.Fatalf("post-restart stats %+v: want builds=0 restores=1", st)
+	}
+	if e2.ID != e1.ID {
+		t.Fatalf("id changed across restart: %s -> %s", e1.ID, e2.ID)
+	}
+	if e2.Space.Size() != e1.Space.Size() {
+		t.Fatalf("size changed across restart: %d -> %d", e1.Space.Size(), e2.Space.Size())
+	}
+	if e2.Stats != e1.Stats {
+		t.Fatalf("restored entry lost the original build stats: %+v vs %+v", e2.Stats, e1.Stats)
+	}
+	if len(e2.Bounds) != len(e1.Bounds) {
+		t.Fatalf("bounds count changed: %d -> %d", len(e1.Bounds), len(e2.Bounds))
+	}
+	for i := range e1.Bounds {
+		if e2.Bounds[i] != e1.Bounds[i] {
+			t.Fatalf("bounds[%d] changed: %+v -> %+v", i, e1.Bounds[i], e2.Bounds[i])
+		}
+	}
+	for r := 0; r < e1.Space.Size(); r++ {
+		if idx, ok := e2.Space.IndexOf(e1.Space.Get(r)); !ok || idx != r {
+			t.Fatalf("membership of row %d changed: (%d,%v)", r, idx, ok)
+		}
+	}
+}
+
+// TestEvictionDemotesToDisk: eviction with a store is a demotion — the
+// space comes back from disk as a hit, not a rebuild.
+func TestEvictionDemotesToDisk(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(RegistryConfig{MaxEntries: 1, Store: openTestStore(t, dir)})
+
+	// The eviction pipeline (demote + hook) runs after the build's
+	// waiters are released, so the test synchronizes on the hook.
+	type evictEvent struct {
+		id      string
+		demoted bool
+	}
+	events := make(chan evictEvent, 8)
+	reg.SetEvictionHook(func(id string, demoted bool) { events <- evictEvent{id, demoted} })
+
+	a, _, err := reg.GetOrBuild(context.Background(), persistDef(1), searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.GetOrBuild(context.Background(), persistDef(2), searchspace.Optimized); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-events
+	if ev.id != a.ID || !ev.demoted {
+		t.Fatalf("eviction hook saw (%q,%v), want (%q,true)", ev.id, ev.demoted, a.ID)
+	}
+	st := reg.Stats()
+	if st.Evictions != 1 || st.Demotions != 1 || st.DemoteDropped != 0 {
+		t.Fatalf("stats %+v: want evictions=1 demotions=1 demote_dropped=0", st)
+	}
+
+	// The demoted space restores on demand.
+	a2, hit, err := reg.GetOrBuild(context.Background(), persistDef(1), searchspace.Optimized)
+	if err != nil || !hit {
+		t.Fatalf("restore of demoted space: hit=%v err=%v", hit, err)
+	}
+	if a2.Space.Size() != a.Space.Size() {
+		t.Fatalf("restored size %d, want %d", a2.Space.Size(), a.Space.Size())
+	}
+	if st := reg.Stats(); st.Builds != 2 || st.Restores != 1 {
+		t.Fatalf("stats %+v: want builds=2 restores=1", st)
+	}
+}
+
+// TestWithoutStoreEvictionDrops pins the no-store behavior: the hook
+// reports demoted=false and a re-request rebuilds.
+func TestWithoutStoreEvictionDrops(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{MaxEntries: 1})
+	demoted := make(chan bool, 8)
+	reg.SetEvictionHook(func(id string, d bool) { demoted <- d })
+	if _, _, err := reg.GetOrBuild(context.Background(), persistDef(1), searchspace.Optimized); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.GetOrBuild(context.Background(), persistDef(2), searchspace.Optimized); err != nil {
+		t.Fatal(err)
+	}
+	if <-demoted {
+		t.Fatal("eviction without a store claimed demotion")
+	}
+	if _, hit, err := reg.GetOrBuild(context.Background(), persistDef(1), searchspace.Optimized); err != nil || hit {
+		t.Fatalf("re-request after dropping eviction: hit=%v err=%v (want a rebuild)", hit, err)
+	}
+	// Both evictions (def1 by def2, then def2 by the rebuild of def1)
+	// dropped their space for good.
+	<-demoted
+	if st := reg.Stats(); st.DemoteDropped != 2 || st.Builds != 3 {
+		t.Fatalf("stats %+v: want demote_dropped=2 builds=3", st)
+	}
+}
+
+// TestConcurrentRestoresSingleflight: many cold requests for one
+// snapshotted id decode the blob exactly once.
+func TestConcurrentRestoresSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	def := persistDef(3)
+	reg1 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	if _, _, err := reg1.GetOrBuild(context.Background(), def, searchspace.Optimized); err != nil {
+		t.Fatal(err)
+	}
+
+	blobs := openTestStore(t, dir)
+	reg2 := NewRegistry(RegistryConfig{Store: blobs})
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	hits := make([]bool, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			_, hit, err := reg2.GetOrBuild(context.Background(), def, searchspace.Optimized)
+			errs[w], hits[w] = err, hit
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !hits[w] {
+			t.Errorf("worker %d: not a hit", w)
+		}
+	}
+	if st := reg2.Stats(); st.Builds != 0 || st.Restores != 1 {
+		t.Fatalf("stats %+v: want builds=0 restores=1", st)
+	}
+	if bs := blobs.Stats(); bs.Hits != 1 {
+		t.Fatalf("store decoded the blob %d times, want 1", bs.Hits)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToBuild: a damaged blob is quarantined
+// and the request transparently rebuilds — never an error, never a
+// crash — and the rebuild re-persists a good blob.
+func TestCorruptSnapshotFallsBackToBuild(t *testing.T) {
+	dir := t.TempDir()
+	def := persistDef(4)
+	reg1 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	e1, _, err := reg1.GetOrBuild(context.Background(), def, searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-flip the blob on disk.
+	path := filepath.Join(dir, e1.ID+".snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	blobs := openTestStore(t, dir)
+	reg2 := NewRegistry(RegistryConfig{Store: blobs})
+	e2, hit, err := reg2.GetOrBuild(context.Background(), def, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("corrupt blob should fall back to a build, got %v", err)
+	}
+	if hit {
+		t.Fatal("corrupt blob restore claimed a hit")
+	}
+	if e2.Space.Size() != e1.Space.Size() {
+		t.Fatalf("rebuilt size %d, want %d", e2.Space.Size(), e1.Space.Size())
+	}
+	if bs := blobs.Stats(); bs.Quarantined != 1 {
+		t.Fatalf("store stats %+v: want quarantined=1", bs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, e1.ID+".corrupt")); err != nil {
+		t.Errorf("quarantined blob missing: %v", err)
+	}
+	// Write-through on the rebuild healed the blob: a third registry
+	// restores cleanly.
+	reg3 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	if _, hit, err := reg3.GetOrBuild(context.Background(), def, searchspace.Optimized); err != nil || !hit {
+		t.Fatalf("restore after heal: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestLookupOrRestore covers the id-only path (describe/contains/
+// sample/sessions after a restart): present on disk → restored;
+// absent everywhere → false.
+func TestLookupOrRestore(t *testing.T) {
+	dir := t.TempDir()
+	def := persistDef(5)
+	reg1 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	e1, _, err := reg1.GetOrBuild(context.Background(), def, searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := NewRegistry(RegistryConfig{Store: openTestStore(t, dir)})
+	if _, ok := reg2.Lookup(e1.ID); ok {
+		t.Fatal("memory-only Lookup found a disk-only space")
+	}
+	e2, ok := reg2.LookupOrRestore(context.Background(), e1.ID)
+	if !ok {
+		t.Fatal("LookupOrRestore missed a snapshotted space")
+	}
+	if e2.Space.Size() != e1.Space.Size() {
+		t.Fatalf("restored size %d, want %d", e2.Space.Size(), e1.Space.Size())
+	}
+	// Now it is in memory.
+	if _, ok := reg2.Lookup(e1.ID); !ok {
+		t.Fatal("restored space not cached in memory")
+	}
+	if _, ok := reg2.LookupOrRestore(context.Background(), strings.Repeat("0", 64)); ok {
+		t.Fatal("LookupOrRestore invented a space")
+	}
+}
+
+// TestBusyAdmission: with in-flight builds charged against the byte
+// budget, a burst that cannot fit is refused with ErrBusy instead of
+// being allowed to overshoot — and once the in-flight work drains, the
+// same request is admitted.
+func TestBusyAdmission(t *testing.T) {
+	defA, defB := persistDef(6), persistDef(7)
+	estimate := EstimatePendingBytes(defA)
+	reg := NewRegistry(RegistryConfig{
+		// Admission compares charges against pendingOvercommit*MaxBytes;
+		// pick a budget whose overcommitted form fits one in-flight
+		// charge but not two.
+		MaxBytes:            estimate / pendingOvercommit,
+		MaxConcurrentBuilds: 1,
+	})
+
+	// Occupy the lone build slot so defA's build stays in flight
+	// deterministically.
+	reg.buildSem <- struct{}{}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := reg.GetOrBuild(context.Background(), defA, searchspace.Optimized)
+		done <- err
+	}()
+	// Wait until defA's admission charge is visible.
+	for i := 0; ; i++ {
+		if reg.Stats().PendingBytes > 0 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("in-flight build never charged pending bytes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, _, err := reg.GetOrBuild(context.Background(), defB, searchspace.Optimized)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("concurrent oversized build: %v, want ErrBusy", err)
+	}
+	if st := reg.Stats(); st.BusyRejects != 1 {
+		t.Fatalf("stats %+v: want busy_rejects=1", st)
+	}
+
+	// Drain: release the slot, let defA finish, then defB is admitted.
+	<-reg.buildSem
+	if err := <-done; err != nil {
+		t.Fatalf("defA build: %v", err)
+	}
+	if st := reg.Stats(); st.PendingBytes != 0 {
+		t.Fatalf("pending bytes %d after build completed, want 0", st.PendingBytes)
+	}
+	if _, _, err := reg.GetOrBuild(context.Background(), defB, searchspace.Optimized); err != nil {
+		t.Fatalf("defB after drain: %v", err)
+	}
+}
+
+// TestBusyMapsTo503 pins the HTTP contract for ErrBusy.
+func TestBusyMapsTo503(t *testing.T) {
+	def := persistDef(8)
+	estimate := EstimatePendingBytes(def)
+	reg := NewRegistry(RegistryConfig{
+		MaxBytes:            estimate / pendingOvercommit,
+		MaxConcurrentBuilds: 1,
+	})
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	reg.buildSem <- struct{}{}
+	defer func() { <-reg.buildSem }()
+
+	body := func(variant int) []byte {
+		raw, err := MarshalProblem(persistDef(variant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []byte(fmt.Sprintf(`{"problem": %s}`, raw))
+	}
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, err := http.Post(srv.URL+"/v1/spaces", "application/json", bytes.NewReader(body(8)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	for i := 0; ; i++ {
+		if reg.Stats().PendingBytes > 0 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("in-flight build never charged pending bytes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post(srv.URL+"/v1/spaces", "application/json", bytes.NewReader(body(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	<-reg.buildSem // unblock the first build so the server can drain
+	<-firstDone
+	reg.buildSem <- struct{}{} // restore for the deferred release
+}
+
+// buildSpaceHTTP submits a definition over HTTP and returns the id.
+func buildSpaceHTTP(t *testing.T, base string, def *model.Definition) string {
+	t.Helper()
+	raw, err := MarshalProblem(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/spaces", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"problem": %s}`, raw))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var built BuildResponse
+	if err := json.NewDecoder(resp.Body).Decode(&built); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: HTTP %d", resp.StatusCode)
+	}
+	return built.ID
+}
+
+func postJSON(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// driveSession creates a session and runs it to exhaustion with a
+// deterministic synthetic objective, returning the final best
+// response; demoteAfter, when non-nil, is invoked after round 2's tell
+// to demote the session's space mid-run.
+func drivePersistSession(t *testing.T, base, spaceID string, demoteAfter func()) BestResponse {
+	t.Helper()
+	sbase := base + "/v1/spaces/" + spaceID + "/sessions"
+	var created SessionCreateResponse
+	if code := postJSON(t, sbase,
+		[]byte(`{"strategy": "greedy-ils", "seed": 11, "budget": {"max_evals": 24}}`), &created); code != http.StatusOK {
+		t.Fatalf("session create: HTTP %d", code)
+	}
+	sbase += "/" + created.Session
+	round := 0
+	for {
+		var ask AskResponse
+		if code := postJSON(t, sbase+"/ask", []byte(`{"max": 3}`), &ask); code != http.StatusOK {
+			t.Fatalf("ask round %d: HTTP %d", round, code)
+		}
+		if len(ask.Rows) == 0 {
+			break
+		}
+		results := make([]map[string]any, len(ask.Rows))
+		for i, row := range ask.Rows {
+			results[i] = map[string]any{
+				"row":   row,
+				"score": float64((uint32(row)*2654435761)%1000) / 10,
+				"cost":  0.01,
+			}
+		}
+		raw, _ := json.Marshal(map[string]any{"results": results})
+		if code := postJSON(t, sbase+"/tell", raw, nil); code != http.StatusOK {
+			t.Fatalf("tell round %d: HTTP %d", round, code)
+		}
+		round++
+		if round == 2 && demoteAfter != nil {
+			demoteAfter()
+			demoteAfter = nil
+		}
+	}
+	resp, err := http.Get(sbase + "/best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("best: HTTP %d", resp.StatusCode)
+	}
+	var best BestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&best); err != nil {
+		t.Fatal(err)
+	}
+	return best
+}
+
+// TestSessionSurvivesDemotion: a session whose space is demoted to
+// disk mid-run continues transparently — the space restores on the
+// next ask and the replayed session produces the identical result to
+// an uninterrupted control run.
+func TestSessionSurvivesDemotion(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(RegistryConfig{MaxEntries: 1, Store: openTestStore(t, dir)})
+	h := NewServer(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	tuned := persistDef(10)
+	spaceID := buildSpaceHTTP(t, srv.URL, tuned)
+	interrupted := drivePersistSession(t, srv.URL, spaceID, func() {
+		// Building another space on a MaxEntries=1 registry demotes the
+		// tuned space out from under the live session. The demote+
+		// dehydrate pipeline runs after the build response, so wait for
+		// it — the point is to continue the session on a dehydrated
+		// state, not to race it.
+		buildSpaceHTTP(t, srv.URL, persistDef(11))
+		for i := 0; h.Sessions().Stats().Dehydrated < 1; i++ {
+			if i > 2000 {
+				t.Fatal("session never dehydrated after demotion")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+
+	// Control: same seed, same batches, never demoted.
+	reg2 := NewRegistry(RegistryConfig{MaxEntries: 8})
+	srv2 := httptest.NewServer(NewServer(reg2))
+	defer srv2.Close()
+	control := drivePersistSession(t, srv2.URL, buildSpaceHTTP(t, srv2.URL, tuned), nil)
+
+	if interrupted.Evaluations != control.Evaluations {
+		t.Fatalf("evaluations %d, control %d", interrupted.Evaluations, control.Evaluations)
+	}
+	if interrupted.Best == nil || control.Best == nil {
+		t.Fatalf("missing best: %+v vs %+v", interrupted.Best, control.Best)
+	}
+	if interrupted.Best.Row != control.Best.Row || interrupted.Best.Score != control.Best.Score {
+		t.Fatalf("best (%d,%g), control (%d,%g)",
+			interrupted.Best.Row, interrupted.Best.Score, control.Best.Row, control.Best.Score)
+	}
+
+	table := serverSessions(t, srv.URL)
+	if table.Dehydrated < 1 || table.Rehydrated < 1 {
+		t.Fatalf("session table %+v: want dehydrated>=1 rehydrated>=1", table)
+	}
+	if table.SpaceEvicted != 0 {
+		t.Fatalf("session table %+v: session was killed, not dehydrated", table)
+	}
+	if cache := reg.Stats(); cache.Restores < 1 || cache.Demotions < 1 {
+		t.Fatalf("cache stats %+v: want restores>=1 demotions>=1", cache)
+	}
+}
+
+// serverSessions fetches the session-table stats over /v1/stats.
+func serverSessions(t *testing.T, base string) SessionTableStats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.SessionTable
+}
+
+// TestSessionRehydratesAfterTimeTruncatedTell: a MaxTime budget can
+// exhaust mid-batch, making the stepper silently drop the tail of a
+// told batch. The history must record only the consumed prefix, or
+// rehydration after a demotion replays measurements the run never
+// applied and fails — wedging the session behind permanent 500s.
+func TestSessionRehydratesAfterTimeTruncatedTell(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(RegistryConfig{MaxEntries: 1, Store: openTestStore(t, dir)})
+	h := NewServer(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	spaceID := buildSpaceHTTP(t, srv.URL, persistDef(14))
+	sbase := srv.URL + "/v1/spaces/" + spaceID + "/sessions"
+	var created SessionCreateResponse
+	// Time budget of 1.0 simulated seconds; each measurement below
+	// costs 0.4, so a batch of 4 exhausts the clock after measurement 2
+	// and the stepper drops the rest.
+	if code := postJSON(t, sbase,
+		[]byte(`{"strategy": "random-sampling", "seed": 5, "budget": {"max_time_seconds": 1.0}}`), &created); code != http.StatusOK {
+		t.Fatalf("session create: HTTP %d", code)
+	}
+	sbase += "/" + created.Session
+	var ask AskResponse
+	if code := postJSON(t, sbase+"/ask", []byte(`{"max": 4}`), &ask); code != http.StatusOK {
+		t.Fatalf("ask: HTTP %d", code)
+	}
+	if len(ask.Rows) != 4 {
+		t.Fatalf("asked %d rows, want 4", len(ask.Rows))
+	}
+	results := make([]map[string]any, len(ask.Rows))
+	for i, row := range ask.Rows {
+		results[i] = map[string]any{"row": row, "score": float64(i), "cost": 0.4}
+	}
+	raw, _ := json.Marshal(map[string]any{"results": results})
+	var told TellResponse
+	if code := postJSON(t, sbase+"/tell", raw, &told); code != http.StatusOK {
+		t.Fatalf("tell: HTTP %d", code)
+	}
+	if !told.Done || told.Evaluations >= 4 {
+		t.Fatalf("tell outcome %+v: want done with fewer than 4 evaluations", told)
+	}
+
+	// Demote the space (wait out the async pipeline), then hit the
+	// session again: it must rehydrate cleanly, not 500.
+	buildSpaceHTTP(t, srv.URL, persistDef(15))
+	for i := 0; h.Sessions().Stats().Dehydrated < 1; i++ {
+		if i > 2000 {
+			t.Fatal("session never dehydrated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(sbase + "/best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("best after truncated-tell rehydration: HTTP %d, want 200", resp.StatusCode)
+	}
+	var best BestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&best); err != nil {
+		t.Fatal(err)
+	}
+	if best.Evaluations != told.Evaluations {
+		t.Fatalf("rehydrated evaluations %d, want %d", best.Evaluations, told.Evaluations)
+	}
+}
+
+// TestSessionGoneWhenSnapshotGone: dehydrated sessions die with 410
+// only when the snapshot really cannot come back.
+func TestSessionGoneWhenSnapshotGone(t *testing.T) {
+	dir := t.TempDir()
+	blobs := openTestStore(t, dir)
+	reg := NewRegistry(RegistryConfig{MaxEntries: 1, Store: blobs})
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	tuned := persistDef(12)
+	spaceID := buildSpaceHTTP(t, srv.URL, tuned)
+	sbase := srv.URL + "/v1/spaces/" + spaceID + "/sessions"
+	var created SessionCreateResponse
+	if code := postJSON(t, sbase,
+		[]byte(`{"strategy": "random-sampling", "seed": 3, "budget": {"max_evals": 8}}`), &created); code != http.StatusOK {
+		t.Fatalf("session create: HTTP %d", code)
+	}
+
+	// Demote the space (waiting out the async eviction pipeline), then
+	// destroy its snapshot: now it is truly gone.
+	buildSpaceHTTP(t, srv.URL, persistDef(13))
+	for i := 0; reg.Stats().Demotions < 1; i++ {
+		if i > 2000 {
+			t.Fatal("space never demoted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !blobs.Delete(spaceID) {
+		t.Fatal("snapshot blob was not on disk to delete")
+	}
+
+	code := postJSON(t, sbase+"/"+created.Session+"/ask", []byte(`{"max": 1}`), nil)
+	if code != http.StatusGone {
+		t.Fatalf("ask on an unrecoverable space: HTTP %d, want 410", code)
+	}
+	// And the death is sticky: the session is tombstoned, not limbo.
+	code = postJSON(t, sbase+"/"+created.Session+"/ask", []byte(`{"max": 1}`), nil)
+	if code != http.StatusGone {
+		t.Fatalf("second ask: HTTP %d, want 410", code)
+	}
+}

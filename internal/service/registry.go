@@ -5,11 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"searchspace"
 	"searchspace/internal/model"
+	"searchspace/internal/store"
 )
 
 // RegistryConfig bounds the registry's cache. Zero values mean
@@ -20,7 +22,13 @@ type RegistryConfig struct {
 	// MaxBytes caps the estimated resident size of cached spaces. The
 	// most recently built space is always retained, so a single space
 	// larger than the budget still gets served (it just evicts
-	// everything else).
+	// everything else). The same budget also gates ADMISSION of
+	// concurrent builds: each in-flight construction is charged a
+	// conservative (cartesian upper-bound) size estimate, and a build
+	// whose estimate does not fit alongside the other in-flight
+	// charges — within pendingOvercommit times this budget, since the
+	// charges deliberately overshoot — is rejected with ErrBusy rather
+	// than allowed to blow far past the budget mid-build.
 	MaxBytes int64
 	// MaxCartesian rejects definitions whose unconstrained size exceeds
 	// this bound BEFORE construction starts — the cache budgets above
@@ -28,11 +36,7 @@ type RegistryConfig struct {
 	// control that keeps one hostile or careless submission from
 	// pinning the daemon on an astronomically large build. It is
 	// calibrated for the optimized solver, whose cost scales with the
-	// constrained space, not the cartesian product. Known limit: the
-	// VALID size is only discovered by building, so a weakly
-	// constrained definition under this bound can still materialize a
-	// huge space; mid-build memory accounting needs solver cooperation
-	// and is deferred to a later PR.
+	// constrained space, not the cartesian product.
 	MaxCartesian float64
 	// MaxExhaustiveCartesian is the (much tighter) bound applied to the
 	// exhaustive baselines — brute-force, original, iterative-sat —
@@ -45,6 +49,11 @@ type RegistryConfig struct {
 	// the peak of in-flight work, which the cache budgets — applied
 	// only to completed spaces — do not. 0 = unlimited.
 	MaxConcurrentBuilds int
+	// Store, when set, is the durable snapshot tier: completed builds
+	// are written through to it, eviction demotes to it instead of
+	// discarding, and GetOrBuild/LookupOrRestore check it before
+	// rebuilding — so built spaces survive eviction and restarts.
+	Store *store.Store
 }
 
 // exhaustiveMethod reports whether a method's construction cost scales
@@ -85,7 +94,9 @@ type Entry struct {
 	Method searchspace.Method
 	// Space is the materialized search space.
 	Space *searchspace.SearchSpace
-	// Stats reports how construction went (wall time, sizes).
+	// Stats reports how construction went (wall time, sizes). A
+	// restored entry keeps the ORIGINAL build's stats — restoration is
+	// not a construction.
 	Stats searchspace.BuildStats
 	// Bounds are the true parameter bounds, computed once at build time
 	// so describe requests don't rescan the space.
@@ -93,9 +104,13 @@ type Entry struct {
 	// Bytes is the estimated resident size used for the LRU budget.
 	Bytes int64
 
-	ready chan struct{} // closed when the build finishes
+	ready chan struct{} // closed when the build (or restore) finishes
 	err   error
 	elem  *list.Element // position in the LRU list; nil until cached
+
+	// pending is the admission-time size estimate charged against the
+	// byte budget while this build is in flight; released on completion.
+	pending int64
 
 	// waiters counts requests (initiator included) blocked on this
 	// in-flight build; when the last one disconnects the build is
@@ -110,7 +125,10 @@ type Entry struct {
 // of the same canonical definition+method are deduplicated: concurrent
 // requests join the single in-flight construction (singleflight), later
 // requests hit the cache. Completed spaces are evicted LRU under the
-// configured entry/byte budget.
+// configured entry/byte budget — and, when a snapshot store is
+// configured, eviction demotes to disk instead of discarding, restores
+// from disk dedup under the same singleflight, and completed builds are
+// written through so a restart warm-starts from the blobs.
 type Registry struct {
 	cfg RegistryConfig
 
@@ -118,33 +136,42 @@ type Registry struct {
 	entries map[string]*Entry
 	lru     *list.List // front = most recently used; completed entries only
 	bytes   int64
+	// pendingBytes sums the admission estimates of in-flight builds.
+	pendingBytes int64
 
-	builds     int64 // constructions actually executed
-	hits       int64 // served from a completed cache entry
-	joins      int64 // piggybacked on an in-flight build
-	misses     int64 // triggered a new build
-	evictions  int64
-	canceled   int64 // constructions abandoned after every client left
-	buildNanos int64 // cumulative construction wall time
+	builds        int64 // constructions actually executed
+	hits          int64 // served from a completed in-memory cache entry
+	joins         int64 // piggybacked on an in-flight build or restore
+	misses        int64 // triggered a new build
+	evictions     int64
+	canceled      int64 // constructions abandoned after every client left
+	buildNanos    int64 // cumulative construction wall time
+	restores      int64 // spaces rehydrated from the snapshot store
+	demotions     int64 // evictions that kept a disk copy
+	demoteDropped int64 // evictions with no disk copy (no store, or write failed)
+	busyRejects   int64 // builds rejected by the in-flight byte admission
 
-	buildSem chan struct{} // nil = unlimited concurrent builds
+	buildSem   chan struct{} // nil = unlimited concurrent builds
+	restoreSem chan struct{} // bounds parallel snapshot decodes
 
 	// onEvict, when set, is invoked (outside the registry lock) with the
-	// id of every evicted entry, so dependents — tuning sessions — can
-	// release their references instead of keeping the space resident
-	// past the byte budget.
-	onEvict func(id string)
+	// id of every evicted entry and whether a disk snapshot survives it,
+	// so dependents — tuning sessions — can dehydrate (demoted) or
+	// release their references (dropped) instead of keeping the space
+	// resident past the byte budget.
+	onEvict func(id string, demoted bool)
 }
 
 // SetEvictionHook registers the eviction callback; call before serving.
-func (r *Registry) SetEvictionHook(fn func(id string)) { r.onEvict = fn }
+func (r *Registry) SetEvictionHook(fn func(id string, demoted bool)) { r.onEvict = fn }
 
 // NewRegistry creates an empty registry with the given budget.
 func NewRegistry(cfg RegistryConfig) *Registry {
 	r := &Registry{
-		cfg:     cfg,
-		entries: make(map[string]*Entry),
-		lru:     list.New(),
+		cfg:        cfg,
+		entries:    make(map[string]*Entry),
+		lru:        list.New(),
+		restoreSem: make(chan struct{}, maxConcurrentRestores),
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		r.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
@@ -152,19 +179,68 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	return r
 }
 
-// GetOrBuild returns the space for the definition+method pair, building
-// it only if no completed or in-flight entry exists. The returned hit
-// flag is true when no new construction was triggered by this call
-// (cache hit or joined an in-flight build). Failed builds are not
-// cached; every waiter receives the error and the next call retries.
+// Store returns the configured snapshot store (nil when persistence is
+// off).
+func (r *Registry) Store() *store.Store { return r.cfg.Store }
+
+// SnapshotOnDisk reports whether a snapshot blob for id is present in
+// the store's index — a cheap hint, verified only when actually
+// restored.
+func (r *Registry) SnapshotOnDisk(id string) bool {
+	return r.cfg.Store != nil && r.cfg.Store.Has(id)
+}
+
+// ErrBusy reports a build rejected by admission control because the
+// conservative size estimates of the constructions already in flight
+// fill the byte budget; the client should retry once they drain.
+var ErrBusy = errors.New("service: build capacity exhausted: concurrent constructions already fill the byte budget; retry shortly")
+
+// EstimatePendingBytes is the admission-time size estimate charged for
+// an in-flight build: the shared resident-size model evaluated at the
+// definition's full cartesian size, because the valid (constrained)
+// size is only discovered by building. It is therefore a deliberate
+// upper bound — on the paper's workloads it runs several to tens of
+// times the real resident size, which is why admission compares the
+// sum of charges against an OVERCOMMITTED budget (pendingOvercommit),
+// not the raw one.
+func EstimatePendingBytes(def *model.Definition) int64 {
+	est := estimateResidentBytes(def.CartesianSize(), float64(def.NumParams()))
+	if math.IsInf(est, 0) || est > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(est)
+}
+
+// pendingOvercommit scales the byte budget when admitting in-flight
+// builds. The per-build charge is a cartesian upper bound (the
+// paper's workloads resolve to ~1-50% of their cartesian product, so
+// charges overshoot real residency by up to an order of magnitude);
+// comparing the raw budget would serialize large builds that
+// comfortably fit together. The factor trades admission precision for
+// concurrency while still bounding a pathological burst of
+// astronomically large builds.
+const pendingOvercommit = 8
+
+// GetOrBuild returns the space for the definition+method pair, looking
+// through the cache tiers in order — memory, then the snapshot store,
+// then a fresh construction. The returned hit flag is true when no new
+// construction was triggered by this call (memory hit, joined in-flight
+// work, or a disk restore — a restore re-reads solver output, it does
+// not re-run the solver). Failed builds are not cached; every waiter
+// receives the error and the next call retries.
+//
+// Concurrent restores of one id dedup under the same singleflight as
+// builds: one goroutine reads and decodes the blob, everyone else
+// joins. A blob that turns out corrupt is quarantined and the call
+// falls back to building.
 //
 // The context covers only this caller's interest in the result: when
 // ctx ends, the call returns ctx.Err() immediately, and once the LAST
-// interested caller disconnects the in-flight construction itself is
-// canceled — the solver stops at its next cancellation point and the
-// build's semaphore slot frees (a build queued for a slot abandons the
-// queue at once). A caller that arrives while a cancellation is in
-// flight transparently retries with a fresh build.
+// interested caller disconnects an in-flight construction is canceled —
+// the solver stops at its next cancellation point and the build's
+// semaphore slot frees (a build queued for a slot abandons the queue at
+// once). A caller that arrives while a cancellation is in flight
+// transparently retries with a fresh build.
 func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method searchspace.Method) (*Entry, bool, error) {
 	if err := r.Admit(def, method); err != nil {
 		return nil, false, err
@@ -201,24 +277,26 @@ func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method
 			if joined {
 				// Only count the join once the outcome is known: a request
 				// that piggybacked on a build that then failed got no cached
-				// answer and must not inflate the hit ratio. A canceled
-				// build is not counted here — the surviving joiner's retry
-				// accounts the request on its next pass, so one logical
-				// request never counts two misses.
+				// answer and must not inflate the hit ratio. Canceled builds
+				// and failed restores are not counted here — the surviving
+				// joiner's retry accounts the request on its next pass, so
+				// one logical request never counts twice.
 				r.mu.Lock()
 				e.waiters--
 				switch {
 				case err == nil:
 					r.joins++
-				case errors.Is(err, errBuildCanceled):
+				case errors.Is(err, errBuildCanceled), errors.Is(err, errRestoreFailed):
 				default:
 					r.misses++
 				}
 				r.mu.Unlock()
 			}
-			if errors.Is(err, errBuildCanceled) {
-				// The build this caller piggybacked on was torn down by
-				// other clients disconnecting; it still wants the space.
+			if errors.Is(err, errBuildCanceled) || errors.Is(err, errRestoreFailed) {
+				// Either the build this caller piggybacked on was torn down
+				// by other clients disconnecting, or a disk restore came up
+				// empty; this caller still wants the space, and it has the
+				// definition to build it.
 				if ctx.Err() != nil {
 					return nil, false, ctx.Err()
 				}
@@ -226,12 +304,68 @@ func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method
 			}
 			return e, true, err
 		}
+
+		// Memory miss: second tier. The blob was written by a completed
+		// build, so restoring it is a cache hit that skips the solver.
+		if r.cfg.Store != nil && r.cfg.Store.Has(id) {
+			e := &Entry{
+				ID: id, Method: method,
+				ready:    make(chan struct{}),
+				cancelCh: make(chan struct{}),
+				waiters:  1,
+			}
+			r.entries[id] = e
+			r.mu.Unlock()
+
+			go r.restoreEntry(e)
+
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				r.dropWaiter(e)
+				return nil, false, ctx.Err()
+			}
+			r.mu.Lock()
+			e.waiters--
+			r.mu.Unlock()
+			if errors.Is(e.err, errRestoreFailed) {
+				if ctx.Err() != nil {
+					return nil, false, ctx.Err()
+				}
+				continue // blob gone or quarantined; fall through to a build
+			}
+			return e, true, e.err
+		}
+
+		// Third tier: construct. Charge a conservative in-flight estimate
+		// against the (overcommitted) byte budget first, so a burst of
+		// large concurrent builds cannot blow far past it; a lone build
+		// is always admitted (the budget's keep-the-newest rule applies
+		// to it anyway).
+		est := EstimatePendingBytes(def)
+		if r.cfg.MaxBytes > 0 && r.pendingBytes > 0 {
+			budget := r.cfg.MaxBytes
+			if budget > math.MaxInt64/pendingOvercommit {
+				budget = math.MaxInt64
+			} else {
+				budget *= pendingOvercommit
+			}
+			if r.pendingBytes > budget || est > budget-r.pendingBytes {
+				r.busyRejects++
+				pending := r.pendingBytes
+				r.mu.Unlock()
+				return nil, false, fmt.Errorf("%w (in-flight estimate %d bytes, new build estimate %d, overcommitted budget %d)",
+					ErrBusy, pending, est, budget)
+			}
+		}
 		e := &Entry{
 			ID: id, Def: def.Clone(), Method: method,
 			ready:    make(chan struct{}),
 			cancelCh: make(chan struct{}),
 			waiters:  1,
+			pending:  est,
 		}
+		r.pendingBytes += est
 		r.entries[id] = e
 		r.misses++
 		r.mu.Unlock()
@@ -257,6 +391,9 @@ func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method
 
 // dropWaiter unregisters a disconnected waiter, canceling the build
 // when it was the last one (unless the build already finished).
+// Restores ignore the cancel signal — they are quick IO on content
+// that is already paid for — so dropping the last waiter of a restore
+// merely means nobody reads the result.
 func (r *Registry) dropWaiter(e *Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -275,7 +412,13 @@ func (r *Registry) dropWaiter(e *Entry) {
 }
 
 // buildEntry runs one registered construction to completion (or
-// cancellation) and publishes the outcome to every waiter.
+// cancellation) and publishes the outcome to every waiter. A
+// successful build is written through to the snapshot store BEFORE the
+// waiters are released: once any client holds the space's id, the blob
+// is already on disk, so even a kill immediately after the build
+// response finds it at the next boot. (The write costs a few percent
+// of the build's own wall time; for durability-of-solver-work that is
+// the right trade.)
 func (r *Registry) buildEntry(e *Entry) {
 	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh)
 
@@ -286,8 +429,10 @@ func (r *Registry) buildEntry(e *Entry) {
 		bounds = ss.TrueBounds()
 	}
 
-	var evicted []string
+	var evicted []*Entry
 	r.mu.Lock()
+	r.pendingBytes -= e.pending
+	e.pending = 0
 	if buildErr != nil {
 		delete(r.entries, e.ID)
 		e.err = buildErr
@@ -305,12 +450,113 @@ func (r *Registry) buildEntry(e *Entry) {
 		evicted = r.evictLocked()
 	}
 	r.mu.Unlock()
+	if buildErr == nil {
+		r.persist(e)
+	}
 	close(e.ready)
-	if r.onEvict != nil {
-		for _, id := range evicted {
-			r.onEvict(id)
+	r.demoteEvicted(evicted)
+}
+
+// persist writes a completed entry through to the snapshot store.
+// Failures are counted by the store and tolerated: the space still
+// serves from memory, it just cannot survive eviction or restart.
+func (r *Registry) persist(e *Entry) {
+	if r.cfg.Store == nil {
+		return
+	}
+	_ = r.cfg.Store.Put(e.ID, &store.Snapshot{
+		Def:    e.Def,
+		Method: e.Method,
+		Stats:  e.Stats,
+		Bounds: e.Bounds,
+		Space:  e.Space,
+	})
+}
+
+// demoteEvicted finishes an eviction outside the registry lock: each
+// victim's snapshot is ensured on disk (a no-op when write-through
+// already put it there, a fresh write if GC dropped it since), turning
+// the eviction into a demotion; then the eviction hook learns whether
+// a disk copy survives so sessions can dehydrate instead of dying.
+func (r *Registry) demoteEvicted(evicted []*Entry) {
+	for _, v := range evicted {
+		demoted := false
+		if r.cfg.Store != nil {
+			if r.cfg.Store.Has(v.ID) {
+				demoted = true
+			} else if err := r.cfg.Store.Put(v.ID, &store.Snapshot{
+				Def: v.Def, Method: v.Method, Stats: v.Stats,
+				Bounds: v.Bounds, Space: v.Space,
+			}); err == nil {
+				demoted = true
+			}
+		}
+		r.mu.Lock()
+		if demoted {
+			r.demotions++
+		} else {
+			r.demoteDropped++
+		}
+		r.mu.Unlock()
+		if r.onEvict != nil {
+			r.onEvict(v.ID, demoted)
 		}
 	}
+}
+
+// maxConcurrentRestores bounds parallel snapshot decodes. Restores
+// are quick IO+decode rather than solver time, so they do not consume
+// build slots or pending-byte charges — but each one fully
+// materializes a space before eviction rebalances, so a thundering
+// herd of restores for DISTINCT demoted spaces (e.g. right after a
+// restart) could stack many spaces in memory at once. A small slot
+// pool caps that transient overshoot at a few spaces beyond the
+// budget.
+const maxConcurrentRestores = 4
+
+// restoreEntry rehydrates one space from the snapshot store and
+// publishes it to every waiter. Restores never select on the entry's
+// cancel channel — the blob is already paid for, so the decode always
+// runs to completion and gets cached even if every waiter left. Any
+// failure — blob vanished, corrupt (quarantined by the store), or
+// misnamed — publishes errRestoreFailed, which sends GetOrBuild
+// waiters back around the loop to build from source.
+func (r *Registry) restoreEntry(e *Entry) {
+	r.restoreSem <- struct{}{}
+	defer func() { <-r.restoreSem }()
+	snap, err := r.cfg.Store.Get(e.ID)
+	if err == nil {
+		// The blob must BE the space it is named as: recompute the
+		// content address of what was decoded. This catches renamed or
+		// cross-copied blobs that are internally consistent (checksum
+		// fine) but answer for the wrong definition.
+		fp, ferr := Fingerprint(snap.Def, snap.Method)
+		if ferr != nil || fp != e.ID {
+			r.cfg.Store.Quarantine(e.ID)
+			err = fmt.Errorf("snapshot content does not hash to its address %s", e.ID)
+		}
+	}
+
+	var evicted []*Entry
+	r.mu.Lock()
+	if err != nil {
+		delete(r.entries, e.ID)
+		e.err = fmt.Errorf("%w: %v", errRestoreFailed, err)
+	} else {
+		e.Def = snap.Def
+		e.Method = snap.Method
+		e.Space = snap.Space
+		e.Stats = snap.Stats
+		e.Bounds = snap.Bounds
+		e.Bytes = EstimateBytes(snap.Space)
+		e.elem = r.lru.PushFront(e)
+		r.bytes += e.Bytes
+		r.restores++
+		evicted = r.evictLocked()
+	}
+	r.mu.Unlock()
+	close(e.ready)
+	r.demoteEvicted(evicted)
 }
 
 // ErrInternal marks build failures that are the server's fault (a
@@ -323,6 +569,12 @@ var ErrInternal = errors.New("internal construction failure")
 // callers retry and disconnected callers report their own ctx.Err().
 // (handleCompare drives runBuild directly and suppresses it itself.)
 var errBuildCanceled = errors.New("service: construction canceled: all requesting clients disconnected")
+
+// errRestoreFailed marks a disk restore that came up empty (missing,
+// corrupt, or misnamed blob). It never escapes the registry: waiters
+// holding a definition fall back to building, waiters holding only an
+// id report the space as absent.
+var errRestoreFailed = errors.New("service: snapshot restore failed")
 
 // runBuild executes one construction under a build slot, abandoning it
 // when cancel closes — while queued for the slot or, via the solver's
@@ -362,9 +614,10 @@ func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, ca
 	return ss, stats, err
 }
 
-// Lookup returns the completed entry with the given id, refreshing its
-// LRU position. In-flight builds are not visible to Lookup: an id only
-// becomes public once its POST /v1/spaces response exists.
+// Lookup returns the completed IN-MEMORY entry with the given id,
+// refreshing its LRU position; it never touches the disk tier.
+// In-flight builds are not visible to Lookup. Use LookupOrRestore to
+// look through both tiers.
 func (r *Registry) Lookup(id string) (*Entry, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -376,6 +629,77 @@ func (r *Registry) Lookup(id string) (*Entry, bool) {
 	return e, true
 }
 
+// LookupOrRestore resolves an id through both cache tiers: a completed
+// in-memory entry is returned at once; an in-flight build or restore
+// is joined; a demoted space is restored from its snapshot (deduped
+// with any concurrent restore). It returns ok=false when the id is
+// unknown in memory AND on disk — only then is the space truly gone.
+// Unlike GetOrBuild it holds no definition, so it can never fall back
+// to building.
+func (r *Registry) LookupOrRestore(ctx context.Context, id string) (*Entry, bool) {
+	for {
+		r.mu.Lock()
+		if e, ok := r.entries[id]; ok {
+			select {
+			case <-e.ready:
+				r.touchLocked(e)
+				r.mu.Unlock()
+				return e, true
+			default:
+			}
+			e.waiters++
+			r.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				r.dropWaiter(e)
+				return nil, false
+			}
+			r.mu.Lock()
+			e.waiters--
+			r.mu.Unlock()
+			if e.err == nil {
+				return e, true
+			}
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			// A canceled build or failed restore: reassess from the top —
+			// the id may have landed in memory or still sit on disk.
+			continue
+		}
+		if r.cfg.Store != nil && r.cfg.Store.Has(id) {
+			e := &Entry{
+				ID:       id,
+				ready:    make(chan struct{}),
+				cancelCh: make(chan struct{}),
+				waiters:  1,
+			}
+			r.entries[id] = e
+			r.mu.Unlock()
+			go r.restoreEntry(e)
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				r.dropWaiter(e)
+				return nil, false
+			}
+			r.mu.Lock()
+			e.waiters--
+			r.mu.Unlock()
+			if e.err == nil {
+				return e, true
+			}
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			continue
+		}
+		r.mu.Unlock()
+		return nil, false
+	}
+}
+
 // touchLocked moves a completed entry to the LRU front.
 func (r *Registry) touchLocked(e *Entry) {
 	if e.elem != nil {
@@ -385,16 +709,16 @@ func (r *Registry) touchLocked(e *Entry) {
 
 // evictLocked drops least-recently-used entries until the cache fits
 // the budget, always keeping at least the most recent entry. It
-// returns the evicted ids so the caller can fire the eviction hook
-// once outside the lock.
-func (r *Registry) evictLocked() []string {
+// returns the evicted entries so the caller can demote them to the
+// snapshot store and fire the eviction hook outside the lock.
+func (r *Registry) evictLocked() []*Entry {
 	overBudget := func() bool {
 		if r.cfg.MaxEntries > 0 && r.lru.Len() > r.cfg.MaxEntries {
 			return true
 		}
 		return r.cfg.MaxBytes > 0 && r.bytes > r.cfg.MaxBytes
 	}
-	var evicted []string
+	var evicted []*Entry
 	for r.lru.Len() > 1 && overBudget() {
 		back := r.lru.Back()
 		victim := back.Value.(*Entry)
@@ -403,52 +727,77 @@ func (r *Registry) evictLocked() []string {
 		delete(r.entries, victim.ID)
 		r.bytes -= victim.Bytes
 		r.evictions++
-		evicted = append(evicted, victim.ID)
+		evicted = append(evicted, victim)
 	}
 	return evicted
 }
 
 // RegistryStats is a point-in-time snapshot of cache behavior.
 type RegistryStats struct {
-	Entries   int     `json:"entries"`
-	Bytes     int64   `json:"bytes"`
-	Builds    int64   `json:"builds"`
-	Hits      int64   `json:"hits"`
-	Joins     int64   `json:"joins"`
-	Misses    int64   `json:"misses"`
-	Evictions int64   `json:"evictions"`
-	Canceled  int64   `json:"canceled"`
-	HitRatio  float64 `json:"hit_ratio"`
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// PendingBytes is the sum of in-flight builds' admission estimates.
+	PendingBytes int64 `json:"pending_bytes"`
+	Builds       int64 `json:"builds"`
+	Hits         int64 `json:"hits"`
+	Joins        int64 `json:"joins"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	Canceled     int64 `json:"canceled"`
+	// Restores counts spaces rehydrated from the snapshot store;
+	// Demotions counts evictions that kept a disk copy, DemoteDropped
+	// those that did not (no store configured, or the write failed).
+	Restores      int64   `json:"restores"`
+	Demotions     int64   `json:"demotions"`
+	DemoteDropped int64   `json:"demote_dropped"`
+	BusyRejects   int64   `json:"busy_rejects"`
+	HitRatio      float64 `json:"hit_ratio"`
 	// BuildTime is cumulative construction wall time.
 	BuildTime time.Duration `json:"build_time_ns"`
 }
 
 // Stats snapshots the registry counters. HitRatio counts joined
-// in-flight builds as hits: the request did not pay for a construction.
+// in-flight builds and disk restores as hits: the request did not pay
+// for a construction.
 func (r *Registry) Stats() RegistryStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := RegistryStats{
-		Entries:   r.lru.Len(),
-		Bytes:     r.bytes,
-		Builds:    r.builds,
-		Hits:      r.hits,
-		Joins:     r.joins,
-		Misses:    r.misses,
-		Evictions: r.evictions,
-		Canceled:  r.canceled,
-		BuildTime: time.Duration(r.buildNanos),
+		Entries:       r.lru.Len(),
+		Bytes:         r.bytes,
+		PendingBytes:  r.pendingBytes,
+		Builds:        r.builds,
+		Hits:          r.hits,
+		Joins:         r.joins,
+		Misses:        r.misses,
+		Evictions:     r.evictions,
+		Canceled:      r.canceled,
+		Restores:      r.restores,
+		Demotions:     r.demotions,
+		DemoteDropped: r.demoteDropped,
+		BusyRejects:   r.busyRejects,
+		BuildTime:     time.Duration(r.buildNanos),
 	}
-	if total := s.Hits + s.Joins + s.Misses; total > 0 {
-		s.HitRatio = float64(s.Hits+s.Joins) / float64(total)
+	if total := s.Hits + s.Joins + s.Restores + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits+s.Joins+s.Restores) / float64(total)
 	}
 	return s
 }
 
+// StoreStats snapshots the snapshot store's counters, or nil when no
+// store is configured.
+func (r *Registry) StoreStats() *store.Stats {
+	if r.cfg.Store == nil {
+		return nil
+	}
+	st := r.cfg.Store.Stats()
+	return &st
+}
+
 // String renders the snapshot for logs.
 func (s RegistryStats) String() string {
-	return fmt.Sprintf("entries=%d bytes=%d builds=%d hits=%d joins=%d misses=%d evictions=%d canceled=%d hit_ratio=%.3f",
-		s.Entries, s.Bytes, s.Builds, s.Hits, s.Joins, s.Misses, s.Evictions, s.Canceled, s.HitRatio)
+	return fmt.Sprintf("entries=%d bytes=%d builds=%d hits=%d joins=%d misses=%d evictions=%d canceled=%d restores=%d demotions=%d hit_ratio=%.3f",
+		s.Entries, s.Bytes, s.Builds, s.Hits, s.Joins, s.Misses, s.Evictions, s.Canceled, s.Restores, s.Demotions, s.HitRatio)
 }
 
 // EstimateBytes approximates the resident size of a materialized space:
@@ -459,11 +808,22 @@ func (s RegistryStats) String() string {
 // that never serves neighbor traffic occupies less than charged, never
 // more.
 func EstimateBytes(ss *searchspace.SearchSpace) int64 {
-	rows, params := int64(ss.Size()), int64(ss.NumParams())
+	return int64(estimateResidentBytes(float64(ss.Size()), float64(ss.NumParams())))
+}
+
+// estimateResidentBytes is the sizing model shared by EstimateBytes
+// (measured rows) and EstimatePendingBytes (cartesian upper bound), so
+// cache accounting and admission charging cannot drift apart: the
+// int32 columns, the packed-key row index (key bytes and map
+// overhead), and the per-parameter neighbor partitions (worst case:
+// every row its own group, with a 4*(params-1)-byte key plus map/slice
+// overhead).
+func estimateResidentBytes(rows, params float64) float64 {
+	if params < 1 {
+		params = 1
+	}
 	cols := rows * params * 4
 	index := rows * (params*4 + 48)
-	// Worst case per partition: every row its own group, with a
-	// 4*(params-1)-byte key plus map/slice overhead.
 	partitions := params * rows * (4 + 4*(params-1) + 48)
 	return cols + index + partitions + 1024
 }

@@ -24,8 +24,12 @@ import (
 // under any budget; any batch under a pure max_evals budget).
 //
 // Every session operation touches its space in the registry LRU, so an
-// actively tuned space stays hot; if byte pressure evicts it anyway,
-// the session fails loudly with 410 and is removed.
+// actively tuned space stays hot. If byte pressure demotes it to the
+// snapshot store anyway, the session dehydrates and the next operation
+// transparently restores the space and replays the session's history
+// (same strategy+seed+history → same state, so the client never
+// notices). Only when the space is truly gone — no snapshot either —
+// does the session fail loudly with 410 and get removed.
 
 // maxAskBatch bounds one ask response; GA generations and Hamming
 // neighborhoods fit comfortably.
@@ -210,12 +214,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Close the create/evict race: if the space was evicted between our
 	// registry lookup and the table insert, the eviction hook ran too
-	// early to see this session — kill it now rather than hand out a
-	// session pinning an evicted space.
+	// early to see this session — deal with it now rather than hand out
+	// a session whose stepper pins an evicted space. A demotion (the
+	// snapshot survives) just dehydrates the newborn session; a true
+	// eviction kills it.
 	if _, ok := s.reg.Lookup(entry.ID); !ok {
-		s.sessions.KillBySpace(entry.ID)
-		writeError(w, http.StatusGone, "space %q was evicted during session creation; rebuild the space and retry", entry.ID)
-		return
+		if s.reg.SnapshotOnDisk(entry.ID) {
+			s.sessions.DehydrateBySpace(entry.ID)
+		} else {
+			s.sessions.KillBySpace(entry.ID)
+			writeError(w, http.StatusGone, "space %q was evicted during session creation; rebuild the space and retry", entry.ID)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, SessionCreateResponse{
 		Session: sess.ID, Space: entry.ID,
@@ -224,29 +234,58 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // lookupSession resolves {id}/{sid} to a live session and its backing
-// space, writing 404 for unknown/expired sessions and 410 when the
-// space was evicted out from under the session (which killed it).
+// space, restoring a demoted space from its snapshot transparently.
+// It writes 404 for unknown/expired sessions and 410 when the space is
+// truly gone — evicted with no snapshot left — which kills the session.
 func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*Session, *Entry, bool) {
 	spaceID, sid := r.PathValue("id"), r.PathValue("sid")
 	sess, ok := s.sessions.Lookup(sid)
 	if !ok || sess.SpaceID != spaceID {
 		if killedSpace, killed := s.sessions.KilledSpace(sid); killed && killedSpace == spaceID {
-			writeError(w, http.StatusGone, "space %q backing session %q was evicted; rebuild the space and create a new session", spaceID, sid)
+			writeError(w, http.StatusGone, "space %q backing session %q was evicted with no snapshot; rebuild the space and create a new session", spaceID, sid)
 			return nil, nil, false
 		}
 		writeError(w, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
 		return nil, nil, false
 	}
-	entry, ok := s.reg.Lookup(spaceID)
+	entry, ok := s.reg.LookupOrRestore(r.Context(), spaceID)
 	if !ok {
-		// The eviction hook normally kills sessions first; this covers
-		// the race where the lookup lands in between. Same outcome: the
-		// session dies loudly and stops pinning the space.
+		if r.Context().Err() != nil {
+			// LookupOrRestore also reports false when THIS CLIENT went
+			// away mid-restore — which says nothing about the space.
+			// Killing the space's sessions here would let one impatient
+			// client destroy every other tenant's session.
+			writeError(w, statusClientClosedRequest, "client disconnected while resolving space %q", spaceID)
+			return nil, nil, false
+		}
+		// No in-memory entry and no snapshot: the space is
+		// unrecoverable, so the session dies loudly and stops waiting
+		// for a space that cannot come back.
 		s.sessions.KillBySpace(spaceID)
-		writeError(w, http.StatusGone, "space %q backing session %q was evicted; rebuild the space and create a new session", spaceID, sid)
+		writeError(w, http.StatusGone, "space %q backing session %q was evicted with no snapshot; rebuild the space and create a new session", spaceID, sid)
 		return nil, nil, false
 	}
 	return sess, entry, true
+}
+
+// rehydrateLocked rebuilds sess's stepper over the (possibly restored)
+// space if the session was dehydrated by a demotion, counting the
+// event. Caller holds sess.mu; on failure it writes the response and
+// reports false.
+func (s *Server) rehydrateLocked(w http.ResponseWriter, sess *Session, entry *Entry) bool {
+	did, err := sess.rehydrateLocked(entry.Space)
+	if err != nil {
+		// The history records exactly the measurements the stepper
+		// consumed, in order, on a space the content address pins — so
+		// a replay failure is a server-side invariant violation, not a
+		// client error.
+		writeError(w, http.StatusInternalServerError, "session %q could not be rehydrated onto space %q: %v", sess.ID, sess.SpaceID, err)
+		return false
+	}
+	if did {
+		s.sessions.NoteRehydrated()
+	}
+	return true
 }
 
 func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
@@ -268,12 +307,17 @@ func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
+	if !s.rehydrateLocked(w, sess, entry) {
+		sess.mu.Unlock()
+		return
+	}
 	retry := sess.pendingAsk
 	rows := sess.stepper.Ask(max)
 	if rows == nil {
 		rows = []int{} // exhausted: an empty list, not JSON null
 	}
 	sess.pendingAsk = len(rows) > 0
+	sess.pendingLen = len(rows)
 	done := sess.stepper.Done()
 	evals := sess.stepper.Evaluations()
 	completed := done && !sess.completedSeen
@@ -316,12 +360,32 @@ func (s *Server) handleSessionTell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
+	if !s.rehydrateLocked(w, sess, entry) {
+		sess.mu.Unlock()
+		return
+	}
 	before := sess.stepper.Evaluations()
 	err := sess.stepper.Tell(req.Results)
+	evals := sess.stepper.Evaluations()
 	if err == nil {
 		sess.pendingAsk = false
+		sess.pendingLen = 0
+		// The consumed part of the batch joins the replayable history:
+		// together with (strategy, seed, budget) it IS the session
+		// state, which is how a dehydrated session comes back. Only the
+		// measurements the stepper actually applied count — a MaxTime
+		// budget can exhaust mid-batch, silently dropping the tail, and
+		// replaying dropped measurements would fail ("run ended after N
+		// of M"). The stepper consumes fresh rows in batch order, so
+		// the applied ones are exactly the first evals-before results.
+		// History is only kept when a snapshot store exists: without
+		// one a space can never be demoted, so sessions can never
+		// dehydrate and the history would be dead weight (up to ~24 MB
+		// per maxed-out session).
+		if s.reg.Store() != nil {
+			sess.history = append(sess.history, req.Results[:evals-before]...)
+		}
 	}
-	evals := sess.stepper.Evaluations()
 	bestRow, bestScore := sess.stepper.Best()
 	done := sess.stepper.Done()
 	completed := err == nil && done && !sess.completedSeen
@@ -352,6 +416,10 @@ func (s *Server) handleSessionBest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
+	if !s.rehydrateLocked(w, sess, entry) {
+		sess.mu.Unlock()
+		return
+	}
 	res := sess.stepper.Result()
 	done := sess.stepper.Done()
 	sess.mu.Unlock()

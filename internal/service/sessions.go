@@ -36,10 +36,16 @@ const maxSessionEvals = 1 << 20
 
 // Session is one ask/tell tuning run pinned to a cached space. The
 // stepper's state is serializable by contract: (strategy, seed, told
-// measurements) replays to the identical state via tuner.Replay. All
-// stepper access goes through mu — concurrent ask/tell on one session
-// serializes, and a tell racing another tell fails the outstanding-ask
-// match with 409 rather than corrupting state.
+// measurements) replays to the identical state via tuner.Replay — and
+// the session exploits that to survive its space's demotion: when the
+// registry demotes the space to disk, the session DEHYDRATES (drops
+// the stepper, which would otherwise pin the evicted space in memory)
+// and keeps only the replay triple; the next ask/tell restores the
+// space from its snapshot and replays the history to rebuild the
+// stepper in the exact same state. All stepper access goes through mu
+// — concurrent ask/tell on one session serializes, and a tell racing
+// another tell fails the outstanding-ask match with 409 rather than
+// corrupting state.
 type Session struct {
 	ID       string
 	SpaceID  string
@@ -47,11 +53,21 @@ type Session struct {
 	Seed     int64
 	Budget   tuner.Budget
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// strat is the configured strategy instance (with parameters), kept
+	// for rehydration.
+	strat tuner.Strategy
+	// stepper is nil while the session is dehydrated.
 	stepper tuner.Stepper
+	// history is every successfully told measurement in told order —
+	// the replayable part of the session state.
+	history []tuner.Measurement
 	// pendingAsk marks an outstanding un-told batch, so metrics count a
-	// re-asked (retried) batch's rows only once.
+	// re-asked (retried) batch's rows only once; pendingLen is its row
+	// count, used to re-prime the outstanding batch after rehydration
+	// (same state + same max → same proposals).
 	pendingAsk bool
+	pendingLen int
 	// completedSeen dedupes the done→metrics transition: whichever of
 	// ask or tell first observes exhaustion reports it, once.
 	completedSeen bool
@@ -60,6 +76,38 @@ type Session struct {
 	created  time.Time
 	lastUsed time.Time
 	elem     *list.Element
+}
+
+// rehydrateLocked rebuilds a dehydrated session's stepper over sp by
+// replaying its measurement history, re-priming the outstanding ask if
+// one was pending at dehydration. Caller holds sess.mu. The returned
+// flag reports whether a rehydration actually happened.
+//
+// The history holds exactly the measurements the stepper consumed, so
+// the replayed state matches the original in everything observable —
+// evaluations, best, trace. One deliberate softness: a MaxTime budget
+// that was exhausted by a measurement the stepper REJECTED mid-batch
+// (cost overshooting the remaining time) leaves the replayed clock
+// slightly behind the original's clamped one, so a rehydrated session
+// may propose a few more rows where the original had declared itself
+// done — still strictly within the declared budget, and far better
+// than refusing to rehydrate at all.
+func (sess *Session) rehydrateLocked(sp tuner.Space) (bool, error) {
+	if sess.stepper != nil {
+		return false, nil
+	}
+	st, err := tuner.Replay(sess.strat, sess.Seed, sp, sess.Budget, sess.history)
+	if err != nil {
+		return false, err
+	}
+	if sess.pendingAsk && sess.pendingLen > 0 {
+		// Deterministic re-ask: the replayed stepper proposes exactly the
+		// batch that was outstanding, so an in-flight client tell still
+		// matches.
+		st.Ask(sess.pendingLen)
+	}
+	sess.stepper = st
+	return true, nil
 }
 
 // Sessions is the daemon's session table: TTL for abandoned runs, LRU
@@ -83,6 +131,8 @@ type Sessions struct {
 	evictedLRU   int64
 	deleted      int64
 	spaceEvicted int64
+	dehydrated   int64
+	rehydrated   int64
 
 	// now is the clock, injectable so TTL tests don't sleep.
 	now func() time.Time
@@ -126,6 +176,39 @@ func (t *Sessions) KillBySpace(spaceID string) {
 	}
 }
 
+// DehydrateBySpace drops the steppers of every session bound to a
+// DEMOTED space — the snapshot store still holds it, so the sessions
+// stay alive and rehydrate from their histories once the space is
+// restored on the next ask/tell. Wired as the eviction hook's demotion
+// branch; the steppers are the references that would otherwise keep
+// the demoted space resident past the byte budget.
+func (t *Sessions) DehydrateBySpace(spaceID string) {
+	t.mu.Lock()
+	var victims []*Session
+	for _, sess := range t.table {
+		if sess.SpaceID == spaceID {
+			victims = append(victims, sess)
+		}
+	}
+	t.dehydrated += int64(len(victims))
+	t.mu.Unlock()
+	// Session locks are taken outside the table lock (lookup paths
+	// acquire them in that order too). A session mid-request simply
+	// dehydrates when its current operation finishes.
+	for _, sess := range victims {
+		sess.mu.Lock()
+		sess.stepper = nil
+		sess.mu.Unlock()
+	}
+}
+
+// NoteRehydrated counts sessions rebuilt from their histories.
+func (t *Sessions) NoteRehydrated() {
+	t.mu.Lock()
+	t.rehydrated++
+	t.mu.Unlock()
+}
+
 // KilledSpace reports whether the session id was killed by a space
 // eviction, returning the space it was bound to.
 func (t *Sessions) KilledSpace(id string) (string, bool) {
@@ -158,6 +241,7 @@ func (t *Sessions) Create(spaceID string, strat tuner.Strategy, seed int64, budg
 		Strategy: strat.Name(),
 		Seed:     seed,
 		Budget:   budget,
+		strat:    strat,
 		stepper:  strat.Stepper(mrand.New(mrand.NewSource(seed)), sp, budget),
 	}
 	t.mu.Lock()
@@ -247,8 +331,13 @@ type SessionTableStats struct {
 	EvictedLRU int64 `json:"evicted_lru"`
 	Deleted    int64 `json:"deleted"`
 	// SpaceEvicted counts sessions killed because the registry evicted
-	// their backing space.
+	// their backing space with no snapshot left to restore it from.
 	SpaceEvicted int64 `json:"space_evicted"`
+	// Dehydrated counts sessions whose stepper was dropped when their
+	// space was demoted to disk; Rehydrated counts the replays that
+	// rebuilt steppers once the space was restored.
+	Dehydrated int64 `json:"dehydrated"`
+	Rehydrated int64 `json:"rehydrated"`
 }
 
 // Stats snapshots the table counters.
@@ -262,5 +351,7 @@ func (t *Sessions) Stats() SessionTableStats {
 		EvictedLRU:   t.evictedLRU,
 		Deleted:      t.deleted,
 		SpaceEvicted: t.spaceEvicted,
+		Dehydrated:   t.dehydrated,
+		Rehydrated:   t.rehydrated,
 	}
 }

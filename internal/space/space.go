@@ -31,8 +31,14 @@ type Space struct {
 	n       int
 
 	// index maps the packed per-parameter value indices of a
-	// configuration to its row.
-	index map[string]int32
+	// configuration to its row. It is built lazily on the first lookup
+	// (indexOnce): the O(rows) map construction is a real cost on large
+	// spaces — ~90ms on Hotspot's 348k rows — and a space restored from
+	// a snapshot (or built only to be sampled) may never serve a
+	// membership query at all. sync.Once makes the publication safe
+	// under concurrent queries; the map is immutable once built.
+	indexOnce sync.Once
+	index     map[string]int32
 
 	// partitions[p] groups rows by the key of all columns except p; it
 	// backs Hamming-distance-1 neighbor queries and is built lazily
@@ -59,17 +65,31 @@ func FromColumnar(def *model.Definition, col *core.Columnar) (*Space, error) {
 		s.nameIdx[p.Name] = i
 		s.domains[i] = p.Values
 	}
-	s.index = make(map[string]int32, s.n)
-	buf := make([]byte, 4*len(s.names))
-	for r := 0; r < s.n; r++ {
-		s.index[s.rowKey(buf, int32(r))] = int32(r)
-	}
 	s.partitions = make([]map[string][]int32, len(s.names))
 	return s, nil
 }
 
+// rowIndex returns the packed-key row index, building it on first use.
+func (s *Space) rowIndex() map[string]int32 {
+	s.indexOnce.Do(func() {
+		idx := make(map[string]int32, s.n)
+		buf := make([]byte, 4*len(s.names))
+		for r := 0; r < s.n; r++ {
+			idx[s.rowKey(buf, int32(r))] = int32(r)
+		}
+		s.index = idx
+	})
+	return s.index
+}
+
 // Size returns the number of valid configurations.
 func (s *Space) Size() int { return s.n }
+
+// Columns returns the raw per-parameter domain-index columns. The
+// returned slices are the space's backing storage (shared, immutable by
+// contract); they are what a snapshot must persist to reconstruct the
+// space without re-solving.
+func (s *Space) Columns() [][]int32 { return s.cols }
 
 // NumParams returns the number of tunable parameters.
 func (s *Space) NumParams() int { return len(s.names) }
@@ -135,7 +155,7 @@ func (s *Space) Lookup(idx []int32) (int, bool) {
 		return 0, false
 	}
 	buf := make([]byte, 4*len(s.cols))
-	r, ok := s.index[packIdx(buf, idx)]
+	r, ok := s.rowIndex()[packIdx(buf, idx)]
 	return int(r), ok
 }
 
@@ -422,6 +442,7 @@ func (s *Space) HammingNeighbors(r int) []int {
 func (s *Space) AdjacentNeighbors(r int) []int {
 	idx := s.Indices(r)
 	buf := make([]byte, 4*len(s.cols))
+	index := s.rowIndex()
 	var out []int
 	for p := range s.cols {
 		orig := idx[p]
@@ -431,7 +452,7 @@ func (s *Space) AdjacentNeighbors(r int) []int {
 				continue
 			}
 			idx[p] = cand
-			if row, ok := s.index[packIdx(buf, idx)]; ok {
+			if row, ok := index[packIdx(buf, idx)]; ok {
 				out = append(out, int(row))
 			}
 		}

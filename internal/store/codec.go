@@ -1,0 +1,485 @@
+// Package store implements the durable snapshot tier under the spaced
+// registry: a versioned, checksummed binary codec for fully
+// materialized search spaces, and a content-addressed on-disk blob
+// store with atomic writes, a byte-budget GC, and corruption-tolerant
+// loading. The paper's economics motivate it directly — construction is
+// the expensive step, so a built space is an asset worth keeping: with
+// this tier, registry eviction demotes to disk instead of discarding
+// solver work, and a daemon restart warm-starts from the blobs instead
+// of rebuilding.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/model"
+	"searchspace/internal/value"
+)
+
+// Snapshot is everything needed to serve a previously built space
+// without re-running a solver: the definition, the construction method
+// and its original build stats, the precomputed true bounds, and the
+// materialized space itself (whose columnar row data is what the codec
+// persists).
+type Snapshot struct {
+	Def    *model.Definition
+	Method searchspace.Method
+	Stats  searchspace.BuildStats
+	Bounds []searchspace.ParamBounds
+	Space  *searchspace.SearchSpace
+}
+
+// Format: a fixed header, a length-prefixed payload, and a trailing
+// SHA-256 of the payload.
+//
+//	magic   [6]byte  "ssnap\x00"
+//	version uint16   little-endian; currently 1
+//	length  uint64   payload bytes
+//	payload []byte   see encodePayload
+//	sum     [32]byte SHA-256 of payload
+//
+// Compatibility contract: the version is bumped on ANY payload layout
+// change; a decoder accepts its own version and every older one it
+// has migration code for. An unknown (newer) version is ErrVersion —
+// a miss, not corruption — while a bad magic, truncation, or checksum
+// mismatch is ErrCorrupt (quarantine it).
+var magic = [6]byte{'s', 's', 'n', 'a', 'p', 0}
+
+// Version is the current snapshot format version.
+const Version uint16 = 1
+
+// maxPayloadBytes bounds a declared payload length so a corrupt header
+// cannot make the decoder attempt an absurd allocation.
+const maxPayloadBytes = 1 << 38 // 256 GiB
+
+// ErrCorrupt marks a blob that is structurally damaged (bad magic,
+// truncated, checksum mismatch, or inconsistent content). The store
+// quarantines such blobs; they are never served and never crash.
+var ErrCorrupt = errors.New("store: corrupt snapshot")
+
+// ErrVersion marks a blob in an unknown (likely newer) format version.
+// It is valid content for some other binary, so it is a cache miss,
+// not corruption — no quarantine. The miss makes the caller rebuild,
+// and the rebuild's write-through MAY then replace the blob with a
+// current-version encoding of the same space; that stays readable by
+// the newer binary too, since decoders accept every version up to
+// their own.
+var ErrVersion = errors.New("store: unsupported snapshot version")
+
+// Encode writes snap to w in the binary snapshot format.
+func Encode(w io.Writer, snap *Snapshot) error {
+	payload, err := encodePayload(snap)
+	if err != nil {
+		return err
+	}
+	var head bytes.Buffer
+	head.Write(magic[:])
+	le16(&head, Version)
+	le64(&head, uint64(len(payload)))
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload)
+	_, err = w.Write(sum[:])
+	return err
+}
+
+// EncodeBytes renders snap as one byte slice.
+func EncodeBytes(snap *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses one snapshot, verifying the checksum before trusting
+// any payload bytes and fully validating the content (definition,
+// method, column bounds) before materializing the space. Every failure
+// mode is an error — never a panic — so a hostile or bit-flipped blob
+// degrades to a cache miss.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var head [16]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(head[:6], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := binary.LittleEndian.Uint16(head[6:8])
+	if version != Version {
+		return nil, fmt.Errorf("%w: version %d (this binary reads %d)", ErrVersion, version, Version)
+	}
+	length := binary.LittleEndian.Uint64(head[8:16])
+	if length > maxPayloadBytes {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
+	}
+	var sum [32]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	snap, err := decodePayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return snap, nil
+}
+
+// DecodeBytes parses a snapshot from one byte slice, rejecting
+// trailing garbage.
+func DecodeBytes(raw []byte) (*Snapshot, error) {
+	r := bytes.NewReader(raw)
+	snap, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return snap, nil
+}
+
+// encodePayload lowers the snapshot into the version-1 payload layout.
+// All integers are little-endian; strings are u32-length-prefixed UTF-8;
+// floats are IEEE-754 bits (so ±Inf bound sentinels survive, which JSON
+// could not carry).
+func encodePayload(snap *Snapshot) ([]byte, error) {
+	def := snap.Def
+	if def == nil || snap.Space == nil {
+		return nil, fmt.Errorf("store: snapshot needs a definition and a space")
+	}
+	if len(def.GoConstraints) > 0 {
+		// Same rule as the wire codec: a closure has no canonical byte
+		// form, so it cannot be persisted or content-addressed.
+		return nil, fmt.Errorf("store: definition %q has native Go constraint functions; only string constraints are persistable", def.Name)
+	}
+	cols := snap.Space.Columns()
+	if len(cols) != len(def.Params) {
+		return nil, fmt.Errorf("store: space has %d columns for %d parameters", len(cols), len(def.Params))
+	}
+	var b bytes.Buffer
+	str(&b, snap.Method.String())
+	str(&b, def.Name)
+	le32(&b, uint32(len(def.Params)))
+	for _, p := range def.Params {
+		str(&b, p.Name)
+		le32(&b, uint32(len(p.Values)))
+		for _, v := range p.Values {
+			if err := encodeValue(&b, v); err != nil {
+				return nil, fmt.Errorf("store: parameter %q: %w", p.Name, err)
+			}
+		}
+	}
+	le32(&b, uint32(len(def.Constraints)))
+	for _, c := range def.Constraints {
+		str(&b, c)
+	}
+	le64(&b, uint64(snap.Stats.Duration))
+	le64(&b, math.Float64bits(snap.Stats.Cartesian))
+	le64(&b, uint64(snap.Stats.Valid))
+	le32(&b, uint32(len(snap.Bounds)))
+	for _, bd := range snap.Bounds {
+		str(&b, bd.Name)
+		le64(&b, math.Float64bits(bd.Min))
+		le64(&b, math.Float64bits(bd.Max))
+		boolByte(&b, bd.Numeric)
+		le32(&b, uint32(bd.DistinctValues))
+	}
+	rows := snap.Space.Size()
+	le64(&b, uint64(rows))
+	// Raw int32 cells, column-major: the cheapest layout to write and to
+	// read back, and it matches the in-memory columnar form byte for
+	// byte in width.
+	scratch := make([]byte, 4*rows)
+	for _, col := range cols {
+		for i, di := range col {
+			binary.LittleEndian.PutUint32(scratch[4*i:], uint32(di))
+		}
+		b.Write(scratch)
+	}
+	return b.Bytes(), nil
+}
+
+// decodePayload parses and validates a version-1 payload, ending with
+// a materialized space. It trusts nothing: counts are sanity-bounded
+// before allocation, the definition is re-validated, the method label
+// must resolve, declared sizes must be internally consistent, and
+// FromColumns re-checks every cell against its domain.
+func decodePayload(payload []byte) (*Snapshot, error) {
+	d := &payloadReader{buf: payload}
+	methodName := d.str()
+	name := d.str()
+	nParams := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nParams > 1<<20 {
+		return nil, fmt.Errorf("implausible parameter count %d", nParams)
+	}
+	def := &model.Definition{Name: name, Params: make([]model.Param, nParams)}
+	for i := range def.Params {
+		pname := d.str()
+		nVals := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nVals > 1<<26 {
+			return nil, fmt.Errorf("implausible domain size %d for parameter %q", nVals, pname)
+		}
+		vals := make([]value.Value, nVals)
+		for j := range vals {
+			vals[j] = d.value()
+		}
+		def.Params[i] = model.Param{Name: pname, Values: vals}
+	}
+	nCons := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nCons > 1<<20 {
+		return nil, fmt.Errorf("implausible constraint count %d", nCons)
+	}
+	def.Constraints = make([]string, nCons)
+	for i := range def.Constraints {
+		def.Constraints[i] = d.str()
+	}
+	duration := d.u64()
+	cartesian := math.Float64frombits(d.u64())
+	valid := d.u64()
+	nBounds := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nBounds != nParams {
+		return nil, fmt.Errorf("%d bounds for %d parameters", nBounds, nParams)
+	}
+	bounds := make([]searchspace.ParamBounds, nBounds)
+	for i := range bounds {
+		bounds[i] = searchspace.ParamBounds{
+			Name:    d.str(),
+			Min:     math.Float64frombits(d.u64()),
+			Max:     math.Float64frombits(d.u64()),
+			Numeric: d.boolByte(),
+		}
+		bounds[i].DistinctValues = int(d.u32())
+	}
+	rows := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if rows != valid {
+		return nil, fmt.Errorf("row count %d disagrees with recorded valid size %d", rows, valid)
+	}
+	remaining := uint64(len(d.buf) - d.pos)
+	if nParams == 0 {
+		if rows != 0 || remaining != 0 {
+			return nil, fmt.Errorf("parameterless snapshot claims %d rows with %d data bytes", rows, remaining)
+		}
+	} else if rows > remaining/(4*uint64(nParams)) {
+		// Also the overflow guard: a checksum-valid blob can still carry
+		// an absurd row count (nothing upstream validates it), and
+		// rows*4*nParams wrapping around would otherwise defeat the size
+		// check below and panic the column allocation.
+		return nil, fmt.Errorf("row count %d exceeds the column data present", rows)
+	}
+	need := rows * 4 * uint64(nParams)
+	if remaining != need {
+		return nil, fmt.Errorf("column data is %d bytes, want %d", remaining, need)
+	}
+	cols := make([][]int32, nParams)
+	for p := range cols {
+		col := make([]int32, rows)
+		raw := d.bytes(int(rows) * 4)
+		for i := range col {
+			col[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		cols[p] = col
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	method, ok := searchspace.MethodByName(methodName)
+	if !ok {
+		return nil, fmt.Errorf("unknown construction method %q", methodName)
+	}
+	ss, err := searchspace.FromColumns(def, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Def:    def,
+		Method: method,
+		Stats: searchspace.BuildStats{
+			Method:    method,
+			Duration:  time.Duration(duration),
+			Cartesian: cartesian,
+			Valid:     int(valid),
+		},
+		Bounds: bounds,
+		Space:  ss,
+	}, nil
+}
+
+// kind tags for encoded values; distinct from value.Kind so the wire
+// format stays stable even if the in-memory enum is reordered.
+const (
+	kindInt    byte = 1
+	kindFloat  byte = 2
+	kindBool   byte = 3
+	kindString byte = 4
+)
+
+func encodeValue(b *bytes.Buffer, v value.Value) error {
+	switch v.Kind() {
+	case value.Int:
+		b.WriteByte(kindInt)
+		le64(b, uint64(v.Int()))
+	case value.Float:
+		b.WriteByte(kindFloat)
+		le64(b, math.Float64bits(v.Float()))
+	case value.Bool:
+		b.WriteByte(kindBool)
+		boolByte(b, v.Bool())
+	case value.String:
+		b.WriteByte(kindString)
+		str(b, v.Str())
+	default:
+		return fmt.Errorf("unencodable value kind %v", v.Kind())
+	}
+	return nil
+}
+
+// payloadReader is a little-endian cursor that latches its first error
+// so parse code reads linearly and checks d.err at section boundaries.
+type payloadReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *payloadReader) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *payloadReader) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.buf) {
+		d.fail("truncated at offset %d (want %d more bytes)", d.pos, n)
+		return nil
+	}
+	out := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return out
+}
+
+func (d *payloadReader) u32() uint32 {
+	raw := d.bytes(4)
+	if raw == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(raw)
+}
+
+func (d *payloadReader) u64() uint64 {
+	raw := d.bytes(8)
+	if raw == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(raw)
+}
+
+func (d *payloadReader) boolByte() bool {
+	raw := d.bytes(1)
+	if raw == nil {
+		return false
+	}
+	switch raw[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.fail("bad bool byte %d", raw[0])
+	return false
+}
+
+func (d *payloadReader) str() string {
+	n := d.u32()
+	if n > 1<<26 {
+		d.fail("implausible string length %d", n)
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+func (d *payloadReader) value() value.Value {
+	raw := d.bytes(1)
+	if raw == nil {
+		return value.Value{}
+	}
+	switch raw[0] {
+	case kindInt:
+		return value.OfInt(int64(d.u64()))
+	case kindFloat:
+		return value.OfFloat(math.Float64frombits(d.u64()))
+	case kindBool:
+		return value.OfBool(d.boolByte())
+	case kindString:
+		return value.OfString(d.str())
+	}
+	d.fail("bad value kind tag %d", raw[0])
+	return value.Value{}
+}
+
+func str(b *bytes.Buffer, s string) {
+	le32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+func le16(b *bytes.Buffer, v uint16) {
+	var raw [2]byte
+	binary.LittleEndian.PutUint16(raw[:], v)
+	b.Write(raw[:])
+}
+
+func le32(b *bytes.Buffer, v uint32) {
+	var raw [4]byte
+	binary.LittleEndian.PutUint32(raw[:], v)
+	b.Write(raw[:])
+}
+
+func le64(b *bytes.Buffer, v uint64) {
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], v)
+	b.Write(raw[:])
+}
+
+func boolByte(b *bytes.Buffer, v bool) {
+	if v {
+		b.WriteByte(1)
+		return
+	}
+	b.WriteByte(0)
+}

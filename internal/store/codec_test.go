@@ -1,0 +1,246 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"searchspace"
+)
+
+// buildSnapshot constructs the all-kinds test space with the given
+// method and wraps it as a snapshot, the way the service does.
+func buildSnapshot(t *testing.T, m searchspace.Method) *Snapshot {
+	t.Helper()
+	p := searchspace.NewProblem("codec-roundtrip")
+	p.AddParam("block", 1, 2, 4, 8, 16, 32)
+	p.AddParam("scale", 0.5, 1.0, 2.0, 2.5)
+	p.AddParam("vectorize", true, false)
+	p.AddParam("layout", "row", "col", "tiled")
+	p.AddConstraint("block * scale <= 32")
+	p.AddConstraint("vectorize or block >= 4")
+	ss, stats, err := p.BuildTimed(m)
+	if err != nil {
+		t.Fatalf("build with %s: %v", m, err)
+	}
+	return &Snapshot{
+		Def:    p.Definition(),
+		Method: m,
+		Stats:  stats,
+		Bounds: ss.TrueBounds(),
+		Space:  ss,
+	}
+}
+
+// sameSpace asserts that two materialized spaces answer identically:
+// size, names, every row's values, and membership through the row
+// index.
+func sameSpace(t *testing.T, want, got *searchspace.SearchSpace) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("size %d, want %d", got.Size(), want.Size())
+	}
+	wantNames, gotNames := want.Names(), got.Names()
+	if len(wantNames) != len(gotNames) {
+		t.Fatalf("param count %d, want %d", len(gotNames), len(wantNames))
+	}
+	for i := range wantNames {
+		if wantNames[i] != gotNames[i] {
+			t.Fatalf("param %d = %q, want %q", i, gotNames[i], wantNames[i])
+		}
+	}
+	for r := 0; r < want.Size(); r++ {
+		wv, gv := want.GetValues(r), got.GetValues(r)
+		for i := range wv {
+			if wv[i] != gv[i] {
+				t.Fatalf("row %d param %d = %v (%T), want %v (%T)", r, i, gv[i], gv[i], wv[i], wv[i])
+			}
+		}
+		if idx, ok := got.IndexOf(want.Get(r)); !ok || idx != r {
+			t.Fatalf("membership of row %d: got (%d,%v), want (%d,true)", r, idx, ok, r)
+		}
+	}
+}
+
+// TestRoundTripEveryMethod pins that encode→decode is identity for a
+// space mixing every value kind (int, float, bool, string), for every
+// construction method — the persisted form must be method-agnostic so
+// a restored space is indistinguishable from a built one.
+func TestRoundTripEveryMethod(t *testing.T) {
+	for _, m := range searchspace.Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			snap := buildSnapshot(t, m)
+			raw, err := EncodeBytes(snap)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := DecodeBytes(raw)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.Method != m {
+				t.Errorf("method %v, want %v", got.Method, m)
+			}
+			if got.Stats != snap.Stats {
+				t.Errorf("stats %+v, want %+v", got.Stats, snap.Stats)
+			}
+			if got.Def.Name != snap.Def.Name {
+				t.Errorf("name %q, want %q", got.Def.Name, snap.Def.Name)
+			}
+			if len(got.Bounds) != len(snap.Bounds) {
+				t.Fatalf("bounds count %d, want %d", len(got.Bounds), len(snap.Bounds))
+			}
+			for i := range snap.Bounds {
+				if got.Bounds[i] != snap.Bounds[i] {
+					t.Errorf("bounds[%d] = %+v, want %+v", i, got.Bounds[i], snap.Bounds[i])
+				}
+			}
+			sameSpace(t, snap.Space, got.Space)
+		})
+	}
+}
+
+// TestRoundTripEmptySpace covers the over-constrained edge: zero valid
+// rows must encode and restore cleanly.
+func TestRoundTripEmptySpace(t *testing.T) {
+	p := searchspace.NewProblem("empty")
+	p.AddParam("x", 1, 2, 3)
+	p.AddConstraint("x > 5")
+	ss, stats, err := p.BuildTimed(searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Def: p.Definition(), Method: searchspace.Optimized,
+		Stats: stats, Bounds: ss.TrueBounds(), Space: ss}
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space.Size() != 0 {
+		t.Fatalf("size %d, want 0", got.Space.Size())
+	}
+}
+
+// TestGoConstraintsNotEncodable: closures have no canonical byte form.
+func TestGoConstraintsNotEncodable(t *testing.T) {
+	p := searchspace.NewProblem("native")
+	p.AddParam("x", 1, 2, 3)
+	p.AddConstraintFunc([]string{"x"}, func(args []any) bool { return args[0].(int64) > 1 })
+	ss, stats, err := p.BuildTimed(searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Def: p.Definition(), Method: searchspace.Optimized,
+		Stats: stats, Bounds: ss.TrueBounds(), Space: ss}
+	if _, err := EncodeBytes(snap); err == nil {
+		t.Fatal("encoding a definition with Go constraints should fail")
+	}
+}
+
+// TestDecodeDamagedBlob proves quarantine-not-crash material: every
+// truncation point and a sweep of single-bit flips must produce an
+// error (almost always ErrCorrupt) and never a panic or a silently
+// wrong space.
+func TestDecodeDamagedBlob(t *testing.T) {
+	snap := buildSnapshot(t, searchspace.Optimized)
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBytes(raw); err != nil {
+		t.Fatalf("pristine blob must decode: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		// Every prefix of the blob is a truncation some crashed writer or
+		// torn download could produce.
+		step := 1
+		if len(raw) > 4096 {
+			step = len(raw) / 4096
+		}
+		for n := 0; n < len(raw); n += step {
+			if _, err := DecodeBytes(raw[:n]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(raw))
+			}
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		flips := 256
+		for i := 0; i < flips; i++ {
+			mut := append([]byte(nil), raw...)
+			pos := rng.Intn(len(mut))
+			mut[pos] ^= 1 << uint(rng.Intn(8))
+			got, err := DecodeBytes(mut)
+			if err == nil {
+				// The only undetectable flip would be a sha256 collision;
+				// a successful decode here means the flip landed on a byte
+				// the format ignores, which the format does not have.
+				t.Fatalf("bit flip at byte %d decoded successfully (size %d)", pos, got.Space.Size())
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("bit flip at byte %d: error %v is neither ErrCorrupt nor ErrVersion", pos, err)
+			}
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if _, err := DecodeBytes(append(append([]byte(nil), raw...), 0xFF)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing garbage: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("overflow-row-count", func(t *testing.T) {
+		// A checksum-VALID blob claiming 2^62 rows: rows*4*params wraps
+		// to 0, so without the explicit bound the size check passes and
+		// the column allocation panics, taking the daemon down. It must
+		// be a plain ErrCorrupt.
+		var p bytes.Buffer
+		str(&p, "optimized")
+		str(&p, "evil")
+		le32(&p, 1) // one param
+		str(&p, "x")
+		le32(&p, 1) // one value
+		p.WriteByte(kindInt)
+		le64(&p, 1)
+		le32(&p, 0)                   // no constraints
+		le64(&p, 0)                   // duration
+		le64(&p, math.Float64bits(1)) // cartesian
+		rows := uint64(1) << 62
+		le64(&p, rows) // valid
+		le32(&p, 1)    // one bound
+		str(&p, "x")
+		le64(&p, math.Float64bits(1))
+		le64(&p, math.Float64bits(1))
+		boolByte(&p, true)
+		le32(&p, 1)
+		le64(&p, rows) // row count, no column data follows
+		payload := p.Bytes()
+		var blob bytes.Buffer
+		blob.Write(magic[:])
+		le16(&blob, Version)
+		le64(&blob, uint64(len(payload)))
+		blob.Write(payload)
+		sum := sha256.Sum256(payload)
+		blob.Write(sum[:])
+		if _, err := DecodeBytes(blob.Bytes()); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("overflow blob: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("future-version", func(t *testing.T) {
+		mut := append([]byte(nil), raw...)
+		mut[6] = 0xFF // version low byte
+		if _, err := DecodeBytes(mut); !errors.Is(err, ErrVersion) {
+			t.Fatalf("future version: %v, want ErrVersion", err)
+		}
+	})
+}

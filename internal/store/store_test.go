@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"searchspace"
+)
+
+// testID returns a syntactically valid content address for tests.
+func testID(n int) string {
+	return fmt.Sprintf("%064x", n)
+}
+
+func smallSnapshot(t *testing.T, name string, domain int) *Snapshot {
+	t.Helper()
+	p := searchspace.NewProblem(name)
+	vals := make([]any, domain)
+	for i := range vals {
+		vals[i] = i + 1
+	}
+	p.AddParam("x", vals...)
+	p.AddParam("y", 1, 2, 3, 4)
+	p.AddConstraint("y <= x")
+	ss, stats, err := p.BuildTimed(searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Snapshot{Def: p.Definition(), Method: searchspace.Optimized,
+		Stats: stats, Bounds: ss.TrueBounds(), Space: ss}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := smallSnapshot(t, "putget", 8)
+	id := testID(1)
+	if s.Has(id) {
+		t.Fatal("empty store claims to have a blob")
+	}
+	if err := s.Put(id, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(id) {
+		t.Fatal("store lost the blob it just wrote")
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space.Size() != snap.Space.Size() {
+		t.Fatalf("restored size %d, want %d", got.Space.Size(), snap.Space.Size())
+	}
+	// Duplicate put is a metadata no-op.
+	if err := s.Put(id, snap); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.DupPuts != 1 || st.Hits != 1 || st.Blobs != 1 {
+		t.Fatalf("stats %+v: want puts=1 dup_puts=1 hits=1 blobs=1", st)
+	}
+	if _, err := s.Get(testID(99)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get of absent id: %v, want ErrNotFound", err)
+	}
+}
+
+func TestReopenScansExistingBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := smallSnapshot(t, "reopen", 6)
+	for i := 0; i < 3; i++ {
+		if err := s1.Put(testID(i), snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stale temp file (crashed writer) and a foreign file must be
+	// handled: the temp is swept, the foreign file ignored.
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"dead"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Blobs; got != 3 {
+		t.Fatalf("reopened store indexes %d blobs, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s2.Get(testID(i)); err != nil {
+			t.Fatalf("blob %d unreadable after reopen: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"dead")); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the scan")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Error("scan removed a file the store does not own")
+	}
+}
+
+func TestByteBudgetGC(t *testing.T) {
+	dir := t.TempDir()
+	snap := smallSnapshot(t, "gc", 8)
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobSize := int64(len(raw))
+	// Budget for two blobs; the third put must evict the coldest.
+	s, err := Open(Config{Dir: dir, MaxBytes: 2 * blobSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Put(testID(i), snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch blob 0 so blob 1 is the GC victim.
+	if _, err := s.Get(testID(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testID(2), snap); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.GCEvicted != 1 || st.Blobs != 2 {
+		t.Fatalf("stats %+v: want gc_evicted=1 blobs=2", st)
+	}
+	if s.Has(testID(1)) {
+		t.Error("LRU victim still indexed")
+	}
+	if _, err := os.Stat(s.path(testID(1))); !os.IsNotExist(err) {
+		t.Error("LRU victim's file still on disk")
+	}
+	if !s.Has(testID(0)) || !s.Has(testID(2)) {
+		t.Error("GC evicted a hot blob")
+	}
+	if st.Bytes != 2*blobSize {
+		t.Errorf("accounted bytes %d, want %d", st.Bytes, 2*blobSize)
+	}
+}
+
+func TestCorruptBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := smallSnapshot(t, "corrupt", 6)
+	id := testID(5)
+	if err := s.Put(id, snap); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the payload region on disk.
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(s.path(id), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt blob: %v, want ErrNotFound", err)
+	}
+	if s.Has(id) {
+		t.Error("corrupt blob still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+corruptSuffix)); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined = %d, want 1", got)
+	}
+	// The id is a clean miss now (not an error, not a crash) and can be
+	// re-put: the next build re-materializes the blob.
+	if err := s.Put(id, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("re-put after quarantine: %v", err)
+	}
+}
+
+func TestReopenSeedsLRUFromMtime(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := smallSnapshot(t, "mtime", 6)
+	for i := 0; i < 3; i++ {
+		if err := s1.Put(testID(i), snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make blob 0 clearly the oldest and blob 2 the newest on disk.
+	now := time.Now()
+	for i, age := range []time.Duration{3 * time.Hour, 2 * time.Hour, time.Hour} {
+		ts := now.Add(-age)
+		if err := os.Chtimes(s1.path(testID(i)), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, _ := EncodeBytes(snap)
+	s2, err := Open(Config{Dir: dir, MaxBytes: 2 * int64(len(raw))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Putting a fourth blob must evict the mtime-oldest survivors first.
+	if err := s2.Put(testID(3), snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Has(testID(0)) {
+		t.Error("oldest blob survived GC after reopen")
+	}
+	if !s2.Has(testID(2)) || !s2.Has(testID(3)) {
+		t.Error("newest blobs evicted")
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open with empty dir should fail")
+	}
+	if _, err := Open(Config{Dir: string([]byte{0})}); err == nil {
+		t.Fatal("Open with unusable dir should fail")
+	}
+}
+
+func TestPutRejectsBadID(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := smallSnapshot(t, "badid", 4)
+	for _, id := range []string{"", "short", strings.Repeat("x", 64), strings.Repeat("A", 64)} {
+		if err := s.Put(id, snap); err == nil {
+			t.Errorf("Put(%q) accepted a non-content-address id", id)
+		}
+	}
+}
