@@ -24,11 +24,16 @@
 //	GET  /v1/stats                    request + cache + session metrics
 //	GET  /healthz                     liveness
 //
-// A client that disconnects mid-build cancels the construction (unless
-// other clients are waiting on the same space); the optimized and
-// brute-force methods stop mid-build, the other baselines before
-// starting (their input size is admission-bounded). SIGINT/SIGTERM
-// drain in-flight requests before exit.
+// Construction runs on the parallel engine by default: each build
+// draws workers from a shared -build-workers pool (a lone build gets
+// the whole pool, a burst splits it, so concurrent builds cannot
+// oversubscribe the box), and its output is byte-identical to a
+// sequential build. A client that disconnects mid-build cancels the
+// construction (unless other clients are waiting on the same space);
+// the optimized, both chain-of-trees, and brute-force methods stop
+// mid-build, the other baselines before starting (their input size is
+// admission-bounded). SIGINT/SIGTERM drain in-flight requests before
+// exit.
 //
 // With -store-dir set, built spaces also live in an on-disk snapshot
 // tier: completed builds are written through, LRU eviction demotes to
@@ -62,6 +67,7 @@ func main() {
 	maxCartesian := flag.Float64("max-cartesian", 1e12, "reject definitions whose unconstrained size exceeds this before building (0 = unlimited)")
 	maxExhaustive := flag.Float64("max-exhaustive-cartesian", 1e8, "tighter pre-build limit for exhaustive methods (brute-force, original, iterative-sat; 0 = unlimited)")
 	maxBuilds := flag.Int("max-builds", 4, "max concurrent constructions; excess builds queue (0 = unlimited)")
+	buildWorkers := flag.Int("build-workers", 0, "total solver workers shared by concurrent constructions; a lone build gets the whole pool, a burst splits it (0 = GOMAXPROCS)")
 	maxSessions := flag.Int("max-sessions", 4096, "max live tuning sessions; least recently used beyond this are evicted (0 = unlimited)")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle tuning sessions expire after this (0 = never)")
 	storeDir := flag.String("store-dir", "", "directory for the on-disk snapshot tier; built spaces are written through and survive eviction and restarts (empty = persistence off)")
@@ -86,6 +92,7 @@ func main() {
 		MaxEntries: *maxSpaces, MaxBytes: *maxBytes,
 		MaxCartesian: *maxCartesian, MaxExhaustiveCartesian: *maxExhaustive,
 		MaxConcurrentBuilds: *maxBuilds,
+		BuildWorkers:        *buildWorkers,
 		Store:               blobs,
 	})
 	srv := service.NewServerWith(reg, service.SessionConfig{

@@ -4,12 +4,23 @@
 // stack, not a network; point -server at a running daemon to load-test
 // over the wire instead.
 //
-// Two workloads, selected with -mode:
+// Four workloads, selected with -mode:
 //
-//   - build (default): many tuning clients sharing few kernels — workers
-//     draw one of -spaces distinct definitions, submit it via POST
-//     /v1/spaces (a build on first contact, a cache hit after) and follow
-//     up with sample and contains queries. Writes BENCH_service.json.
+//   - service (default): many tuning clients sharing few kernels —
+//     workers draw one of -spaces distinct definitions, submit it via
+//     POST /v1/spaces (a build on first contact, a cache hit after) and
+//     follow up with sample and contains queries. Writes
+//     BENCH_service.json. (This mode was called "build" before the
+//     parallel engine landed; "build" now benchmarks construction
+//     itself.)
+//
+//   - build: the parallel-construction sweep — for the Hotspot and GEMM
+//     workloads, race the optimized solver through POST /v1/compare at
+//     workers 1, 2, 4, and GOMAXPROCS (min wall time over -reps runs;
+//     compare bypasses the cache, so every run is a real construction),
+//     assert every run's output checksum is identical (the determinism
+//     contract over the wire), and report the speedup curve. Writes
+//     BENCH_parallel.json.
 //
 //   - sessions: a tuning-server workload — workers create ask/tell
 //     sessions on the shared spaces, drive each to budget exhaustion
@@ -28,6 +39,7 @@
 //     since a remote daemon cannot be restarted from here.)
 //
 //     spaceload -spaces 8 -requests 2000 -workers 16
+//     spaceload -mode build -reps 3
 //     spaceload -mode sessions -spaces 8 -requests 300 -workers 16
 //     spaceload -mode restart -spaces 4
 package main
@@ -39,10 +51,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,7 +71,8 @@ import (
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
-	mode := flag.String("mode", "build", "workload: build | sessions | restart")
+	mode := flag.String("mode", "service", "workload: service | build | sessions | restart")
+	reps := flag.Int("reps", 3, "build mode: constructions per (workload, workers) point; the minimum wall time is kept")
 	storeDir := flag.String("store-dir", "", "restart mode: snapshot store directory (default: a fresh temp dir)")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
 	requests := flag.Int("requests", 2000, "total build requests (build mode) or sessions (sessions mode)")
@@ -71,7 +87,18 @@ func main() {
 	if base == "" && *mode != "restart" {
 		// restart mode manages its own pair of servers (before/after the
 		// simulated restart), so no default server is needed for it.
-		ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.RegistryConfig{MaxEntries: 1024})))
+		cfg := service.RegistryConfig{MaxEntries: 1024}
+		if *mode == "build" {
+			// The sweep measures the ENGINE's scaling, so the in-process
+			// pool must not be the limiter: size it past every sweep
+			// point (a real daemon's -build-workers clamp is interesting
+			// to observe; our own would only hide the curve).
+			cfg.BuildWorkers = runtime.GOMAXPROCS(0)
+			if cfg.BuildWorkers < 8 {
+				cfg.BuildWorkers = 8
+			}
+		}
+		ts := httptest.NewServer(service.NewServer(service.NewRegistry(cfg)))
 		defer ts.Close()
 		base = ts.URL
 	}
@@ -98,11 +125,16 @@ func main() {
 	outFile := *out
 	var result map[string]any
 	switch *mode {
-	case "build":
+	case "service":
 		if outFile == "" {
 			outFile = "BENCH_service.json"
 		}
 		result = runBuildLoad(client, base, bodies, *requests, *workers, *seed)
+	case "build":
+		if outFile == "" {
+			outFile = "BENCH_parallel.json"
+		}
+		result = runParallelSweep(client, base, *reps)
 	case "sessions":
 		if outFile == "" {
 			outFile = "BENCH_sessions.json"
@@ -117,7 +149,7 @@ func main() {
 		}
 		result = runRestartLoad(client, *spaces, *storeDir)
 	default:
-		log.Fatalf("unknown mode %q (want build, sessions, or restart)", *mode)
+		log.Fatalf("unknown mode %q (want service, build, sessions, or restart)", *mode)
 	}
 
 	pretty, _ := json.MarshalIndent(result, "", "  ")
@@ -379,6 +411,124 @@ func runOneSession(client *http.Client, base, spaceID, strategy string, seed int
 		dresp.Body.Close()
 	}
 	return true
+}
+
+// runParallelSweep benchmarks the parallel construction engine through
+// the service: for each real-world workload it races the optimized
+// solver via POST /v1/compare — which bypasses the cache, so every
+// request is a genuine construction — at increasing worker counts,
+// keeping the minimum wall time per point. Every response carries a
+// checksum of the resolved space's full enumeration; the sweep asserts
+// all of them are identical, which is the determinism contract
+// (parallel == sequential, byte for byte) verified over the wire
+// against whatever daemon -server points at. The requested worker
+// count is a hint: the daemon's -build-workers pool caps it, and the
+// granted count comes back in each result, so sweeping a small-pool
+// daemon shows the clamp instead of a fake curve.
+func runParallelSweep(client *http.Client, base string, reps int) map[string]any {
+	if reps < 1 {
+		reps = 1
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	points := []int{1, 2, 4, maxW}
+	sort.Ints(points)
+	workerPoints := points[:0]
+	for i, w := range points {
+		if i == 0 || w != points[i-1] {
+			workerPoints = append(workerPoints, w)
+		}
+	}
+
+	defs := []*model.Definition{workloads.Hotspot(), workloads.GEMM()}
+	var failures int64
+	var perWorkload []map[string]any
+	parityOK := true
+	speedupAt4 := 0.0
+	for _, def := range defs {
+		raw, err := service.MarshalProblem(def)
+		if err != nil {
+			log.Fatalf("sweep: marshal %s: %v", def.Name, err)
+		}
+		checksums := make(map[string]struct{})
+		valid := 0
+		var t1 float64
+		var curve []map[string]any
+		for _, w := range workerPoints {
+			best := math.Inf(1)
+			granted := 0
+			for rep := 0; rep < reps; rep++ {
+				body := fmt.Sprintf(`{"problem": %s, "methods": ["optimized"], "workers": %d}`, raw, w)
+				var resp service.CompareResponse
+				if !postInto(client, base+"/v1/compare", []byte(body), &resp) {
+					failures++
+					continue
+				}
+				if len(resp.Results) != 1 || resp.Results[0].Error != "" {
+					log.Printf("sweep: %s workers=%d: unexpected compare result %+v", def.Name, w, resp.Results)
+					failures++
+					continue
+				}
+				r := resp.Results[0]
+				if r.WallSeconds < best {
+					best = r.WallSeconds
+				}
+				granted = r.Workers
+				valid = r.Valid
+				checksums[r.Checksum] = struct{}{}
+			}
+			if math.IsInf(best, 1) {
+				continue // every rep failed; already counted
+			}
+			if w == 1 {
+				t1 = best
+			}
+			speedup := 0.0
+			if t1 > 0 && best > 0 {
+				speedup = t1 / best
+			}
+			// The acceptance headline is pinned to Hotspot (the paper's
+			// flagship workload), not the best workload of the sweep.
+			if w == 4 && def.Name == "Hotspot" {
+				speedupAt4 = speedup
+			}
+			curve = append(curve, map[string]any{
+				"workers_requested": w,
+				"workers_granted":   granted,
+				"wall_seconds":      best,
+				"speedup":           speedup,
+			})
+		}
+		if len(checksums) != 1 {
+			log.Printf("sweep: %s: %d distinct output checksums across the sweep, want 1", def.Name, len(checksums))
+			failures++
+			parityOK = false
+		}
+		perWorkload = append(perWorkload, map[string]any{
+			"name":   def.Name,
+			"valid":  valid,
+			"curve":  curve,
+			"parity": len(checksums) == 1,
+		})
+	}
+
+	snap, err := fetchStats(client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return map[string]any{
+		"benchmark": "parallel-build",
+		"num_cpu":   runtime.NumCPU(),
+		"reps":      reps,
+		"workloads": perWorkload,
+		// speedup_at_4workers is the acceptance headline: Hotspot's
+		// t1/t4. On a single-CPU host the curve is necessarily flat
+		// (~1x) — goroutines timeshare one core — so read it together
+		// with num_cpu.
+		"speedup_at_4workers": speedupAt4,
+		"parity":              parityOK,
+		"failures":            failures,
+		"build_pool":          snap.Cache.BuildPool,
+	}
 }
 
 // runRestartLoad measures what the snapshot tier buys across a daemon

@@ -15,6 +15,7 @@
 package chaintrees
 
 import (
+	"errors"
 	"fmt"
 
 	"searchspace/internal/core"
@@ -64,11 +65,40 @@ type Chain struct {
 	unsat bool
 }
 
-// checker evaluates one constraint against the current assignment.
-type checker func() bool
+// taskState is one construction task's private assignment state, so
+// subtrees can be built concurrently without sharing mutable slots.
+type taskState struct {
+	vals    []value.Value
+	env     nodeEnv
+	scratch []value.Value
+}
 
-// Build constructs the chain-of-trees for def.
+// checker evaluates one constraint against a task's current assignment.
+// Checkers themselves are stateless and shared across tasks.
+type checker func(st *taskState) bool
+
+// ErrCanceled reports a construction abandoned because the Exec's stop
+// function fired.
+var ErrCanceled = errors.New("chaintrees: construction canceled")
+
+// stopMask sets how often a construction task polls its stop function:
+// every 1024 tree-node visits, so even one huge subtree observes
+// cancellation promptly.
+const stopMask = 1024 - 1
+
+// Build constructs the chain-of-trees for def sequentially.
 func Build(def *model.Definition, mode Mode) (*Chain, error) {
+	return BuildExec(def, mode, core.Exec{Workers: 1})
+}
+
+// BuildExec constructs the chain-of-trees under an execution config:
+// each (tree, root value) pair is an independent construction task
+// drawn from a shared queue by ex's workers, ex.Stop cancels the
+// construction mid-build with ErrCanceled, and ex.OnProgress observes
+// completed tasks. The resulting chain is identical at every worker
+// count — root subtrees land in domain order, exactly where the
+// sequential recursion would put them.
+func BuildExec(def *model.Definition, mode Mode, ex core.Exec) (*Chain, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,15 +168,7 @@ func Build(def *model.Definition, mode Mode) (*Chain, error) {
 		g.paramIdx = append(g.paramIdx, pi)
 	}
 
-	// Shared assignment state for checking.
-	vals := make([]value.Value, n)
-	env := make(nodeEnv, n)
-	for i := range env {
-		env[i].name = def.Params[i].Name
-	}
-
-	// Per group: constraints keyed by the depth (within the group's
-	// definition-order parameters) of their deepest parameter.
+	// Constant constraints decide satisfiability up front.
 	c := &Chain{def: def, groups: groups}
 	for ci, nd := range nodes {
 		if len(scopes[ci]) == 0 {
@@ -167,7 +189,13 @@ func Build(def *model.Definition, mode Mode) (*Chain, error) {
 		slots[p.Name] = i
 	}
 
-	for _, g := range groups {
+	// Per group: stateless checkers keyed by the depth (within the
+	// group's definition-order parameters) of their deepest parameter.
+	// Statelessness is what makes subtree tasks independent: every
+	// checker reads the assignment from the task's own state.
+	maxArgs := 0
+	checksByGroup := make([][][]checker, len(groups))
+	for gi, g := range groups {
 		depthOf := make(map[int]int, len(g.paramIdx))
 		for d, pi := range g.paramIdx {
 			depthOf[pi] = d
@@ -185,7 +213,7 @@ func Build(def *model.Definition, mode Mode) (*Chain, error) {
 		for ci, nd := range nodes {
 			scope := scopes[ci]
 			if len(scope) == 0 {
-				continue // constant constraints are handled below
+				continue // constant constraints are handled above
 			}
 			if !inGroup(depthOf, scope) {
 				continue
@@ -196,20 +224,20 @@ func Build(def *model.Definition, mode Mode) (*Chain, error) {
 				if err != nil {
 					return nil, err
 				}
-				addCheck(scope, func() bool {
-					ok, err := pred(vals)
+				addCheck(scope, func(st *taskState) bool {
+					ok, err := pred(st.vals)
 					return err == nil && ok
 				})
 			case ModeInterpreted:
 				nd := nd
-				addCheck(scope, func() bool {
-					ok, err := expr.EvalBool(nd, env)
+				addCheck(scope, func(st *taskState) bool {
+					ok, err := expr.EvalBool(nd, st.env)
 					return err == nil && ok
 				})
 			}
 		}
-		for gi, gc := range def.GoConstraints {
-			scope := scopes[len(nodes)+gi]
+		for gci, gc := range def.GoConstraints {
+			scope := scopes[len(nodes)+gci]
 			if !inGroup(depthOf, scope) {
 				continue
 			}
@@ -217,54 +245,159 @@ func Build(def *model.Definition, mode Mode) (*Chain, error) {
 			for j, name := range gc.Vars {
 				argPos[j], _ = def.ParamIndex(name)
 			}
+			if len(argPos) > maxArgs {
+				maxArgs = len(argPos)
+			}
 			fn := gc.Fn
-			scratch := make([]value.Value, len(argPos))
-			addCheck(scope, func() bool {
+			addCheck(scope, func(st *taskState) bool {
+				args := st.scratch[:len(argPos)]
 				for j, pi := range argPos {
-					scratch[j] = vals[pi]
+					args[j] = st.vals[pi]
 				}
-				return fn(scratch)
+				return fn(args)
 			})
 		}
+		checksByGroup[gi] = checksAt
+	}
 
-		// Depth-first tree construction: a node survives only when some
-		// complete extension below it is valid.
-		var build func(depth int) []*node
-		build = func(depth int) []*node {
-			pi := g.paramIdx[depth]
-			var out []*node
-			for k, v := range def.Params[pi].Values {
-				vals[pi] = v
-				env[pi].val = v
-				env[pi].set = true
-				ok := true
-				for _, chk := range checksAt[depth] {
-					if !chk() {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				if depth == len(g.paramIdx)-1 {
-					out = append(out, &node{valIdx: int32(k)})
-					g.leaves++
-					continue
-				}
-				children := build(depth + 1)
-				if len(children) > 0 {
-					out = append(out, &node{valIdx: int32(k), children: children})
-				}
-			}
-			env[pi].set = false
-			return out
-		}
-		if len(g.paramIdx) > 0 {
-			g.roots = build(0)
+	// One task per (tree, root value): fine enough that a few deep
+	// subtrees do not serialize the build, and the per-root results
+	// reassemble into exactly the sequential tree.
+	type task struct {
+		gi, rootVal int
+	}
+	var tasks []task
+	for gi, g := range groups {
+		for k := range def.Params[g.paramIdx[0]].Values {
+			tasks = append(tasks, task{gi, k})
 		}
 	}
+	rootSlots := make([]*node, len(tasks))
+	leafCounts := make([]int, len(tasks))
+
+	if ex.Stop != nil && ex.Stop() {
+		return nil, ErrCanceled
+	}
+
+	// The shared scheduler in core drives the task queue, the stop
+	// latch, and progress; assignment state is reused per worker across
+	// tasks — the env's set-flag discipline (every task clears the
+	// flags it raised) makes stale values from a previous task
+	// invisible, so the sequential path allocates exactly once, as the
+	// pre-parallel code did.
+	canceled := ex.ForEachTask(len(tasks), func() any {
+		st := &taskState{
+			vals:    make([]value.Value, n),
+			env:     make(nodeEnv, n),
+			scratch: make([]value.Value, maxArgs),
+		}
+		for i := range st.env {
+			st.env[i].name = def.Params[i].Name
+		}
+		return st
+	}, func(w any, t int, stop func() bool) bool {
+		b := &subtreeBuilder{
+			def: def, g: groups[tasks[t].gi], checksAt: checksByGroup[tasks[t].gi],
+			st: w.(*taskState), stop: stop,
+		}
+		rootSlots[t], leafCounts[t] = b.buildRoot(tasks[t].rootVal)
+		return b.canceled
+	})
+	if canceled {
+		return nil, ErrCanceled
+	}
+
+	// Reassemble per-root results in root-value order; nil slots are
+	// roots with no valid extension, exactly the ones the sequential
+	// recursion would have skipped.
+	for t, nd := range rootSlots {
+		if nd == nil {
+			continue
+		}
+		g := groups[tasks[t].gi]
+		g.roots = append(g.roots, nd)
+		g.leaves += leafCounts[t]
+	}
 	return c, nil
+}
+
+// subtreeBuilder constructs one root value's subtree depth-first with
+// task-private state; a node survives only when some complete extension
+// below it is valid.
+type subtreeBuilder struct {
+	def      *model.Definition
+	g        *group
+	checksAt [][]checker
+	st       *taskState
+	stop     func() bool
+	nodes    int
+	canceled bool
+}
+
+// buildRoot pins the group's first parameter to its rootVal-th value
+// and builds the subtree beneath it. A nil node means no valid complete
+// extension (or cancellation — the caller checks the shared latch).
+func (b *subtreeBuilder) buildRoot(rootVal int) (*node, int) {
+	pi := b.g.paramIdx[0]
+	v := b.def.Params[pi].Values[rootVal]
+	b.st.vals[pi] = v
+	b.st.env[pi].val = v
+	b.st.env[pi].set = true
+	defer func() { b.st.env[pi].set = false }()
+	for _, chk := range b.checksAt[0] {
+		if !chk(b.st) {
+			return nil, 0
+		}
+	}
+	if len(b.g.paramIdx) == 1 {
+		return &node{valIdx: int32(rootVal)}, 1
+	}
+	children, leaves := b.build(1)
+	if len(children) == 0 {
+		return nil, 0
+	}
+	return &node{valIdx: int32(rootVal), children: children}, leaves
+}
+
+func (b *subtreeBuilder) build(depth int) ([]*node, int) {
+	pi := b.g.paramIdx[depth]
+	var out []*node
+	leaves := 0
+	for k, v := range b.def.Params[pi].Values {
+		if b.nodes&stopMask == 0 && b.stop() {
+			b.canceled = true
+			break
+		}
+		b.nodes++
+		b.st.vals[pi] = v
+		b.st.env[pi].val = v
+		b.st.env[pi].set = true
+		ok := true
+		for _, chk := range b.checksAt[depth] {
+			if !chk(b.st) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if depth == len(b.g.paramIdx)-1 {
+			out = append(out, &node{valIdx: int32(k)})
+			leaves++
+			continue
+		}
+		children, sub := b.build(depth + 1)
+		if b.canceled {
+			break
+		}
+		if len(children) > 0 {
+			out = append(out, &node{valIdx: int32(k), children: children})
+			leaves += sub
+		}
+	}
+	b.st.env[pi].set = false
+	return out, leaves
 }
 
 // nodeEnv adapts the shared assignment to the expr.Env interface for

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"searchspace/internal/bruteforce"
@@ -251,5 +252,63 @@ func TestValidationError(t *testing.T) {
 	}
 	if _, err := Build(def, ModeCompiled); err == nil {
 		t.Fatal("unknown parameter should fail")
+	}
+}
+
+// TestBuildExecParity requires the parallel per-tree construction to
+// produce exactly the sequential chain — group structure, leaf counts,
+// and enumeration order — at several worker counts, in both modes.
+func TestBuildExecParity(t *testing.T) {
+	def := hotspotLike()
+	for _, mode := range []Mode{ModeCompiled, ModeInterpreted} {
+		seq, err := Build(def, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqCol := seq.ToColumnar()
+		for _, workers := range []int{2, 7, 16} {
+			par, err := BuildExec(def, mode, core.Exec{Workers: workers})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", mode, workers, err)
+			}
+			if got, want := par.GroupSizes(), seq.GroupSizes(); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%v workers=%d: group sizes %v, want %v", mode, workers, got, want)
+			}
+			parCol := par.ToColumnar()
+			if parCol.NumSolutions() != seqCol.NumSolutions() {
+				t.Fatalf("%v workers=%d: %d solutions, want %d", mode, workers, parCol.NumSolutions(), seqCol.NumSolutions())
+			}
+			// Order-sensitive comparison: parallel construction must not
+			// reorder roots.
+			for vi := range seqCol.Cols {
+				for r := range seqCol.Cols[vi] {
+					if parCol.Cols[vi][r] != seqCol.Cols[vi][r] {
+						t.Fatalf("%v workers=%d: col %d row %d differs", mode, workers, vi, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildExecCancellation fires the stop mid-construction and
+// requires ErrCanceled instead of a chain.
+func TestBuildExecCancellation(t *testing.T) {
+	def := hotspotLike()
+	var polls atomic.Int64
+	_, err := BuildExec(def, ModeCompiled, core.Exec{
+		Workers: 2,
+		Stop:    func() bool { return polls.Add(1) > 2 },
+	})
+	if err != ErrCanceled {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	// A pre-start stop cancels before any tree work.
+	_, err = BuildExec(def, ModeCompiled, core.Exec{
+		Workers: 4,
+		Stop:    func() bool { return true },
+	})
+	if err != ErrCanceled {
+		t.Fatalf("pre-start stop: got %v, want ErrCanceled", err)
 	}
 }

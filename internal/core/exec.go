@@ -1,0 +1,327 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"searchspace/internal/value"
+)
+
+// Exec configures how a construction run executes: how many workers
+// enumerate the search tree, how the run is cancelled, and how progress
+// is observed. It is the one execution contract shared by every
+// construction backend — the optimized solver here and the
+// chain-of-trees builder — so cancellation and parallelism compose the
+// same way everywhere.
+type Exec struct {
+	// Workers is the number of goroutines enumerating concurrently;
+	// <= 0 selects GOMAXPROCS, 1 runs the sequential solver unchanged.
+	Workers int
+	// Stop is polled cooperatively (per scheduled task and every few
+	// thousand search-tree nodes within a task); a true return abandons
+	// the run. Nil never cancels. Stop may be called concurrently from
+	// several workers.
+	Stop func() bool
+	// OnProgress, when set, is invoked after each completed prefix task
+	// with the number done so far and the total. Calls arrive from
+	// worker goroutines concurrently and not necessarily in order of
+	// the done count.
+	OnProgress func(done, total int)
+}
+
+// EffectiveWorkers resolves the worker count the engine will run with.
+func (e Exec) EffectiveWorkers() int {
+	if e.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Workers
+}
+
+// Scheduler sizing: the prefix split aims for tasksPerWorker tasks per
+// worker so the dynamic queue absorbs skew (one heavily constrained
+// prefix does not stall the run), stops extending the prefix once
+// maxSplitTasks is reached so bucket bookkeeping stays negligible next
+// to the search itself, and never exceeds maxTasksHard — a single
+// domain too large to take whole (the split cannot subdivide one
+// domain) falls back to fewer tasks rather than allocating millions of
+// buckets.
+const (
+	tasksPerWorker = 16
+	maxSplitTasks  = 1 << 16
+	maxTasksHard   = 1 << 20
+)
+
+// ForEachTask is the shared task scheduler behind every parallel
+// construction backend: it drives tasks 0..total-1 over up to
+// e.Workers goroutines claiming the next unclaimed index from an
+// atomic queue (workers == 1 runs inline, no goroutines). newWorker
+// creates one goroutine's reusable state; runTask executes one task,
+// polling the passed stop for prompt mid-task cancellation and
+// returning true when it observed a cancel. e.Stop is latched — one
+// true return cancels every worker at its next poll — and checked per
+// claimed task; e.OnProgress fires after each completed task. The
+// return reports whether the run was canceled (callers must discard
+// partial results).
+func (e Exec) ForEachTask(total int, newWorker func() any, runTask func(st any, task int, stop func() bool) bool) (canceled bool) {
+	var stopped atomic.Bool
+	stop := func() bool {
+		if e.Stop == nil {
+			return false
+		}
+		if stopped.Load() {
+			return true
+		}
+		if e.Stop() {
+			stopped.Store(true)
+			return true
+		}
+		return false
+	}
+	var done atomic.Int64
+	workers := e.EffectiveWorkers()
+	if workers > total {
+		workers = total
+	}
+	var next atomic.Int64
+	loop := func() {
+		st := newWorker()
+		for {
+			t := next.Add(1) - 1
+			if t >= int64(total) || stop() {
+				return
+			}
+			if runTask(st, int(t), stop) {
+				return
+			}
+			if e.OnProgress != nil {
+				e.OnProgress(int(done.Add(1)), total)
+			}
+		}
+	}
+	if workers <= 1 {
+		loop()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				loop()
+			}()
+		}
+		wg.Wait()
+	}
+	return stopped.Load()
+}
+
+// splitPrefix chooses how many leading solve-order variables to pin per
+// task. It returns the prefix depth k and the task count (the product
+// of the first k domain sizes). Unlike a split along only the first
+// domain, the prefix deepens past small and even unit domains until
+// there are enough tasks to feed every worker, so parallelism is never
+// bounded by one domain's size.
+func (c *Compiled) splitPrefix(workers int) (k, tasks int) {
+	n := len(c.order)
+	target := workers * tasksPerWorker
+	tasks = 1
+	for k < n && tasks < target {
+		next := tasks * len(c.doms[k])
+		if next > maxTasksHard || (tasks >= workers && next > maxSplitTasks) {
+			break
+		}
+		tasks = next
+		k++
+	}
+	return k, tasks
+}
+
+// SolveColumnarExec enumerates all solutions under the given execution
+// config. The output is byte-identical to SolveColumnar regardless of
+// worker count: the search tree is split along the first k solve-order
+// variables into prefix tasks, idle workers claim the next unclaimed
+// task from the shared queue (dynamic scheduling, so an imbalanced
+// split still uses every worker), and per-task buckets are merged in
+// lexicographic prefix order — exactly the sequential enumeration
+// order. The canceled return reports a run abandoned by Stop; its
+// partial columnar must be discarded.
+//
+// python-constraint 2 gained a ParallelSolver as part of the same
+// optimization effort this package reproduces; goroutines over a shared
+// task queue are the Go analogue, without the process-pool overhead
+// Python needs to sidestep the GIL.
+func (c *Compiled) SolveColumnarExec(ex Exec) (*Columnar, bool) {
+	workers := ex.EffectiveWorkers()
+	if c.empty || len(c.order) == 0 {
+		return &Columnar{
+			Names: append([]string(nil), c.names...),
+			Cols:  make([][]int32, len(c.names)),
+		}, false
+	}
+	k, tasks := c.splitPrefix(workers)
+	if workers == 1 || tasks <= 1 {
+		col, canceled := c.SolveColumnarStop(ex.Stop)
+		if !canceled && ex.OnProgress != nil {
+			ex.OnProgress(1, 1)
+		}
+		return col, canceled
+	}
+	// radix[d] is the domain size at prefix depth d; depth 0 is the most
+	// significant digit, so ascending task index IS lexicographic prefix
+	// order.
+	radix := make([]int, k)
+	for d := 0; d < k; d++ {
+		radix[d] = len(c.doms[d])
+	}
+
+	buckets := make([]*Columnar, tasks)
+	type prefixWorker struct {
+		st  *state
+		pfx []int
+	}
+	n := len(c.order)
+	canceled := ex.ForEachTask(tasks, func() any {
+		return &prefixWorker{
+			st: &state{
+				vals:    make([]value.Value, n),
+				nums:    make([]float64, n),
+				scratch: make([]value.Value, c.maxArgs),
+			},
+			pfx: make([]int, k),
+		}
+	}, func(w any, t int, stop func() bool) bool {
+		pw := w.(*prefixWorker)
+		rem := int64(t)
+		for d := k - 1; d >= 0; d-- {
+			pw.pfx[d] = int(rem % int64(radix[d]))
+			rem /= int64(radix[d])
+		}
+		bucket, taskCanceled := c.solvePrefix(pw.pfx, pw.st, stop)
+		if taskCanceled {
+			return true
+		}
+		buckets[t] = bucket
+		return false
+	})
+
+	out := &Columnar{
+		Names: append([]string(nil), c.names...),
+		Cols:  make([][]int32, len(c.names)),
+	}
+	if canceled {
+		return out, true
+	}
+	total := 0
+	for _, b := range buckets {
+		if b != nil {
+			total += b.NumSolutions()
+		}
+	}
+	for vi := range out.Cols {
+		col := make([]int32, 0, total)
+		for _, b := range buckets {
+			if b != nil {
+				col = append(col, b.Cols[vi]...)
+			}
+		}
+		out.Cols[vi] = col
+	}
+	return out, false
+}
+
+// solvePrefix runs the standard iterative search with the first
+// len(pfx) solve-order variables pinned to the given domain entries,
+// checking the pinned depths' partial and full constraints in the same
+// order the sequential solver would. st is caller-owned scratch state
+// (reused across tasks by one worker); stop, when non-nil, is polled
+// every few thousand node visits exactly like ForEachStop.
+func (c *Compiled) solvePrefix(pfx []int, st *state, stop func() bool) (*Columnar, bool) {
+	n := len(c.order)
+	k := len(pfx)
+	out := &Columnar{Cols: make([][]int32, n)}
+	idxOut := make([]int32, n)
+
+	for d := 0; d < k; d++ {
+		vi := c.order[d]
+		e := &c.doms[d][pfx[d]]
+		st.vals[vi] = e.val
+		st.nums[vi] = e.num
+		idxOut[vi] = e.orig
+		for _, chk := range c.partial[d] {
+			if !chk(st) {
+				return out, false
+			}
+		}
+		for _, chk := range c.full[d] {
+			if !chk(st) {
+				return out, false
+			}
+		}
+	}
+	emit := func() {
+		for vi, di := range idxOut {
+			out.Cols[vi] = append(out.Cols[vi], di)
+		}
+	}
+	if k == n {
+		emit()
+		return out, false
+	}
+
+	trial := make([]int, n)
+	depth := k
+	trial[depth] = -1
+	nodes := 0
+	for depth >= k {
+		if nodes&stopCheckMask == 0 && stop != nil && stop() {
+			return out, true
+		}
+		nodes++
+		trial[depth]++
+		dom := c.doms[depth]
+		if trial[depth] >= len(dom) {
+			depth--
+			continue
+		}
+		vi := c.order[depth]
+		e := &dom[trial[depth]]
+		st.vals[vi] = e.val
+		st.nums[vi] = e.num
+		idxOut[vi] = e.orig
+
+		ok := true
+		for _, chk := range c.partial[depth] {
+			if !chk(st) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, chk := range c.full[depth] {
+				if !chk(st) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if depth == n-1 {
+			emit()
+			continue
+		}
+		depth++
+		trial[depth] = -1
+	}
+	return out, false
+}
+
+// SolveColumnarParallel enumerates all solutions using up to workers
+// goroutines (0 selects GOMAXPROCS); it is SolveColumnarExec without
+// cancellation or progress, kept for callers that only want the worker
+// knob.
+func (c *Compiled) SolveColumnarParallel(workers int) *Columnar {
+	col, _ := c.SolveColumnarExec(Exec{Workers: workers})
+	return col
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestExecSplitsPastUnitFirstDomain pins the regression the old
+// first-domain partition had: with len(first) == 1 it silently degraded
+// to a fully sequential run no matter how many workers were free. The
+// prefix split must recurse past unit domains and still produce
+// sequential-identical output.
+func TestExecSplitsPastUnitFirstDomain(t *testing.T) {
+	// "a" has a unit domain and the highest constraint degree, so the
+	// degree-descending order puts it first; the split must deepen into
+	// b/c/d to find parallelism.
+	vars := []varDef{
+		{"a", ints(4)},
+		{"b", rangeInts(1, 8)},
+		{"c", rangeInts(1, 8)},
+		{"d", rangeInts(1, 8)},
+	}
+	cons := []string{
+		"a * b <= 24",
+		"a + c >= 5",
+		"a != d",
+		"b + c + d <= 18",
+	}
+	p := buildProblem(t, vars, cons)
+	compiled := p.Compile(DefaultOptions())
+	if len(compiled.doms[0]) != 1 {
+		t.Fatalf("test setup: first solve-order domain has %d values, want 1", len(compiled.doms[0]))
+	}
+
+	seq := compiled.SolveColumnar()
+	var tasks atomic.Int64
+	par, canceled := compiled.SolveColumnarExec(Exec{
+		Workers: 8,
+		OnProgress: func(done, total int) {
+			tasks.Store(int64(total))
+		},
+	})
+	if canceled {
+		t.Fatal("uncancelled run reported canceled")
+	}
+	if tasks.Load() <= 1 {
+		t.Fatalf("unit first domain produced %d tasks; the split must recurse past it", tasks.Load())
+	}
+	assertSameColumnar(t, seq, par)
+}
+
+// TestExecParityAcrossWorkerCounts sweeps worker counts over a skewed
+// problem (heavily constrained prefixes next to dense ones) and
+// requires byte-identical output every time.
+func TestExecParityAcrossWorkerCounts(t *testing.T) {
+	vars := []varDef{
+		{"a", rangeInts(1, 15)},
+		{"b", rangeInts(1, 12)},
+		{"c", ints(1, 2, 4, 8)},
+		{"d", rangeInts(0, 6)},
+	}
+	cons := []string{
+		"a * b <= 60",
+		"a % c == 0",
+		"d < b",
+		"a + b + d >= 6",
+	}
+	p := buildProblem(t, vars, cons)
+	compiled := p.Compile(DefaultOptions())
+	seq := compiled.SolveColumnar()
+	for _, workers := range []int{2, 3, 7, 32} {
+		par, canceled := compiled.SolveColumnarExec(Exec{Workers: workers})
+		if canceled {
+			t.Fatalf("workers=%d: uncancelled run reported canceled", workers)
+		}
+		assertSameColumnar(t, seq, par)
+	}
+}
+
+// TestExecProgressReachesTotal checks the progress contract: done
+// reaches total exactly once and total is stable across calls.
+func TestExecProgressReachesTotal(t *testing.T) {
+	p := buildProblem(t, []varDef{
+		{"a", rangeInts(1, 6)},
+		{"b", rangeInts(1, 6)},
+		{"c", rangeInts(1, 6)},
+	}, []string{"a + b + c <= 12"})
+	compiled := p.Compile(DefaultOptions())
+	var calls, maxDone, total atomic.Int64
+	_, canceled := compiled.SolveColumnarExec(Exec{
+		Workers: 4,
+		OnProgress: func(done, tot int) {
+			calls.Add(1)
+			total.Store(int64(tot))
+			for {
+				cur := maxDone.Load()
+				if int64(done) <= cur || maxDone.CompareAndSwap(cur, int64(done)) {
+					break
+				}
+			}
+		},
+	})
+	if canceled {
+		t.Fatal("uncancelled run reported canceled")
+	}
+	if total.Load() <= 1 {
+		t.Fatalf("expected a real split, got %d tasks", total.Load())
+	}
+	if maxDone.Load() != total.Load() || calls.Load() != total.Load() {
+		t.Fatalf("progress saw %d calls, max done %d, total %d; want one call per task",
+			calls.Load(), maxDone.Load(), total.Load())
+	}
+}
+
+// TestExecCancellation fires Stop mid-run and requires the engine to
+// report cancellation instead of a result.
+func TestExecCancellation(t *testing.T) {
+	vars := []varDef{
+		{"a", rangeInts(1, 20)},
+		{"b", rangeInts(1, 20)},
+		{"c", rangeInts(1, 20)},
+		{"d", rangeInts(1, 20)},
+	}
+	p := buildProblem(t, vars, []string{"a + b + c + d <= 70"})
+	compiled := p.Compile(DefaultOptions())
+
+	var polls atomic.Int64
+	_, canceled := compiled.SolveColumnarExec(Exec{
+		Workers: 4,
+		Stop:    func() bool { return polls.Add(1) > 3 },
+	})
+	if !canceled {
+		t.Fatal("run with a firing stop did not report cancellation")
+	}
+
+	// An immediately-true stop cancels before any real work.
+	_, canceled = compiled.SolveColumnarExec(Exec{
+		Workers: 4,
+		Stop:    func() bool { return true },
+	})
+	if !canceled {
+		t.Fatal("always-true stop did not cancel")
+	}
+}
+
+func assertSameColumnar(t *testing.T, want, got *Columnar) {
+	t.Helper()
+	if got.NumSolutions() != want.NumSolutions() {
+		t.Fatalf("%d solutions, want %d", got.NumSolutions(), want.NumSolutions())
+	}
+	if len(got.Cols) != len(want.Cols) {
+		t.Fatalf("%d columns, want %d", len(got.Cols), len(want.Cols))
+	}
+	for vi := range want.Cols {
+		for r := range want.Cols[vi] {
+			if got.Cols[vi][r] != want.Cols[vi][r] {
+				t.Fatalf("col %d row %d: got %d want %d (order must be identical)",
+					vi, r, got.Cols[vi][r], want.Cols[vi][r])
+			}
+		}
+	}
+}

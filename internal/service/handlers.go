@@ -2,6 +2,9 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -165,6 +168,11 @@ type BuildRequest struct {
 	// empty means "optimized". Compare accepts Methods instead.
 	Method  string   `json:"method,omitempty"`
 	Methods []string `json:"methods,omitempty"`
+	// Workers hints how many solver workers a fresh construction should
+	// use; the server's shared -build-workers pool caps it, and 0 (or
+	// omitted) asks for the whole pool. Cache hits ignore it — the
+	// space is identical at any worker count.
+	Workers int `json:"workers,omitempty"`
 }
 
 // BuildStatsDoc is the wire form of searchspace.BuildStats, shared by
@@ -175,6 +183,9 @@ type BuildStatsDoc struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	Cartesian   float64 `json:"cartesian"`
 	Valid       int     `json:"valid"`
+	// Workers is the parallelism the construction actually ran with
+	// (the pool's grant, not the request's hint).
+	Workers int `json:"workers"`
 }
 
 func statsDoc(st searchspace.BuildStats) BuildStatsDoc {
@@ -183,6 +194,7 @@ func statsDoc(st searchspace.BuildStats) BuildStatsDoc {
 		WallSeconds: st.Duration.Seconds(),
 		Cartesian:   st.Cartesian,
 		Valid:       st.Valid,
+		Workers:     st.Workers,
 	}
 }
 
@@ -224,7 +236,11 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "invalid problem: %v", err)
 		return
 	}
-	entry, hit, err := s.reg.GetOrBuild(r.Context(), def, method)
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "\"workers\" must be >= 0")
+		return
+	}
+	entry, hit, err := s.reg.GetOrBuildN(r.Context(), def, method, req.Workers)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		switch {
@@ -559,7 +575,35 @@ type CompareResult struct {
 	Method      string  `json:"method"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Valid       int     `json:"valid"`
-	Error       string  `json:"error,omitempty"`
+	// Workers is the parallelism this race leg ran with (pool grant).
+	Workers int `json:"workers,omitempty"`
+	// Checksum is a SHA-256 over the resolved space's parameter names
+	// and columnar rows. Two legs with equal checksums produced
+	// byte-identical spaces — the determinism evidence the parallel
+	// sweep (spaceload -mode build) asserts over the wire.
+	Checksum string `json:"checksum,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// spaceChecksum fingerprints a resolved space's full enumeration:
+// parameter names, then every column's cells in row order. Unlike the
+// registry's content address (which hashes the INPUT definition), this
+// hashes the OUTPUT, so it detects any divergence in solver results —
+// order included — between construction runs.
+func spaceChecksum(ss *searchspace.SearchSpace) string {
+	h := sha256.New()
+	for _, name := range ss.Names() {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	var cell [4]byte
+	for _, col := range ss.Columns() {
+		for _, di := range col {
+			binary.LittleEndian.PutUint32(cell[:], uint32(di))
+			h.Write(cell[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // CompareResponse answers POST /v1/compare. Agree reports whether at
@@ -591,6 +635,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// ambiguous and rejected rather than silently merged.
 	if req.Method != "" && len(req.Methods) > 0 {
 		writeError(w, http.StatusBadRequest, "use either \"method\" or \"methods\", not both")
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "\"workers\" must be >= 0")
 		return
 	}
 	names := req.Methods
@@ -631,17 +679,18 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			resp.Results = append(resp.Results, CompareResult{Method: m.String(), Error: err.Error()})
 			continue
 		}
-		_, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done())
+		ss, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done(), req.Workers)
 		if errors.Is(buildErr, errBuildCanceled) {
 			// The compare client disconnected; nobody will read the
 			// response, so stop racing the remaining methods.
 			writeError(w, statusClientClosedRequest, "client disconnected during comparison")
 			return
 		}
-		res := CompareResult{Method: m.String(), WallSeconds: st.Duration.Seconds(), Valid: st.Valid}
+		res := CompareResult{Method: m.String(), WallSeconds: st.Duration.Seconds(), Valid: st.Valid, Workers: st.Workers}
 		if buildErr != nil {
 			res.Error = buildErr.Error()
 		} else {
+			res.Checksum = spaceChecksum(ss)
 			s.metrics.ObserveBuild(st.Duration)
 			sizes[st.Valid] = struct{}{}
 		}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is the shared budget of solver workers for concurrent
+// constructions. Every build draws a grant from it before running, so
+// a burst of simultaneous builds cannot oversubscribe the box: the
+// grants together stay within the pool's capacity, except that a build
+// is never starved — when the pool is empty a build still runs with a
+// single worker, so full contention overshoots by at most one worker
+// per in-flight build (itself bounded by -max-builds).
+//
+// Grant policy is take-what's-free: a lone build gets the whole pool,
+// concurrent builds split what remains. The work-stealing engine makes
+// any grant productive — workers pull prefix tasks off a shared queue,
+// so an awkward worker count just changes who drains the queue, never
+// the output.
+type workerPool struct {
+	mu       sync.Mutex
+	capacity int
+	free     int // may go negative under full contention (single-worker floor)
+	inUse    int
+	peak     int
+	grants   int64
+	granted  int64 // cumulative workers across all grants
+}
+
+// newWorkerPool creates a pool; capacity <= 0 selects GOMAXPROCS.
+func newWorkerPool(capacity int) *workerPool {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &workerPool{capacity: capacity, free: capacity}
+}
+
+// acquire grants up to want workers (want <= 0 or > capacity asks for
+// the whole pool), never blocking and never granting zero. Callers must
+// release exactly the granted count.
+func (p *workerPool) acquire(want int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if want <= 0 || want > p.capacity {
+		want = p.capacity
+	}
+	n := p.free
+	if n > want {
+		n = want
+	}
+	if n < 1 {
+		n = 1
+	}
+	p.free -= n
+	p.inUse += n
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	p.grants++
+	p.granted += int64(n)
+	return n
+}
+
+// release returns a grant to the pool.
+func (p *workerPool) release(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free += n
+	p.inUse -= n
+}
+
+// PoolStats is a point-in-time snapshot of the build worker pool.
+type PoolStats struct {
+	// Capacity is the configured total worker budget (-build-workers).
+	Capacity int `json:"capacity"`
+	// InUse is the sum of grants currently held by running builds.
+	InUse int `json:"in_use"`
+	// PeakInUse is the high-water mark of InUse since boot; it can
+	// exceed Capacity by at most one worker per concurrently running
+	// build (the single-worker floor under full contention).
+	PeakInUse int `json:"peak_in_use"`
+	// Grants counts builds that drew from the pool; WorkersGranted sums
+	// their worker counts, so WorkersGranted/Grants is the mean
+	// parallelism per build.
+	Grants         int64 `json:"grants"`
+	WorkersGranted int64 `json:"workers_granted"`
+}
+
+// stats snapshots the pool counters.
+func (p *workerPool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Capacity:       p.capacity,
+		InUse:          p.inUse,
+		PeakInUse:      p.peak,
+		Grants:         p.grants,
+		WorkersGranted: p.granted,
+	}
+}

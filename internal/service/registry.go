@@ -49,6 +49,11 @@ type RegistryConfig struct {
 	// the peak of in-flight work, which the cache budgets — applied
 	// only to completed spaces — do not. 0 = unlimited.
 	MaxConcurrentBuilds int
+	// BuildWorkers is the total solver-worker budget shared by all
+	// concurrent constructions (-build-workers): each build draws a
+	// grant from this pool, so a burst of builds cannot oversubscribe
+	// the box. 0 selects GOMAXPROCS.
+	BuildWorkers int
 	// Store, when set, is the durable snapshot tier: completed builds
 	// are written through to it, eviction demotes to it instead of
 	// discarding, and GetOrBuild/LookupOrRestore check it before
@@ -112,6 +117,10 @@ type Entry struct {
 	// byte budget while this build is in flight; released on completion.
 	pending int64
 
+	// wantWorkers is the initiating request's worker hint, passed to the
+	// pool when the build starts (<= 0 asks for the whole pool).
+	wantWorkers int
+
 	// waiters counts requests (initiator included) blocked on this
 	// in-flight build; when the last one disconnects the build is
 	// canceled so the solver stops and its semaphore slot frees up.
@@ -153,6 +162,7 @@ type Registry struct {
 
 	buildSem   chan struct{} // nil = unlimited concurrent builds
 	restoreSem chan struct{} // bounds parallel snapshot decodes
+	pool       *workerPool   // shared solver-worker budget for builds
 
 	// onEvict, when set, is invoked (outside the registry lock) with the
 	// id of every evicted entry and whether a disk snapshot survives it,
@@ -172,6 +182,7 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		entries:    make(map[string]*Entry),
 		lru:        list.New(),
 		restoreSem: make(chan struct{}, maxConcurrentRestores),
+		pool:       newWorkerPool(cfg.BuildWorkers),
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		r.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
@@ -242,6 +253,17 @@ const pendingOvercommit = 8
 // once). A caller that arrives while a cancellation is in flight
 // transparently retries with a fresh build.
 func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method searchspace.Method) (*Entry, bool, error) {
+	return r.GetOrBuildN(ctx, def, method, 0)
+}
+
+// GetOrBuildN is GetOrBuild with a per-request worker hint: a fresh
+// construction asks the shared worker pool for up to workers goroutines
+// (<= 0 asks for the whole pool; the pool may grant less under
+// contention, never less than one). The hint does not participate in
+// the content address — the space is the same at any worker count — so
+// concurrent requests for one id still join a single build, running
+// with the first requester's grant.
+func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, method searchspace.Method, workers int) (*Entry, bool, error) {
 	if err := r.Admit(def, method); err != nil {
 		return nil, false, err
 	}
@@ -360,10 +382,11 @@ func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method
 		}
 		e := &Entry{
 			ID: id, Def: def.Clone(), Method: method,
-			ready:    make(chan struct{}),
-			cancelCh: make(chan struct{}),
-			waiters:  1,
-			pending:  est,
+			ready:       make(chan struct{}),
+			cancelCh:    make(chan struct{}),
+			waiters:     1,
+			pending:     est,
+			wantWorkers: workers,
 		}
 		r.pendingBytes += est
 		r.entries[id] = e
@@ -420,7 +443,7 @@ func (r *Registry) dropWaiter(e *Entry) {
 // of the build's own wall time; for durability-of-solver-work that is
 // the right trade.)
 func (r *Registry) buildEntry(e *Entry) {
-	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh)
+	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers)
 
 	// The bounds scan is O(rows x params); do it outside the registry
 	// lock.
@@ -578,11 +601,14 @@ var errRestoreFailed = errors.New("service: snapshot restore failed")
 
 // runBuild executes one construction under a build slot, abandoning it
 // when cancel closes — while queued for the slot or, via the solver's
-// cooperative stop, mid-construction. The deferred release and recover
-// keep a panicking solver from leaking the slot or wedging waiters:
-// the panic becomes a build error, so the entry is removed and every
-// waiter is woken with it. A nil cancel builds uncancelably.
-func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
+// cooperative stop, mid-construction. Once it holds a slot it draws a
+// worker grant from the shared pool (want <= 0 asks for everything
+// free) and runs the parallel engine with it; the deferred release and
+// recover keep a panicking solver from leaking the slot, the grant, or
+// wedging waiters: the panic becomes a build error, so the entry is
+// removed and every waiter is woken with it. A nil cancel builds
+// uncancelably.
+func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}, want int) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
 	if r.buildSem != nil {
 		select {
 		case r.buildSem <- struct{}{}:
@@ -591,6 +617,14 @@ func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, ca
 		}
 		defer func() { <-r.buildSem }()
 	}
+	if !method.Parallelizable() {
+		// A sequential backend runs on one goroutine no matter the
+		// grant; reserving more would starve concurrent parallel builds
+		// with workers it cannot use.
+		want = 1
+	}
+	grant := r.pool.acquire(want)
+	defer r.pool.release(grant)
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%w: construction of %q with %s panicked: %v", ErrInternal, def.Name, method, p)
@@ -607,7 +641,9 @@ func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, ca
 			}
 		}
 	}
-	ss, stats, err = searchspace.FromDefinition(def).BuildTimedStop(method, stop)
+	ss, stats, err = searchspace.FromDefinition(def).BuildWith(searchspace.BuildOpts{
+		Method: method, Workers: grant, Stop: stop,
+	})
 	if errors.Is(err, searchspace.ErrCanceled) {
 		err = errBuildCanceled
 	}
@@ -754,6 +790,10 @@ type RegistryStats struct {
 	HitRatio      float64 `json:"hit_ratio"`
 	// BuildTime is cumulative construction wall time.
 	BuildTime time.Duration `json:"build_time_ns"`
+	// BuildPool snapshots the shared solver-worker pool: capacity
+	// (-build-workers), current and peak utilization, and the mean
+	// per-build parallelism (workers_granted / grants).
+	BuildPool PoolStats `json:"build_pool"`
 }
 
 // Stats snapshots the registry counters. HitRatio counts joined
@@ -778,6 +818,7 @@ func (r *Registry) Stats() RegistryStats {
 		BusyRejects:   r.busyRejects,
 		BuildTime:     time.Duration(r.buildNanos),
 	}
+	s.BuildPool = r.pool.stats()
 	if total := s.Hits + s.Joins + s.Restores + s.Misses; total > 0 {
 		s.HitRatio = float64(s.Hits+s.Joins+s.Restores) / float64(total)
 	}

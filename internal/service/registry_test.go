@@ -279,3 +279,66 @@ func TestFailedJoinsDoNotInflateHitRatio(t *testing.T) {
 		t.Errorf("all %d failed requests should count as misses: %+v", n, st)
 	}
 }
+
+// TestWorkerPoolGrants pins the shared build-worker pool's contract: a
+// lone build gets the whole pool, a per-request hint caps the grant,
+// the grant is recorded in the entry's BuildStats, and utilization
+// shows up in the registry stats.
+func TestWorkerPoolGrants(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{BuildWorkers: 3})
+
+	e, _, err := reg.GetOrBuild(context.Background(), smallDef("pool-full"), searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Workers != 3 {
+		t.Errorf("lone build ran with %d workers, want the whole pool (3)", e.Stats.Workers)
+	}
+
+	e2, _, err := reg.GetOrBuildN(context.Background(), boundedDef("pool-hint", 48), searchspace.Optimized, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats.Workers != 2 {
+		t.Errorf("hinted build ran with %d workers, want 2", e2.Stats.Workers)
+	}
+
+	// A sequential backend must not reserve workers it cannot use.
+	e3, _, err := reg.GetOrBuild(context.Background(), boundedDef("pool-seq", 40), searchspace.BruteForce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Stats.Workers != 1 {
+		t.Errorf("brute-force build reports %d workers, want 1", e3.Stats.Workers)
+	}
+
+	st := reg.Stats().BuildPool
+	if st.Capacity != 3 {
+		t.Errorf("pool capacity %d, want 3", st.Capacity)
+	}
+	if st.InUse != 0 {
+		t.Errorf("pool in-use %d after builds finished, want 0", st.InUse)
+	}
+	if st.Grants != 3 || st.WorkersGranted != 6 {
+		t.Errorf("pool counted %d grants / %d workers, want 3 / 6 (3 + 2 + a single-worker grant for the sequential method)", st.Grants, st.WorkersGranted)
+	}
+}
+
+// TestWorkerPoolNeverStarves pins the floor: with the pool fully
+// granted, another build still runs — with a single worker — rather
+// than blocking or failing.
+func TestWorkerPoolNeverStarves(t *testing.T) {
+	p := newWorkerPool(2)
+	if got := p.acquire(0); got != 2 {
+		t.Fatalf("first acquire granted %d, want 2", got)
+	}
+	if got := p.acquire(0); got != 1 {
+		t.Fatalf("acquire from an empty pool granted %d, want the floor of 1", got)
+	}
+	p.release(1)
+	p.release(2)
+	st := p.stats()
+	if st.InUse != 0 || st.PeakInUse != 3 {
+		t.Fatalf("in-use %d peak %d, want 0 and 3", st.InUse, st.PeakInUse)
+	}
+}

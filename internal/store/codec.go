@@ -41,7 +41,7 @@ type Snapshot struct {
 // SHA-256 of the payload.
 //
 //	magic   [6]byte  "ssnap\x00"
-//	version uint16   little-endian; currently 1
+//	version uint16   little-endian; currently 2
 //	length  uint64   payload bytes
 //	payload []byte   see encodePayload
 //	sum     [32]byte SHA-256 of payload
@@ -53,8 +53,11 @@ type Snapshot struct {
 // mismatch is ErrCorrupt (quarantine it).
 var magic = [6]byte{'s', 's', 'n', 'a', 'p', 0}
 
-// Version is the current snapshot format version.
-const Version uint16 = 1
+// Version is the current snapshot format version. Version 2 added the
+// original build's worker count after the valid-size field; version-1
+// blobs still decode (their builds predate the parallel engine, so
+// they report Workers 1, the sequential path they actually ran).
+const Version uint16 = 2
 
 // maxPayloadBytes bounds a declared payload length so a corrupt header
 // cannot make the decoder attempt an absurd allocation.
@@ -118,8 +121,8 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	version := binary.LittleEndian.Uint16(head[6:8])
-	if version != Version {
-		return nil, fmt.Errorf("%w: version %d (this binary reads %d)", ErrVersion, version, Version)
+	if version == 0 || version > Version {
+		return nil, fmt.Errorf("%w: version %d (this binary reads 1..%d)", ErrVersion, version, Version)
 	}
 	length := binary.LittleEndian.Uint64(head[8:16])
 	if length > maxPayloadBytes {
@@ -136,7 +139,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if sha256.Sum256(payload) != sum {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	snap, err := decodePayload(payload)
+	snap, err := decodePayload(payload, version)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -195,6 +198,7 @@ func encodePayload(snap *Snapshot) ([]byte, error) {
 	le64(&b, uint64(snap.Stats.Duration))
 	le64(&b, math.Float64bits(snap.Stats.Cartesian))
 	le64(&b, uint64(snap.Stats.Valid))
+	le32(&b, uint32(snap.Stats.Workers)) // since version 2
 	le32(&b, uint32(len(snap.Bounds)))
 	for _, bd := range snap.Bounds {
 		str(&b, bd.Name)
@@ -218,12 +222,12 @@ func encodePayload(snap *Snapshot) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// decodePayload parses and validates a version-1 payload, ending with
-// a materialized space. It trusts nothing: counts are sanity-bounded
-// before allocation, the definition is re-validated, the method label
-// must resolve, declared sizes must be internally consistent, and
-// FromColumns re-checks every cell against its domain.
-func decodePayload(payload []byte) (*Snapshot, error) {
+// decodePayload parses and validates a payload of any supported
+// version, ending with a materialized space. It trusts nothing: counts
+// are sanity-bounded before allocation, the definition is re-validated,
+// the method label must resolve, declared sizes must be internally
+// consistent, and FromColumns re-checks every cell against its domain.
+func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 	d := &payloadReader{buf: payload}
 	methodName := d.str()
 	name := d.str()
@@ -264,6 +268,12 @@ func decodePayload(payload []byte) (*Snapshot, error) {
 	duration := d.u64()
 	cartesian := math.Float64frombits(d.u64())
 	valid := d.u64()
+	// Version-1 blobs predate the parallel engine; every build they
+	// record ran the sequential path.
+	workers := uint32(1)
+	if version >= 2 {
+		workers = d.u32()
+	}
 	nBounds := d.u32()
 	if d.err != nil {
 		return nil, d.err
@@ -332,6 +342,7 @@ func decodePayload(payload []byte) (*Snapshot, error) {
 			Duration:  time.Duration(duration),
 			Cartesian: cartesian,
 			Valid:     int(valid),
+			Workers:   int(workers),
 		},
 		Bounds: bounds,
 		Space:  ss,

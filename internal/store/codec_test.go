@@ -244,3 +244,60 @@ func TestDecodeDamagedBlob(t *testing.T) {
 		}
 	})
 }
+
+// TestDecodeVersion1Blob pins backward compatibility: a version-1 blob
+// (written before the parallel engine existed, so no workers field)
+// must still decode, reporting Workers 1 — the sequential path those
+// builds actually ran.
+func TestDecodeVersion1Blob(t *testing.T) {
+	snap := buildSnapshot(t, searchspace.Optimized)
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 blob as v1: drop the 4-byte workers field (encoded
+	// right after duration+cartesian+valid, which follow the
+	// method/name/params/constraints sections) and re-stamp version,
+	// length, and checksum. Locating the field by re-encoding the
+	// prefix keeps this test honest about the layout.
+	var prefix bytes.Buffer
+	str(&prefix, snap.Method.String())
+	str(&prefix, snap.Def.Name)
+	le32(&prefix, uint32(len(snap.Def.Params)))
+	for _, p := range snap.Def.Params {
+		str(&prefix, p.Name)
+		le32(&prefix, uint32(len(p.Values)))
+		for _, v := range p.Values {
+			if err := encodeValue(&prefix, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	le32(&prefix, uint32(len(snap.Def.Constraints)))
+	for _, c := range snap.Def.Constraints {
+		str(&prefix, c)
+	}
+	workersOff := prefix.Len() + 8 + 8 + 8 // + duration + cartesian + valid
+	payload := raw[16 : len(raw)-32]
+	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4:]...)
+
+	var v1 bytes.Buffer
+	v1.Write(magic[:])
+	le16(&v1, 1)
+	le64(&v1, uint64(len(v1payload)))
+	v1.Write(v1payload)
+	sum := sha256.Sum256(v1payload)
+	v1.Write(sum[:])
+
+	got, err := DecodeBytes(v1.Bytes())
+	if err != nil {
+		t.Fatalf("decoding a v1 blob: %v", err)
+	}
+	if got.Stats.Workers != 1 {
+		t.Errorf("v1 blob decoded with Workers %d, want 1", got.Stats.Workers)
+	}
+	if got.Stats.Valid != snap.Stats.Valid || got.Stats.Duration != snap.Stats.Duration {
+		t.Errorf("v1 stats %+v, want (modulo workers) %+v", got.Stats, snap.Stats)
+	}
+	sameSpace(t, snap.Space, got.Space)
+}

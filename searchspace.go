@@ -88,6 +88,18 @@ func Methods() []Method {
 	return []Method{BruteForce, Original, ChainOfTrees, ChainOfTreesInterpreted, IterativeSAT, Optimized}
 }
 
+// Parallelizable reports whether the method's construction backend can
+// use more than one worker. The exhaustive baselines (brute-force,
+// original, iterative-sat) are sequential by design — their value is
+// faithfully reproducing the paper's unoptimized loops.
+func (m Method) Parallelizable() bool {
+	switch m {
+	case Optimized, ChainOfTrees, ChainOfTreesInterpreted:
+		return true
+	}
+	return false
+}
+
 // MethodByName resolves a report label (e.g. "optimized",
 // "chain-of-trees") back to its Method.
 func MethodByName(name string) (Method, bool) {
@@ -205,71 +217,101 @@ type BuildStats struct {
 	// Cartesian is the unconstrained size; Valid the resolved size.
 	Cartesian float64
 	Valid     int
+	// Workers is the worker budget the construction ran under: the
+	// resolved BuildOpts.Workers for parallel-capable methods, 1 for
+	// the sequential baselines. The scheduler may engage fewer
+	// goroutines than the budget when the space is too small to split
+	// that wide; the output is identical either way.
+	Workers int
 }
 
-// Build resolves the search space with the chosen method.
+// BuildOpts configures one construction run: which algorithm, how many
+// workers, and how the run can be cancelled. It is the single entry
+// point every other Build* form wraps.
+type BuildOpts struct {
+	// Method selects the construction algorithm; the zero value is
+	// Optimized, the paper's contribution and the service default.
+	Method Method
+	// Workers is the number of goroutines enumerating concurrently for
+	// methods with a parallel backend (optimized and both chain-of-trees
+	// modes). <= 0 selects GOMAXPROCS; 1 forces the sequential path.
+	// Output is byte-identical to sequential at every worker count.
+	// Methods without a parallel backend ignore it.
+	Workers int
+	// Stop is polled cooperatively during construction; a true return
+	// abandons the build with ErrCanceled. All parallel-capable methods
+	// and the brute-force baseline poll it mid-build; original and
+	// iterative-sat check it only before starting, since their value is
+	// faithfully reproducing the paper's unoptimized construction loops
+	// and the service admission-bounds their input size. Nil never
+	// cancels. Stop may be called from several goroutines at once.
+	Stop func() bool
+	// OnProgress, when set, observes parallel enumeration progress
+	// (completed and total scheduler tasks). Calls may arrive
+	// concurrently from worker goroutines.
+	OnProgress func(done, total int)
+}
+
+// preflight is the shared Build* preamble: surface a deferred
+// accumulation error, validate the definition, and seed the stats.
+func (p *Problem) preflight(m Method) (BuildStats, error) {
+	stats := BuildStats{Method: m, Cartesian: p.def.CartesianSize(), Workers: 1}
+	if p.err != nil {
+		return stats, p.err
+	}
+	if err := p.def.Validate(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Build resolves the search space with the chosen method, sequentially.
 func (p *Problem) Build(m Method) (*SearchSpace, error) {
-	ss, _, err := p.BuildTimed(m)
+	ss, _, err := p.BuildWith(BuildOpts{Method: m, Workers: 1})
 	return ss, err
 }
 
-// BuildParallel resolves the search space with the optimized solver using
-// up to workers goroutines (0 selects GOMAXPROCS). The search is
-// partitioned along the first solve-order variable's domain; the result is
+// BuildParallel resolves the search space with the optimized solver
+// using up to workers goroutines (0 selects GOMAXPROCS). The result is
 // identical to Build(Optimized), including configuration order.
 func (p *Problem) BuildParallel(workers int) (*SearchSpace, BuildStats, error) {
-	stats := BuildStats{Method: Optimized, Cartesian: p.def.CartesianSize()}
-	if p.err != nil {
-		return nil, stats, p.err
-	}
-	if err := p.def.Validate(); err != nil {
-		return nil, stats, err
-	}
-	prob, err := p.def.ToProblem()
-	if err != nil {
-		return nil, stats, err
-	}
-	start := time.Now()
-	col := prob.Compile(core.DefaultOptions()).SolveColumnarParallel(workers)
-	stats.Duration = time.Since(start)
-	sp, err := space.FromColumnar(p.def, col)
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.Valid = sp.Size()
-	return &SearchSpace{s: sp, def: p.def}, stats, nil
+	return p.BuildWith(BuildOpts{Method: Optimized, Workers: workers})
 }
 
-// BuildTimed resolves the search space and reports timing, the
-// measurement primitive behind every figure in the evaluation.
+// BuildTimed resolves the search space sequentially and reports timing,
+// the measurement primitive behind every figure in the evaluation (the
+// paper's numbers are single-core, so the legacy entry points pin
+// Workers to 1; use BuildWith for the parallel engine).
 func (p *Problem) BuildTimed(m Method) (*SearchSpace, BuildStats, error) {
-	return p.BuildTimedStop(m, nil)
+	return p.BuildWith(BuildOpts{Method: m, Workers: 1})
 }
 
 // ErrCanceled reports a construction abandoned because its stop
 // function fired.
 var ErrCanceled = errors.New("searchspace: construction canceled")
 
-// BuildTimedStop is BuildTimed with cooperative cancellation: stop is
-// polled periodically during construction and a true return abandons
-// the build with ErrCanceled. Mid-build cancellation points exist for
-// the optimized solver (the service's default method) and the
-// brute-force baseline (the most expensive one); the remaining
-// baselines check stop only before starting, since their value is
-// faithfully reproducing the paper's unoptimized construction loops
-// and the service admission-bounds their input size. A nil stop never
-// cancels.
+// BuildTimedStop is BuildTimed with cooperative cancellation; see
+// BuildOpts.Stop for which methods cancel mid-build.
 func (p *Problem) BuildTimedStop(m Method, stop func() bool) (*SearchSpace, BuildStats, error) {
-	stats := BuildStats{Method: m, Cartesian: p.def.CartesianSize()}
-	if p.err != nil {
-		return nil, stats, p.err
-	}
-	if err := p.def.Validate(); err != nil {
+	return p.BuildWith(BuildOpts{Method: m, Workers: 1, Stop: stop})
+}
+
+// BuildWith resolves the search space under one execution config. It is
+// THE build path — every other Build* form is a thin wrapper — so
+// cancellation, parallelism, and timing behave identically no matter
+// how a build is requested. Parallel output is byte-identical to
+// sequential for every method and worker count; only the wall time
+// changes.
+func (p *Problem) BuildWith(o BuildOpts) (*SearchSpace, BuildStats, error) {
+	stats, err := p.preflight(o.Method)
+	if err != nil {
 		return nil, stats, err
 	}
+	ex := core.Exec{Workers: o.Workers, Stop: o.Stop, OnProgress: o.OnProgress}
 	start := time.Now()
-	col, err := construct(p.def, m, stop)
+	col, workers, err := construct(p.def, o.Method, ex)
 	stats.Duration = time.Since(start)
+	stats.Workers = workers
 	if err != nil {
 		return nil, stats, err
 	}
@@ -284,47 +326,51 @@ func (p *Problem) BuildTimedStop(m Method, stop func() bool) (*SearchSpace, Buil
 }
 
 // construct dispatches to the selected construction backend; all return
-// the same columnar format.
-func construct(def *model.Definition, m Method, stop func() bool) (*core.Columnar, error) {
-	if stop != nil && stop() {
-		return nil, ErrCanceled
+// the same columnar format. The returned worker count is the
+// parallelism the backend actually applied (1 for the inherently
+// sequential baselines, whatever the Exec resolved to otherwise).
+func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, int, error) {
+	if ex.Stop != nil && ex.Stop() {
+		return nil, 1, ErrCanceled
 	}
 	switch m {
 	case Optimized:
 		prob, err := def.ToProblem()
 		if err != nil {
-			return nil, err
+			return nil, 1, err
 		}
-		col, canceled := prob.Compile(core.DefaultOptions()).SolveColumnarStop(stop)
+		col, canceled := prob.Compile(core.DefaultOptions()).SolveColumnarExec(ex)
 		if canceled {
-			return nil, ErrCanceled
+			return nil, ex.EffectiveWorkers(), ErrCanceled
 		}
-		return col, nil
+		return col, ex.EffectiveWorkers(), nil
 	case Original:
-		return naive.Solve(def)
+		col, err := naive.Solve(def)
+		return col, 1, err
 	case BruteForce:
-		col, _, err := bruteforce.SolveStop(def, stop)
+		col, _, err := bruteforce.SolveStop(def, ex.Stop)
 		if errors.Is(err, bruteforce.ErrCanceled) {
-			return nil, ErrCanceled
+			return nil, 1, ErrCanceled
 		}
-		return col, err
-	case ChainOfTrees:
-		chain, err := chaintrees.Build(def, chaintrees.ModeCompiled)
+		return col, 1, err
+	case ChainOfTrees, ChainOfTreesInterpreted:
+		mode := chaintrees.ModeCompiled
+		if m == ChainOfTreesInterpreted {
+			mode = chaintrees.ModeInterpreted
+		}
+		chain, err := chaintrees.BuildExec(def, mode, ex)
+		if errors.Is(err, chaintrees.ErrCanceled) {
+			return nil, ex.EffectiveWorkers(), ErrCanceled
+		}
 		if err != nil {
-			return nil, err
+			return nil, ex.EffectiveWorkers(), err
 		}
-		return chain.ToColumnar(), nil
-	case ChainOfTreesInterpreted:
-		chain, err := chaintrees.Build(def, chaintrees.ModeInterpreted)
-		if err != nil {
-			return nil, err
-		}
-		return chain.ToColumnar(), nil
+		return chain.ToColumnar(), ex.EffectiveWorkers(), nil
 	case IterativeSAT:
 		col, _, err := itersolve.Solve(def)
-		return col, err
+		return col, 1, err
 	}
-	return nil, fmt.Errorf("searchspace: unknown method %v", m)
+	return nil, 1, fmt.Errorf("searchspace: unknown method %v", m)
 }
 
 func toValue(v any) (value.Value, error) {
