@@ -263,3 +263,65 @@ func BenchmarkAblationNoPartialChecks(b *testing.B) {
 func BenchmarkAblationNoneEnabled(b *testing.B) {
 	benchAblation(b, func(o *ablationOptions) { o.Sort, o.Preprocess, o.Partial = false, false, false })
 }
+
+// Solver hot-path benchmarks: the enumeration kernel alone (compile
+// excluded from the timed region would hide preprocessing wins, so the
+// Compile happens once outside the loop and only enumeration is
+// measured). The *Ref variants run the retained pre-kernel closure
+// path, so `go test -bench 'SolveColumnar|ForEach'` shows the
+// before/after directly.
+
+func compiledFor(b *testing.B, def *model.Definition) *core.Compiled {
+	b.Helper()
+	p, err := def.ToProblem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Compile(core.DefaultOptions())
+}
+
+func benchForEach(b *testing.B, def *model.Definition) {
+	c := compiledFor(b, def)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		c.ForEach(func([]int32) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty space")
+		}
+	}
+}
+
+func benchSolveColumnar(b *testing.B, def *model.Definition, ref bool) {
+	c := compiledFor(b, def)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var col *core.Columnar
+		if ref {
+			col, _, _ = c.SolveColumnarRef(nil)
+		} else {
+			col = c.SolveColumnar()
+		}
+		if col.NumSolutions() == 0 {
+			b.Fatal("empty space")
+		}
+	}
+}
+
+func BenchmarkForEachHotspot(b *testing.B) { benchForEach(b, workloads.Hotspot()) }
+func BenchmarkForEachGEMM(b *testing.B)    { benchForEach(b, workloads.GEMM()) }
+
+func BenchmarkSolveColumnarHotspot(b *testing.B) {
+	benchSolveColumnar(b, workloads.Hotspot(), false)
+}
+func BenchmarkSolveColumnarGEMM(b *testing.B) {
+	benchSolveColumnar(b, workloads.GEMM(), false)
+}
+func BenchmarkSolveColumnarRefHotspot(b *testing.B) {
+	benchSolveColumnar(b, workloads.Hotspot(), true)
+}
+func BenchmarkSolveColumnarRefGEMM(b *testing.B) {
+	benchSolveColumnar(b, workloads.GEMM(), true)
+}

@@ -43,6 +43,11 @@
 // new solver work.
 //
 //	spaced -addr :8080 -store-dir /var/lib/spaced -store-max-bytes 34359738368
+//
+// With -pprof set, a net/http/pprof listener runs on its own address
+// (never the public one) so hot-path regressions are diagnosable
+// against a live daemon; see the README's "Solver hot path" section
+// for a capture recipe.
 package main
 
 import (
@@ -51,6 +56,11 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux, which is
+	// served ONLY on the optional -pprof listener — the main service
+	// handler is a dedicated mux, so profiling is never exposed on the
+	// public address.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,7 +83,17 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for the on-disk snapshot tier; built spaces are written through and survive eviction and restarts (empty = persistence off)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 32<<30, "max bytes of snapshot blobs in -store-dir; least recently used beyond this are garbage-collected (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060) for diagnosing hot-path regressions against a live daemon; empty = off")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("spaced: pprof listening on %s (CPU profile: go tool pprof http://%s/debug/pprof/profile?seconds=10)", *pprofAddr, *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("spaced: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	var blobs *store.Store
 	if *storeDir != "" {

@@ -1,0 +1,194 @@
+package searchspace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"searchspace/internal/workloads"
+)
+
+// updateGolden regenerates testdata/golden_enum.json from the current
+// enumeration code. The committed file was captured from the
+// pre-kernel-refactor closure-based solver, so a plain test run pins the
+// new kernel byte-identical to the old path.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_enum.json from the current code")
+
+const goldenEnumPath = "testdata/golden_enum.json"
+
+// goldenRecord is one (workload, method, workers) enumeration pinned by
+// its content hash.
+type goldenRecord struct {
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	Workers  int    `json:"workers"`
+	Rows     int    `json:"rows"`
+	SHA256   string `json:"sha256"`
+}
+
+// enumChecksum hashes a resolved space's full enumeration: parameter
+// names in definition order, then each column's indices little-endian.
+// This is the same content the service's /v1/compare checksum covers, so
+// a golden match here is exactly the wire-level parity contract.
+func enumChecksum(ss *SearchSpace) (int, string) {
+	h := sha256.New()
+	for _, name := range ss.Names() {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	var quad [4]byte
+	for _, col := range ss.Columns() {
+		for _, di := range col {
+			quad[0] = byte(di)
+			quad[1] = byte(di >> 8)
+			quad[2] = byte(di >> 16)
+			quad[3] = byte(di >> 24)
+			h.Write(quad[:])
+		}
+	}
+	return ss.Size(), hex.EncodeToString(h.Sum(nil))
+}
+
+// tailUnconstrainedProblem is the tail-expansion-specific case: two
+// constrained leading variables followed by three variables no
+// constraint mentions. Degree-descending ordering puts the unconstrained
+// ones last, so the kernel's bulk tail expansion covers three full
+// trailing depths (3*4*5 = 60 rows per surviving prefix).
+func tailUnconstrainedProblem() *Problem {
+	p := NewProblem("tail-unconstrained")
+	p.AddParam("a", 1, 2, 3, 4, 5, 6)
+	p.AddParam("b", 1, 2, 3, 4, 5)
+	p.AddParam("c", 10, 20, 30)
+	p.AddParam("d", 1, 2, 3, 4)
+	p.AddParam("e", 0, 1, 2, 3, 4)
+	p.AddConstraint("a * b <= 15")
+	return p
+}
+
+// goFuncEscapeProblem exercises the opaque-constraint escape hatch: the
+// Go predicate cannot be compiled into the typed instruction table, so
+// the kernel must fall back to calling it per node.
+func goFuncEscapeProblem() *Problem {
+	p := NewProblem("gofunc-escape")
+	p.AddParam("x", 1, 2, 3, 4, 5, 6, 7, 8)
+	p.AddParam("y", 1, 2, 3, 4, 5, 6)
+	p.AddParam("z", 1, 2, 3)
+	p.AddConstraint("x * y <= 24")
+	p.AddConstraintFunc([]string{"x", "z"}, func(args []any) bool {
+		return args[0].(int64)%int64(len(args)) != 1 || args[1].(int64) > 1
+	})
+	return p
+}
+
+// goldenCase couples a workload with the methods cheap enough to pin on
+// it. The small spaces run the full method matrix; the two large
+// real-world spaces pin only the parallel-capable methods (the
+// exhaustive baselines would dominate test time without adding kernel
+// coverage — their loops are untouched by the kernel refactor).
+type goldenCase struct {
+	name    string
+	problem func() *Problem
+	methods []Method
+}
+
+func goldenCases() []goldenCase {
+	all := Methods()
+	fast := []Method{Optimized, ChainOfTrees, ChainOfTreesInterpreted}
+	fromDef := func(defName string) func() *Problem {
+		return func() *Problem {
+			def, ok := workloads.ByName(defName)
+			if !ok {
+				panic("unknown workload " + defName)
+			}
+			return FromDefinition(def)
+		}
+	}
+	return []goldenCase{
+		{"parity-mixed", parityProblem, all},
+		{"tail-unconstrained", tailUnconstrainedProblem, all},
+		{"gofunc-escape", goFuncEscapeProblem, all},
+		{"Dedispersion", fromDef("Dedispersion"), all},
+		{"GEMM", fromDef("GEMM"), fast},
+		{"Hotspot", fromDef("Hotspot"), fast},
+	}
+}
+
+var goldenWorkers = []int{1, 2, 7}
+
+// TestGoldenEnumerationParity pins every construction method's full
+// enumeration — names, row order, and cell values — to checksums
+// captured from the pre-refactor solver, across sequential and parallel
+// worker counts. Any kernel change that perturbs a single byte of any
+// method's output fails here.
+func TestGoldenEnumerationParity(t *testing.T) {
+	var produced []goldenRecord
+	want := map[string]goldenRecord{}
+	if !*updateGolden {
+		raw, err := os.ReadFile(goldenEnumPath)
+		if err != nil {
+			t.Fatalf("read golden file (run `go test -run TestGoldenEnumerationParity -update-golden .` to create it): %v", err)
+		}
+		var recs []goldenRecord
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			t.Fatalf("parse %s: %v", goldenEnumPath, err)
+		}
+		for _, r := range recs {
+			want[fmt.Sprintf("%s/%s/w%d", r.Workload, r.Method, r.Workers)] = r
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s holds no records", goldenEnumPath)
+		}
+	}
+
+	for _, tc := range goldenCases() {
+		for _, m := range tc.methods {
+			for _, workers := range goldenWorkers {
+				key := fmt.Sprintf("%s/%s/w%d", tc.name, m, workers)
+				t.Run(key, func(t *testing.T) {
+					ss, _, err := tc.problem().BuildWith(BuildOpts{Method: m, Workers: workers})
+					if err != nil {
+						t.Fatalf("build: %v", err)
+					}
+					rows, sum := enumChecksum(ss)
+					rec := goldenRecord{
+						Workload: tc.name, Method: m.String(), Workers: workers,
+						Rows: rows, SHA256: sum,
+					}
+					if *updateGolden {
+						produced = append(produced, rec)
+						return
+					}
+					w, ok := want[key]
+					if !ok {
+						t.Fatalf("no golden record for %s; regenerate with -update-golden", key)
+					}
+					if rows != w.Rows {
+						t.Fatalf("row count %d, want %d", rows, w.Rows)
+					}
+					if sum != w.SHA256 {
+						t.Fatalf("enumeration checksum drifted from the pre-refactor solver:\n got %s\nwant %s", sum, w.SHA256)
+					}
+				})
+			}
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenEnumPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(produced, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenEnumPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d records to %s", len(produced), goldenEnumPath)
+	}
+}

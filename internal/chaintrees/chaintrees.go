@@ -494,8 +494,41 @@ func (c *Chain) ForEach(yield func(idx []int32) bool) {
 	walkGroups(0)
 }
 
-// ToColumnar enumerates the chain into the columnar format shared with
-// the other construction methods.
+// leafPaths materializes the group's valid sub-configurations as one
+// column per group parameter, leaves in DFS order — exactly the order
+// ForEach visits them.
+func (g *group) leafPaths() [][]int32 {
+	m := len(g.paramIdx)
+	cols := make([][]int32, m)
+	for d := range cols {
+		cols[d] = make([]int32, 0, g.leaves)
+	}
+	cur := make([]int32, m)
+	var walk func(depth int, nodes []*node)
+	walk = func(depth int, nodes []*node) {
+		for _, nd := range nodes {
+			cur[depth] = nd.valIdx
+			if depth == m-1 {
+				for d, v := range cur {
+					cols[d] = append(cols[d], v)
+				}
+				continue
+			}
+			walk(depth+1, nd.children)
+		}
+	}
+	walk(0, g.roots)
+	return cols
+}
+
+// ToColumnar converts the chain into the columnar format shared with
+// the other construction methods. This is the chain's bulk tail
+// expansion: instead of re-walking every tree per output row (the
+// per-row recursion ForEach performs), each tree's leaf paths are
+// materialized once and the final columns are filled as repeated/tiled
+// runs — group i's paths repeat with period (product of leaf counts of
+// the groups after it), which is precisely the row order the nested
+// per-row walk produces, so output stays byte-identical.
 func (c *Chain) ToColumnar() *core.Columnar {
 	out := &core.Columnar{
 		Names: make([]string, len(c.def.Params)),
@@ -504,12 +537,37 @@ func (c *Chain) ToColumnar() *core.Columnar {
 	for i, p := range c.def.Params {
 		out.Names[i] = p.Name
 	}
-	c.ForEach(func(idx []int32) bool {
-		for vi, di := range idx {
-			out.Cols[vi] = append(out.Cols[vi], di)
+	total := c.Count()
+	if total == 0 {
+		return out
+	}
+	// All columns share one exactly-sized backing array.
+	backing := make([]int32, len(out.Cols)*total)
+	col := func(pi int) []int32 {
+		return backing[pi*total : (pi+1)*total : (pi+1)*total]
+	}
+	inner := 1 // rows per leaf of the current group: product of later groups' leaf counts
+	for gi := len(c.groups) - 1; gi >= 0; gi-- {
+		g := c.groups[gi]
+		paths := g.leafPaths()
+		for d, pi := range g.paramIdx {
+			seg := col(pi)
+			// One period: each leaf's value repeated inner times…
+			p := 0
+			for _, v := range paths[d] {
+				for j := 0; j < inner; j++ {
+					seg[p] = v
+					p++
+				}
+			}
+			// …tiled across all rows by doubling copies.
+			for p < total {
+				p += copy(seg[p:], seg[:p])
+			}
+			out.Cols[pi] = seg
 		}
-		return true
-	})
+		inner *= g.leaves
+	}
 	return out
 }
 

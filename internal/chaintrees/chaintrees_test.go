@@ -312,3 +312,56 @@ func TestBuildExecCancellation(t *testing.T) {
 		t.Fatalf("pre-start stop: got %v, want ErrCanceled", err)
 	}
 }
+
+// TestToColumnarMatchesForEach pins the bulk tiled ToColumnar against
+// the per-row ForEach walk, order-sensitively: the tiled fill must
+// reproduce the nested walk's row order byte for byte, including
+// multi-group chains and single-parameter trees.
+func TestToColumnarMatchesForEach(t *testing.T) {
+	defs := []*model.Definition{
+		hotspotLike(),
+		{
+			Name: "single-group",
+			Params: []model.Param{
+				model.RangeParam("x", 1, 6),
+				model.RangeParam("y", 1, 6),
+			},
+			Constraints: []string{"x * y <= 18"},
+		},
+		{
+			Name: "free-only",
+			Params: []model.Param{
+				model.IntsParam("a", 3, 1, 2),
+				model.IntsParam("b", 5, 4),
+				model.IntsParam("c", 9),
+			},
+		},
+	}
+	for _, def := range defs {
+		for _, mode := range []Mode{ModeCompiled, ModeInterpreted} {
+			chain, err := Build(def, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := &core.Columnar{Cols: make([][]int32, len(def.Params))}
+			chain.ForEach(func(idx []int32) bool {
+				for vi, di := range idx {
+					want.Cols[vi] = append(want.Cols[vi], di)
+				}
+				return true
+			})
+			got := chain.ToColumnar()
+			if got.NumSolutions() != len(want.Cols[0]) {
+				t.Fatalf("%s/%v: %d rows, want %d", def.Name, mode, got.NumSolutions(), len(want.Cols[0]))
+			}
+			for vi := range want.Cols {
+				for r := range want.Cols[vi] {
+					if got.Cols[vi][r] != want.Cols[vi][r] {
+						t.Fatalf("%s/%v: col %d row %d: got %d want %d (bulk fill must keep walk order)",
+							def.Name, mode, vi, r, got.Cols[vi][r], want.Cols[vi][r])
+					}
+				}
+			}
+		}
+	}
+}

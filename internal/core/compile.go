@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"searchspace/internal/expr"
 	"searchspace/internal/value"
@@ -18,32 +19,57 @@ type entry struct {
 	orig  int32 // index into the originally declared domain
 }
 
-// checkFn evaluates one registered check against the current partial
-// assignment held in state.
-type checkFn func(st *state) bool
-
-// state is the solver's mutable assignment: value and float views indexed
-// by problem variable index, plus a scratch buffer for Go-func constraints.
+// state is the solver's mutable assignment: value, float, and integer
+// views indexed by problem variable index, the reusable output row, the
+// walk's trial stack, and a scratch buffer for Go-func constraints.
 type state struct {
 	vals    []value.Value
 	nums    []float64
+	ints    []int64
+	idx     []int32
+	trial   []int
 	scratch []value.Value
 }
 
+// newState allocates one enumeration's (or one worker's) scratch state.
+func (c *Compiled) newState() *state {
+	n := len(c.order)
+	return &state{
+		vals:    make([]value.Value, n),
+		nums:    make([]float64, n),
+		ints:    make([]int64, n),
+		idx:     make([]int32, n),
+		trial:   make([]int, n),
+		scratch: make([]value.Value, c.maxArgs),
+	}
+}
+
 // Compiled is a problem prepared for solving: domains pruned by the
-// preprocessing passes, variables ordered, and per-depth check lists
-// built (§4.3).
+// preprocessing passes, variables ordered, and per-depth instruction
+// tables built (§4.3). The retained runtime constraints and options
+// back the closure-based reference enumerator (ref.go) that the parity
+// suites compare against.
 type Compiled struct {
 	names []string
 	order []int // position (depth) -> variable index
 	pos   []int // variable index -> position
 	doms  [][]entry
-	// full[d] are checks that become fully assigned exactly at depth d;
-	// partial[d] reject doomed partial assignments at depth d.
-	full    [][]checkFn
-	partial [][]checkFn
-	empty   bool
-	maxArgs int
+	// prog[d] is the instruction table run when depth d's variable is
+	// assigned: partial-assignment rejections first, then the
+	// constraints that become fully assigned exactly at depth d.
+	prog [][]instr
+	// tailStart is one past the deepest depth carrying any instruction;
+	// every variable at depth >= tailStart is unconstrained, so the
+	// kernel emits those depths as bulk cartesian blocks.
+	tailStart int
+	empty     bool
+	maxArgs   int
+	cons      []*constraint
+	opt       Options
+	// Memoized closure form of the checks for the reference enumerator
+	// (ref.go); never touched on the kernel's hot path.
+	refOnce sync.Once
+	ref     *refChecks
 }
 
 // Options tunes which optimizations Compile applies, so the evaluation can
@@ -72,6 +98,7 @@ func (p *Problem) Compile(opt Options) *Compiled {
 		names: append([]string(nil), p.names...),
 		order: make([]int, n),
 		pos:   make([]int, n),
+		opt:   opt,
 	}
 	if p.unsat || n == 0 {
 		c.empty = true
@@ -148,10 +175,15 @@ func (p *Problem) Compile(opt Options) *Compiled {
 	for d, vi := range c.order {
 		c.doms[d] = doms[vi]
 	}
+	c.cons = runtime
 
-	// Build per-depth check lists.
-	c.full = make([][]checkFn, n)
-	c.partial = make([][]checkFn, n)
+	// Lower every runtime constraint into per-depth instruction tables:
+	// a constraint's full check lands at the solve position of its
+	// deepest variable; partial checks land at the shallower positions
+	// they can already reject at. Partials run before fulls at each
+	// depth, matching the retired closure lists.
+	partials := make([][]instr, n)
+	fulls := make([][]instr, n)
 	for _, con := range runtime {
 		if len(con.argIdx) > c.maxArgs {
 			c.maxArgs = len(con.argIdx)
@@ -162,12 +194,16 @@ func (p *Problem) Compile(opt Options) *Compiled {
 				last = c.pos[vi]
 			}
 		}
-		con := con
-		c.full[last] = append(c.full[last], func(st *state) bool {
-			return con.satisfiedFull(st.vals, st.nums, st.scratch)
-		})
+		fulls[last] = append(fulls[last], fullInstr(con, doms, p.nameIdx))
 		if opt.PartialChecks {
-			c.buildPartialChecks(con, doms)
+			c.buildPartialInstrs(partials, con, doms)
+		}
+	}
+	c.prog = make([][]instr, n)
+	for d := 0; d < n; d++ {
+		c.prog[d] = append(partials[d], fulls[d]...)
+		if len(c.prog[d]) > 0 {
+			c.tailStart = d + 1
 		}
 	}
 	return c
@@ -229,41 +265,42 @@ func domainMinMax(dom []entry) (mn, mx float64) {
 	return mn, mx
 }
 
-// buildPartialChecks registers early rejection closures for one specific
-// constraint. A partial check at depth d conservatively asks: given the
-// operands assigned so far and the best possible completion from the
-// remaining domains, can the constraint still hold?
-func (c *Compiled) buildPartialChecks(con *constraint, doms [][]entry) {
+// buildPartialInstrs lowers one specific constraint's early rejection
+// checks into typed instructions. A partial check at depth d
+// conservatively asks: given the operands assigned so far and the best
+// possible completion from the remaining domains, can the constraint
+// still hold?
+func (c *Compiled) buildPartialInstrs(partials [][]instr, con *constraint, doms [][]entry) {
 	switch con.kind {
 	case conMaxProd, conMinProd:
 		numeric, positive := domainsNumeric(doms, con.vars)
 		if !numeric || !positive {
 			return // interval reasoning needs all-positive domains
 		}
-		c.buildProdPartials(con, doms)
+		c.buildProdPartials(partials, con, doms)
 	case conMaxSum, conMinSum:
 		numeric, _ := domainsNumeric(doms, con.vars)
 		if !numeric {
 			return
 		}
-		c.buildSumPartials(con, doms)
+		c.buildSumPartials(partials, con, doms)
 	case conExactSum:
 		numeric, _ := domainsNumeric(doms, con.vars)
 		if !numeric {
 			return
 		}
-		c.buildExactSumPartials(con, doms)
+		c.buildExactSumPartials(partials, con, doms)
 	case conAllDiff:
-		c.buildAllDiffPartials(con)
+		c.buildAllDiffPartials(partials, con)
 	case conAllEqual:
-		c.buildAllEqualPartials(con)
+		c.buildAllEqualPartials(partials, con)
 	}
 }
 
 // buildExactSumPartials registers the two-sided feasibility check: the
 // partial sum plus the minimum (maximum) achievable completion must not
 // already exceed (fall short of) the target.
-func (c *Compiled) buildExactSumPartials(con *constraint, doms [][]entry) {
+func (c *Compiled) buildExactSumPartials(partials [][]instr, con *constraint, doms [][]entry) {
 	depths, occs := c.argsByDepth(con)
 	if len(depths) < 2 {
 		return
@@ -286,19 +323,14 @@ func (c *Compiled) buildExactSumPartials(con *constraint, doms [][]entry) {
 				prefix = append(prefix, con.argIdx[k])
 			}
 		}
-		target, lo, hi := con.bound, minC[i], maxC[i]
-		c.partial[depths[i]] = append(c.partial[depths[i]], func(st *state) bool {
-			sum := 0.0
-			for _, vi := range prefix {
-				sum += st.nums[vi]
-			}
-			return sum+lo <= target && sum+hi >= target
+		partials[depths[i]] = append(partials[depths[i]], instr{
+			op: opSumFeas, vars: prefix, bound: con.bound, base: minC[i], hi: maxC[i],
 		})
 	}
 }
 
 // buildAllDiffPartials rejects as soon as two assigned variables collide.
-func (c *Compiled) buildAllDiffPartials(con *constraint) {
+func (c *Compiled) buildAllDiffPartials(partials [][]instr, con *constraint) {
 	depths, occs := c.argsByDepth(con)
 	if len(depths) < 2 {
 		return
@@ -310,21 +342,12 @@ func (c *Compiled) buildAllDiffPartials(con *constraint) {
 				prefix = append(prefix, con.argIdx[k])
 			}
 		}
-		c.partial[depths[i]] = append(c.partial[depths[i]], func(st *state) bool {
-			for a := 0; a < len(prefix); a++ {
-				for b := a + 1; b < len(prefix); b++ {
-					if value.Equal(st.vals[prefix[a]], st.vals[prefix[b]]) {
-						return false
-					}
-				}
-			}
-			return true
-		})
+		partials[depths[i]] = append(partials[depths[i]], instr{op: opAllDiff, vars: prefix})
 	}
 }
 
 // buildAllEqualPartials rejects as soon as two assigned variables differ.
-func (c *Compiled) buildAllEqualPartials(con *constraint) {
+func (c *Compiled) buildAllEqualPartials(partials [][]instr, con *constraint) {
 	depths, occs := c.argsByDepth(con)
 	if len(depths) < 2 {
 		return
@@ -336,15 +359,7 @@ func (c *Compiled) buildAllEqualPartials(con *constraint) {
 				prefix = append(prefix, con.argIdx[k])
 			}
 		}
-		c.partial[depths[i]] = append(c.partial[depths[i]], func(st *state) bool {
-			first := st.vals[prefix[0]]
-			for _, vi := range prefix[1:] {
-				if !value.Equal(first, st.vals[vi]) {
-					return false
-				}
-			}
-			return true
-		})
+		partials[depths[i]] = append(partials[depths[i]], instr{op: opAllEqual, vars: prefix})
 	}
 }
 
@@ -367,7 +382,7 @@ func (c *Compiled) argsByDepth(con *constraint) (depths []int, occs [][]int) {
 	return depths, occs
 }
 
-func (c *Compiled) buildProdPartials(con *constraint, doms [][]entry) {
+func (c *Compiled) buildProdPartials(partials [][]instr, con *constraint, doms [][]entry) {
 	depths, occs := c.argsByDepth(con)
 	if len(depths) < 2 {
 		return
@@ -388,6 +403,10 @@ func (c *Compiled) buildProdPartials(con *constraint, doms [][]entry) {
 			}
 		}
 	}
+	op := opProdMax
+	if !isMax {
+		op = opProdMin
+	}
 	// Register a check at every depth but the last (the last is covered by
 	// the full check).
 	for i := 0; i < len(depths)-1; i++ {
@@ -397,36 +416,13 @@ func (c *Compiled) buildProdPartials(con *constraint, doms [][]entry) {
 				prefixVars = append(prefixVars, con.argIdx[k])
 			}
 		}
-		bound, strict, completion := con.bound, con.strict, extreme[i]
-		var chk checkFn
-		if isMax {
-			chk = func(st *state) bool {
-				prod := completion
-				for _, vi := range prefixVars {
-					prod *= st.nums[vi]
-				}
-				if strict {
-					return prod < bound
-				}
-				return prod <= bound
-			}
-		} else {
-			chk = func(st *state) bool {
-				prod := completion
-				for _, vi := range prefixVars {
-					prod *= st.nums[vi]
-				}
-				if strict {
-					return prod > bound
-				}
-				return prod >= bound
-			}
-		}
-		c.partial[depths[i]] = append(c.partial[depths[i]], chk)
+		partials[depths[i]] = append(partials[depths[i]], instr{
+			op: op, vars: prefixVars, bound: con.bound, strict: con.strict, base: extreme[i],
+		})
 	}
 }
 
-func (c *Compiled) buildSumPartials(con *constraint, doms [][]entry) {
+func (c *Compiled) buildSumPartials(partials [][]instr, con *constraint, doms [][]entry) {
 	depths, occs := c.argsByDepth(con)
 	if len(depths) < 2 {
 		return
@@ -456,43 +452,23 @@ func (c *Compiled) buildSumPartials(con *constraint, doms [][]entry) {
 			acc += best
 		}
 	}
+	op := opSumMax
+	if !isMax {
+		op = opSumMin
+	}
 	for i := 0; i < len(depths)-1; i++ {
-		type term struct {
-			vi    int
-			coeff float64
-		}
-		var prefix []term
+		var prefixVars []int
+		var prefixCoeffs []float64
 		for j := 0; j <= i; j++ {
 			for _, k := range occs[j] {
-				prefix = append(prefix, term{con.argIdx[k], con.coeffs[k]})
+				prefixVars = append(prefixVars, con.argIdx[k])
+				prefixCoeffs = append(prefixCoeffs, con.coeffs[k])
 			}
 		}
-		bound, strict, completion := con.bound, con.strict, extreme[i]
-		var chk checkFn
-		if isMax {
-			chk = func(st *state) bool {
-				sum := completion
-				for _, t := range prefix {
-					sum += t.coeff * st.nums[t.vi]
-				}
-				if strict {
-					return sum < bound
-				}
-				return sum <= bound
-			}
-		} else {
-			chk = func(st *state) bool {
-				sum := completion
-				for _, t := range prefix {
-					sum += t.coeff * st.nums[t.vi]
-				}
-				if strict {
-					return sum > bound
-				}
-				return sum >= bound
-			}
-		}
-		c.partial[depths[i]] = append(c.partial[depths[i]], chk)
+		partials[depths[i]] = append(partials[depths[i]], instr{
+			op: op, vars: prefixVars, coeffs: prefixCoeffs,
+			bound: con.bound, strict: con.strict, base: extreme[i],
+		})
 	}
 }
 

@@ -4,8 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"searchspace/internal/value"
 )
 
 // Exec configures how a construction run executes: how many workers
@@ -174,20 +172,22 @@ func (c *Compiled) SolveColumnarExec(ex Exec) (*Columnar, bool) {
 		radix[d] = len(c.doms[d])
 	}
 
+	// Per-task buckets hold exactly-sized copies of each task's rows;
+	// the worker's sink (reused across its tasks, capacity retained) is
+	// where the enumeration itself lands, so parallel builds stop
+	// re-growing per-task slices from scratch.
 	buckets := make([]*Columnar, tasks)
 	type prefixWorker struct {
 		st  *state
 		pfx []int
+		snk *sink
 	}
 	n := len(c.order)
 	canceled := ex.ForEachTask(tasks, func() any {
 		return &prefixWorker{
-			st: &state{
-				vals:    make([]value.Value, n),
-				nums:    make([]float64, n),
-				scratch: make([]value.Value, c.maxArgs),
-			},
+			st:  c.newState(),
 			pfx: make([]int, k),
+			snk: newSink(n),
 		}
 	}, func(w any, t int, stop func() bool) bool {
 		pw := w.(*prefixWorker)
@@ -196,11 +196,11 @@ func (c *Compiled) SolveColumnarExec(ex Exec) (*Columnar, bool) {
 			pw.pfx[d] = int(rem % int64(radix[d]))
 			rem /= int64(radix[d])
 		}
-		bucket, taskCanceled := c.solvePrefix(pw.pfx, pw.st, stop)
-		if taskCanceled {
+		pw.snk.reset(n)
+		if c.enumColumnar(pw.snk, pw.pfx, pw.st, stop, nil) {
 			return true
 		}
-		buckets[t] = bucket
+		buckets[t] = pw.snk.takeColumnar()
 		return false
 	})
 
@@ -217,102 +217,19 @@ func (c *Compiled) SolveColumnarExec(ex Exec) (*Columnar, bool) {
 			total += b.NumSolutions()
 		}
 	}
+	// Single final merge into one shared backing array (one allocation
+	// for all columns), buckets in ascending task order — lexicographic
+	// prefix order, i.e. exactly the sequential enumeration order.
+	backing := make([]int32, len(out.Cols)*total)
 	for vi := range out.Cols {
-		col := make([]int32, 0, total)
+		col := backing[vi*total : (vi+1)*total : (vi+1)*total]
+		off := 0
 		for _, b := range buckets {
 			if b != nil {
-				col = append(col, b.Cols[vi]...)
+				off += copy(col[off:], b.Cols[vi])
 			}
 		}
 		out.Cols[vi] = col
-	}
-	return out, false
-}
-
-// solvePrefix runs the standard iterative search with the first
-// len(pfx) solve-order variables pinned to the given domain entries,
-// checking the pinned depths' partial and full constraints in the same
-// order the sequential solver would. st is caller-owned scratch state
-// (reused across tasks by one worker); stop, when non-nil, is polled
-// every few thousand node visits exactly like ForEachStop.
-func (c *Compiled) solvePrefix(pfx []int, st *state, stop func() bool) (*Columnar, bool) {
-	n := len(c.order)
-	k := len(pfx)
-	out := &Columnar{Cols: make([][]int32, n)}
-	idxOut := make([]int32, n)
-
-	for d := 0; d < k; d++ {
-		vi := c.order[d]
-		e := &c.doms[d][pfx[d]]
-		st.vals[vi] = e.val
-		st.nums[vi] = e.num
-		idxOut[vi] = e.orig
-		for _, chk := range c.partial[d] {
-			if !chk(st) {
-				return out, false
-			}
-		}
-		for _, chk := range c.full[d] {
-			if !chk(st) {
-				return out, false
-			}
-		}
-	}
-	emit := func() {
-		for vi, di := range idxOut {
-			out.Cols[vi] = append(out.Cols[vi], di)
-		}
-	}
-	if k == n {
-		emit()
-		return out, false
-	}
-
-	trial := make([]int, n)
-	depth := k
-	trial[depth] = -1
-	nodes := 0
-	for depth >= k {
-		if nodes&stopCheckMask == 0 && stop != nil && stop() {
-			return out, true
-		}
-		nodes++
-		trial[depth]++
-		dom := c.doms[depth]
-		if trial[depth] >= len(dom) {
-			depth--
-			continue
-		}
-		vi := c.order[depth]
-		e := &dom[trial[depth]]
-		st.vals[vi] = e.val
-		st.nums[vi] = e.num
-		idxOut[vi] = e.orig
-
-		ok := true
-		for _, chk := range c.partial[depth] {
-			if !chk(st) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			for _, chk := range c.full[depth] {
-				if !chk(st) {
-					ok = false
-					break
-				}
-			}
-		}
-		if !ok {
-			continue
-		}
-		if depth == n-1 {
-			emit()
-			continue
-		}
-		depth++
-		trial[depth] = -1
 	}
 	return out, false
 }

@@ -12,15 +12,17 @@ import (
 //
 // This is Algorithm 1 of the paper, implemented iteratively with an
 // explicit trial-index stack and in-place undo rather than a stack of
-// copied states: equivalent search tree, no per-node allocation.
+// copied states: equivalent search tree, no per-node allocation. Checks
+// run through the typed instruction tables (kernel.go) instead of
+// closure chains.
 func (c *Compiled) ForEach(yield func(idx []int32) bool) {
 	c.ForEachStop(nil, yield)
 }
 
-// stopCheckMask sets how often ForEachStop polls its stop function: every
-// 8192 search-tree node visits. Node visits — not solutions — so even a
-// heavily constrained space that rarely yields still observes
-// cancellation promptly.
+// stopCheckMask sets how often the enumeration loops poll their stop
+// function: every 8192 search-tree node visits. Node visits — not
+// solutions — so even a heavily constrained space that rarely yields
+// still observes cancellation promptly.
 const stopCheckMask = 8192 - 1
 
 // ForEachStop is ForEach with cooperative cancellation: every few
@@ -28,18 +30,19 @@ const stopCheckMask = 8192 - 1
 // when it returns true. The canceled return distinguishes an abandoned
 // run from a completed (or yield-terminated) one. A nil stop never
 // cancels.
+//
+// ForEachStop visits every node and yields one row at a time — that is
+// its contract (callers break early, count, or stream). Bulk tail
+// expansion applies to the columnar solvers, where output is storage,
+// not control flow.
 func (c *Compiled) ForEachStop(stop func() bool, yield func(idx []int32) bool) (canceled bool) {
 	if c.empty || len(c.order) == 0 {
 		return false
 	}
 	n := len(c.order)
-	st := &state{
-		vals:    make([]value.Value, n),
-		nums:    make([]float64, n),
-		scratch: make([]value.Value, c.maxArgs),
-	}
-	idxOut := make([]int32, n)
-	trial := make([]int, n)
+	st := c.newState()
+	idxOut := st.idx
+	trial := st.trial
 	trial[0] = -1
 	depth := 0
 	nodes := 0
@@ -58,24 +61,10 @@ func (c *Compiled) ForEachStop(stop func() bool, yield func(idx []int32) bool) (
 		e := &dom[trial[depth]]
 		st.vals[vi] = e.val
 		st.nums[vi] = e.num
+		st.ints[vi] = e.i
 		idxOut[vi] = e.orig
 
-		ok := true
-		for _, chk := range c.partial[depth] {
-			if !chk(st) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			for _, chk := range c.full[depth] {
-				if !chk(st) {
-					ok = false
-					break
-				}
-			}
-		}
-		if !ok {
+		if prog := c.prog[depth]; len(prog) != 0 && !runProg(prog, st) {
 			continue
 		}
 		if depth == n-1 {
@@ -136,18 +125,20 @@ func (c *Compiled) SolveColumnar() *Columnar {
 
 // SolveColumnarStop is SolveColumnar with cooperative cancellation; see
 // ForEachStop. A canceled run returns the partial columnar, which the
-// caller must discard.
+// caller must discard. This is the kernel's bulk path: constrained
+// depths walk node by node, unconstrained tail depths are emitted as
+// whole cartesian blocks into a single shared-backing sink.
 func (c *Compiled) SolveColumnarStop(stop func() bool) (*Columnar, bool) {
 	out := &Columnar{
 		Names: append([]string(nil), c.names...),
 		Cols:  make([][]int32, len(c.names)),
 	}
-	canceled := c.ForEachStop(stop, func(idx []int32) bool {
-		for vi, di := range idx {
-			out.Cols[vi] = append(out.Cols[vi], di)
-		}
-		return true
-	})
+	if c.empty || len(c.order) == 0 {
+		return out, false
+	}
+	snk := newSink(len(c.names))
+	canceled := c.enumColumnar(snk, nil, c.newState(), stop, nil)
+	snk.fillColumnar(out)
 	return out, canceled
 }
 

@@ -109,15 +109,32 @@ func (s *Space) rowKey(buf []byte, r int32) string {
 	return string(buf)
 }
 
-// packIdx packs an arbitrary configuration (as per-parameter indices).
-func packIdx(buf []byte, idx []int32) string {
+// stackKeyBytes is the packed-key size lookups can serve from a stack
+// buffer: 32 parameters covers every workload in the suite (GEMM, the
+// widest, has 17); wider spaces fall back to one heap buffer per call.
+const stackKeyBytes = 128
+
+// keyBuf returns a packed-key buffer for n columns, preferring the
+// caller's stack array.
+func keyBuf(stack *[stackKeyBytes]byte, n int) []byte {
+	if 4*n <= stackKeyBytes {
+		return stack[:4*n]
+	}
+	return make([]byte, 4*n)
+}
+
+// packInto packs a configuration's per-parameter indices into buf
+// without building a string: probing a map with string(buf) directly in
+// the index expression is allocation-free, which matters because the
+// tuner strategies (GA crossover in particular) call Lookup per
+// candidate per generation.
+func packInto(buf []byte, idx []int32) {
 	for p, di := range idx {
 		buf[4*p] = byte(di)
 		buf[4*p+1] = byte(di >> 8)
 		buf[4*p+2] = byte(di >> 16)
 		buf[4*p+3] = byte(di >> 24)
 	}
-	return string(buf)
 }
 
 // Indices returns row r's per-parameter domain indices.
@@ -149,13 +166,16 @@ func (s *Space) RowMap(r int) map[string]value.Value {
 
 // Lookup returns the row holding the configuration with the given
 // per-parameter domain indices, or ok=false when it is not a valid
-// configuration.
+// configuration. Allocation-free once the row index is built (for
+// spaces within the stack-key width).
 func (s *Space) Lookup(idx []int32) (int, bool) {
 	if len(idx) != len(s.cols) {
 		return 0, false
 	}
-	buf := make([]byte, 4*len(s.cols))
-	r, ok := s.rowIndex()[packIdx(buf, idx)]
+	var stack [stackKeyBytes]byte
+	buf := keyBuf(&stack, len(s.cols))
+	packInto(buf, idx)
+	r, ok := s.rowIndex()[string(buf)]
 	return int(r), ok
 }
 
@@ -164,7 +184,13 @@ func (s *Space) LookupValues(vals []value.Value) (int, bool) {
 	if len(vals) != len(s.cols) {
 		return 0, false
 	}
-	idx := make([]int32, len(vals))
+	var stackIdx [stackKeyBytes / 4]int32
+	var idx []int32
+	if len(vals) <= len(stackIdx) {
+		idx = stackIdx[:len(vals)]
+	} else {
+		idx = make([]int32, len(vals))
+	}
 	for p, v := range vals {
 		found := false
 		for k, dv := range s.domains[p] {
@@ -411,7 +437,8 @@ func (s *Space) partition(p int) map[string][]int32 {
 // mutation step.
 func (s *Space) HammingNeighbors(r int) []int {
 	var out []int
-	buf := make([]byte, 4*(len(s.cols)-1))
+	var stack [stackKeyBytes]byte
+	buf := keyBuf(&stack, len(s.cols)-1)
 	for p := range s.cols {
 		k := 0
 		for q := range s.cols {
@@ -441,7 +468,8 @@ func (s *Space) HammingNeighbors(r int) []int {
 // strategies).
 func (s *Space) AdjacentNeighbors(r int) []int {
 	idx := s.Indices(r)
-	buf := make([]byte, 4*len(s.cols))
+	var stack [stackKeyBytes]byte
+	buf := keyBuf(&stack, len(s.cols))
 	index := s.rowIndex()
 	var out []int
 	for p := range s.cols {
@@ -452,7 +480,8 @@ func (s *Space) AdjacentNeighbors(r int) []int {
 				continue
 			}
 			idx[p] = cand
-			if row, ok := index[packIdx(buf, idx)]; ok {
+			packInto(buf, idx)
+			if row, ok := index[string(buf)]; ok {
 				out = append(out, int(row))
 			}
 		}

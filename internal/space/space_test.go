@@ -302,3 +302,30 @@ func TestConcurrentNeighborQueries(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestLookupDoesNotAllocate pins the hot-path fix: once the row index
+// exists, Lookup must not allocate (the GA crossover calls it per
+// candidate per generation). LookupValues is allowed its domain scan
+// but must not allocate either within the stack-key width.
+func TestLookupDoesNotAllocate(t *testing.T) {
+	s := buildSpace(t, gridDef())
+	idx := s.Indices(s.Size() - 1)
+	if _, ok := s.Lookup(idx); !ok {
+		t.Fatal("known row not found")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Lookup(idx); !ok {
+			t.Fatal("lookup failed")
+		}
+	}); avg != 0 {
+		t.Fatalf("Lookup allocates %.1f objects per call, want 0", avg)
+	}
+	vals := s.Row(0)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, ok := s.LookupValues(vals); !ok {
+			t.Fatal("lookup by values failed")
+		}
+	}); avg != 0 {
+		t.Fatalf("LookupValues allocates %.1f objects per call, want 0", avg)
+	}
+}

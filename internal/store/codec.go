@@ -41,7 +41,7 @@ type Snapshot struct {
 // SHA-256 of the payload.
 //
 //	magic   [6]byte  "ssnap\x00"
-//	version uint16   little-endian; currently 2
+//	version uint16   little-endian; currently 3
 //	length  uint64   payload bytes
 //	payload []byte   see encodePayload
 //	sum     [32]byte SHA-256 of payload
@@ -53,11 +53,14 @@ type Snapshot struct {
 // mismatch is ErrCorrupt (quarantine it).
 var magic = [6]byte{'s', 's', 'n', 'a', 'p', 0}
 
-// Version is the current snapshot format version. Version 2 added the
-// original build's worker count after the valid-size field; version-1
+// Version is the current snapshot format version. Version 3 added the
+// enumeration kernel's visited-node count after the worker count
+// (version-2 and older blobs report Nodes 0 — the stat did not exist
+// when they were written). Version 2 added the original build's worker
+// count after the valid-size field; version-1
 // blobs still decode (their builds predate the parallel engine, so
 // they report Workers 1, the sequential path they actually ran).
-const Version uint16 = 2
+const Version uint16 = 3
 
 // maxPayloadBytes bounds a declared payload length so a corrupt header
 // cannot make the decoder attempt an absurd allocation.
@@ -199,6 +202,7 @@ func encodePayload(snap *Snapshot) ([]byte, error) {
 	le64(&b, math.Float64bits(snap.Stats.Cartesian))
 	le64(&b, uint64(snap.Stats.Valid))
 	le32(&b, uint32(snap.Stats.Workers)) // since version 2
+	le64(&b, uint64(snap.Stats.Nodes))   // since version 3
 	le32(&b, uint32(len(snap.Bounds)))
 	for _, bd := range snap.Bounds {
 		str(&b, bd.Name)
@@ -274,6 +278,11 @@ func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 	if version >= 2 {
 		workers = d.u32()
 	}
+	// Version <= 2 blobs predate the node-visit stat.
+	nodes := uint64(0)
+	if version >= 3 {
+		nodes = d.u64()
+	}
 	nBounds := d.u32()
 	if d.err != nil {
 		return nil, d.err
@@ -343,6 +352,7 @@ func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 			Cartesian: cartesian,
 			Valid:     int(valid),
 			Workers:   int(workers),
+			Nodes:     int64(nodes),
 		},
 		Bounds: bounds,
 		Space:  ss,

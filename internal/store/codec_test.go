@@ -255,10 +255,11 @@ func TestDecodeVersion1Blob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v2 blob as v1: drop the 4-byte workers field (encoded
+	// Rewrite the current blob as v1: drop the 4-byte workers field
+	// (since v2) and the 8-byte nodes field (since v3), both encoded
 	// right after duration+cartesian+valid, which follow the
-	// method/name/params/constraints sections) and re-stamp version,
-	// length, and checksum. Locating the field by re-encoding the
+	// method/name/params/constraints sections, and re-stamp version,
+	// length, and checksum. Locating the fields by re-encoding the
 	// prefix keeps this test honest about the layout.
 	var prefix bytes.Buffer
 	str(&prefix, snap.Method.String())
@@ -279,7 +280,7 @@ func TestDecodeVersion1Blob(t *testing.T) {
 	}
 	workersOff := prefix.Len() + 8 + 8 + 8 // + duration + cartesian + valid
 	payload := raw[16 : len(raw)-32]
-	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4:]...)
+	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4+8:]...)
 
 	var v1 bytes.Buffer
 	v1.Write(magic[:])
@@ -296,8 +297,64 @@ func TestDecodeVersion1Blob(t *testing.T) {
 	if got.Stats.Workers != 1 {
 		t.Errorf("v1 blob decoded with Workers %d, want 1", got.Stats.Workers)
 	}
+	if got.Stats.Nodes != 0 {
+		t.Errorf("v1 blob decoded with Nodes %d, want 0 (stat postdates v1)", got.Stats.Nodes)
+	}
 	if got.Stats.Valid != snap.Stats.Valid || got.Stats.Duration != snap.Stats.Duration {
 		t.Errorf("v1 stats %+v, want (modulo workers) %+v", got.Stats, snap.Stats)
+	}
+	sameSpace(t, snap.Space, got.Space)
+}
+
+// TestDecodeVersion2Blob pins backward compatibility one version back:
+// a version-2 blob (written before the enumeration kernel recorded
+// node visits, so no nodes field) must still decode, reporting the
+// recorded workers and Nodes 0.
+func TestDecodeVersion2Blob(t *testing.T) {
+	snap := buildSnapshot(t, searchspace.Optimized)
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix bytes.Buffer
+	str(&prefix, snap.Method.String())
+	str(&prefix, snap.Def.Name)
+	le32(&prefix, uint32(len(snap.Def.Params)))
+	for _, p := range snap.Def.Params {
+		str(&prefix, p.Name)
+		le32(&prefix, uint32(len(p.Values)))
+		for _, v := range p.Values {
+			if err := encodeValue(&prefix, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	le32(&prefix, uint32(len(snap.Def.Constraints)))
+	for _, c := range snap.Def.Constraints {
+		str(&prefix, c)
+	}
+	// Drop only the 8-byte nodes field, right after the workers field.
+	nodesOff := prefix.Len() + 8 + 8 + 8 + 4 // + duration + cartesian + valid + workers
+	payload := raw[16 : len(raw)-32]
+	v2payload := append(append([]byte(nil), payload[:nodesOff]...), payload[nodesOff+8:]...)
+
+	var v2 bytes.Buffer
+	v2.Write(magic[:])
+	le16(&v2, 2)
+	le64(&v2, uint64(len(v2payload)))
+	v2.Write(v2payload)
+	sum := sha256.Sum256(v2payload)
+	v2.Write(sum[:])
+
+	got, err := DecodeBytes(v2.Bytes())
+	if err != nil {
+		t.Fatalf("decoding a v2 blob: %v", err)
+	}
+	if got.Stats.Workers != snap.Stats.Workers {
+		t.Errorf("v2 blob decoded with Workers %d, want %d", got.Stats.Workers, snap.Stats.Workers)
+	}
+	if got.Stats.Nodes != 0 {
+		t.Errorf("v2 blob decoded with Nodes %d, want 0 (stat postdates v2)", got.Stats.Nodes)
 	}
 	sameSpace(t, snap.Space, got.Space)
 }

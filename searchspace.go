@@ -223,6 +223,13 @@ type BuildStats struct {
 	// goroutines than the budget when the space is too small to split
 	// that wide; the output is identical either way.
 	Workers int
+	// Nodes is the number of search-tree nodes the enumeration kernel
+	// actually visited, reported for single-worker optimized builds
+	// (the paper's measurement configuration); 0 for other methods and
+	// for parallel runs. With bulk tail expansion this is typically far
+	// below the node count a per-node walk would pay — the gap is the
+	// kernel's structural win on constraint-sparse spaces.
+	Nodes int64
 }
 
 // BuildOpts configures one construction run: which algorithm, how many
@@ -309,9 +316,10 @@ func (p *Problem) BuildWith(o BuildOpts) (*SearchSpace, BuildStats, error) {
 	}
 	ex := core.Exec{Workers: o.Workers, Stop: o.Stop, OnProgress: o.OnProgress}
 	start := time.Now()
-	col, workers, err := construct(p.def, o.Method, ex)
+	col, workers, nodes, err := construct(p.def, o.Method, ex)
 	stats.Duration = time.Since(start)
 	stats.Workers = workers
+	stats.Nodes = nodes
 	if err != nil {
 		return nil, stats, err
 	}
@@ -328,31 +336,43 @@ func (p *Problem) BuildWith(o BuildOpts) (*SearchSpace, BuildStats, error) {
 // construct dispatches to the selected construction backend; all return
 // the same columnar format. The returned worker count is the
 // parallelism the backend actually applied (1 for the inherently
-// sequential baselines, whatever the Exec resolved to otherwise).
-func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, int, error) {
+// sequential baselines, whatever the Exec resolved to otherwise); nodes
+// is the kernel's visited-node count for single-worker optimized runs.
+func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, int, int64, error) {
 	if ex.Stop != nil && ex.Stop() {
-		return nil, 1, ErrCanceled
+		return nil, 1, 0, ErrCanceled
 	}
 	switch m {
 	case Optimized:
 		prob, err := def.ToProblem()
 		if err != nil {
-			return nil, 1, err
+			return nil, 1, 0, err
 		}
-		col, canceled := prob.Compile(core.DefaultOptions()).SolveColumnarExec(ex)
+		compiled := prob.Compile(core.DefaultOptions())
+		if ex.EffectiveWorkers() == 1 {
+			col, es, canceled := compiled.SolveColumnarStats(ex.Stop)
+			if canceled {
+				return nil, 1, 0, ErrCanceled
+			}
+			if ex.OnProgress != nil {
+				ex.OnProgress(1, 1)
+			}
+			return col, 1, es.Nodes + es.Blocks, nil
+		}
+		col, canceled := compiled.SolveColumnarExec(ex)
 		if canceled {
-			return nil, ex.EffectiveWorkers(), ErrCanceled
+			return nil, ex.EffectiveWorkers(), 0, ErrCanceled
 		}
-		return col, ex.EffectiveWorkers(), nil
+		return col, ex.EffectiveWorkers(), 0, nil
 	case Original:
 		col, err := naive.Solve(def)
-		return col, 1, err
+		return col, 1, 0, err
 	case BruteForce:
 		col, _, err := bruteforce.SolveStop(def, ex.Stop)
 		if errors.Is(err, bruteforce.ErrCanceled) {
-			return nil, 1, ErrCanceled
+			return nil, 1, 0, ErrCanceled
 		}
-		return col, 1, err
+		return col, 1, 0, err
 	case ChainOfTrees, ChainOfTreesInterpreted:
 		mode := chaintrees.ModeCompiled
 		if m == ChainOfTreesInterpreted {
@@ -360,17 +380,17 @@ func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, i
 		}
 		chain, err := chaintrees.BuildExec(def, mode, ex)
 		if errors.Is(err, chaintrees.ErrCanceled) {
-			return nil, ex.EffectiveWorkers(), ErrCanceled
+			return nil, ex.EffectiveWorkers(), 0, ErrCanceled
 		}
 		if err != nil {
-			return nil, ex.EffectiveWorkers(), err
+			return nil, ex.EffectiveWorkers(), 0, err
 		}
-		return chain.ToColumnar(), ex.EffectiveWorkers(), nil
+		return chain.ToColumnar(), ex.EffectiveWorkers(), 0, nil
 	case IterativeSAT:
 		col, _, err := itersolve.Solve(def)
-		return col, 1, err
+		return col, 1, 0, err
 	}
-	return nil, 1, fmt.Errorf("searchspace: unknown method %v", m)
+	return nil, 1, 0, fmt.Errorf("searchspace: unknown method %v", m)
 }
 
 func toValue(v any) (value.Value, error) {
