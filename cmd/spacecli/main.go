@@ -41,6 +41,13 @@
 //	spacecli export -workload Hotspot -out hotspot.snap
 //	spacecli import -in hotspot.snap -action stats
 //	spacecli import -in hotspot.snap -store-dir /var/lib/spaced
+//
+// The trace subcommand fetches a request's span breakdown from the
+// daemon's trace ring — by the X-Request-ID a response carried, or the
+// most recently finished requests:
+//
+//	spacecli trace -server http://localhost:8080 -id 9f2c4ab1d0e3f456
+//	spacecli trace -server http://localhost:8080 -recent 20
 package main
 
 import (
@@ -73,6 +80,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "import" {
 		importMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
 		return
 	}
 	in := flag.String("in", "", "JSON search-space definition file")

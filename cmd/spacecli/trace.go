@@ -1,0 +1,95 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"searchspace/internal/obs"
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+)
+
+// traceMain implements `spacecli trace`: fetch a request trace from a
+// running spaced daemon and print its span breakdown. With -id it
+// resolves one request by the X-Request-ID the daemon returned; without
+// it, it lists the most recently finished traces.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("spacecli trace", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	id := fs.String("id", "", "request ID to resolve (the X-Request-ID response header)")
+	recent := fs.Int("recent", 10, "without -id: number of recent traces to list")
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if *id != "" {
+		var tr obs.Trace
+		getDoc(client, *server+"/v1/trace/"+*id, &tr)
+		printTrace(&tr)
+		return
+	}
+
+	var res service.TraceRecentResponse
+	getDoc(client, fmt.Sprintf("%s/v1/trace/recent?n=%d", *server, *recent), &res)
+	if len(res.Traces) == 0 {
+		fmt.Println("no finished traces in the ring yet")
+		return
+	}
+	var rows [][]string
+	for _, tr := range res.Traces {
+		slowest := "-"
+		if name, dur := tr.SlowestSpan(); name != "" {
+			slowest = fmt.Sprintf("%s %s", name, report.Seconds(dur.Seconds()))
+		}
+		rows = append(rows, []string{
+			tr.ID, tr.Route, fmt.Sprintf("%d", tr.Status),
+			report.Seconds(float64(tr.DurationNs) / 1e9), slowest,
+		})
+	}
+	fmt.Print(report.Table([]string{"request", "route", "status", "total", "slowest span"}, rows))
+}
+
+// printTrace renders one trace as an offset-ordered span table plus
+// any span attributes (solver node/block counts, decoded rows, ...).
+func printTrace(tr *obs.Trace) {
+	fmt.Printf("request: %s\n", tr.ID)
+	fmt.Printf("route:   %s\n", tr.Route)
+	fmt.Printf("status:  %d\n", tr.Status)
+	fmt.Printf("start:   %s\n", tr.Start.Format(time.RFC3339Nano))
+	fmt.Printf("total:   %s\n", report.Seconds(float64(tr.DurationNs)/1e9))
+	if len(tr.Spans) == 0 {
+		fmt.Println("no spans recorded")
+		return
+	}
+	fmt.Println()
+	var rows [][]string
+	for _, sp := range tr.Spans {
+		rows = append(rows, []string{
+			sp.Name,
+			fmt.Sprintf("+%.3fms", float64(sp.StartNs)/1e6),
+			report.Seconds(float64(sp.DurationNs) / 1e9),
+			formatAttrs(sp.Attrs),
+		})
+	}
+	fmt.Print(report.Table([]string{"span", "offset", "duration", "attrs"}, rows))
+}
+
+func formatAttrs(attrs map[string]int64) string {
+	if len(attrs) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, attrs[k]))
+	}
+	return strings.Join(parts, " ")
+}

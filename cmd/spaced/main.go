@@ -22,6 +22,9 @@
 //	GET  /v1/methods                  construction methods
 //	POST /v1/compare                  race methods on one definition
 //	GET  /v1/stats                    request + cache + session metrics
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /v1/trace/{id}               per-request span breakdown by request ID
+//	GET  /v1/trace/recent             most recently finished traces
 //	GET  /healthz                     liveness
 //
 // Construction runs on the parallel engine by default: each build
@@ -44,6 +47,14 @@
 //
 //	spaced -addr :8080 -store-dir /var/lib/spaced -store-max-bytes 34359738368
 //
+// Every response carries an X-Request-ID header (client-supplied or
+// generated). With -trace-buffer > 0 (the default), each request also
+// records a span breakdown — queue wait, admission, build, store
+// write-through, encode — retrievable at /v1/trace/{id} while it stays
+// in the ring. -slow-ms logs any request slower than the threshold
+// with its slowest span, and -log-format json switches the structured
+// log to machine-readable output for collectors.
+//
 // With -pprof set, a net/http/pprof listener runs on its own address
 // (never the public one) so hot-path regressions are diagnosable
 // against a live daemon; see the README's "Solver hot path" section
@@ -54,7 +65,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	// Registers the profiling handlers on http.DefaultServeMux, which is
 	// served ONLY on the optional -pprof listener — the main service
@@ -66,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"searchspace/internal/obs"
 	"searchspace/internal/service"
 	"searchspace/internal/store"
 )
@@ -84,13 +96,26 @@ func main() {
 	storeMaxBytes := flag.Int64("store-max-bytes", 32<<30, "max bytes of snapshot blobs in -store-dir; least recently used beyond this are garbage-collected (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060) for diagnosing hot-path regressions against a live daemon; empty = off")
+	traceBuffer := flag.Int("trace-buffer", 512, "finished request traces kept for /v1/trace/{id} (0 = tracing off)")
+	slowMs := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds with their slowest span (0 = off)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	if *logFormat != "text" && *logFormat != "json" {
+		slog.Error("spaced: -log-format must be text or json", "got", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	// Library layers (the snapshot store's quarantine warning, for one)
+	// log through the process default; route them to the same handler.
+	slog.SetDefault(logger)
 
 	if *pprofAddr != "" {
 		go func() {
-			log.Printf("spaced: pprof listening on %s (CPU profile: go tool pprof http://%s/debug/pprof/profile?seconds=10)", *pprofAddr, *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr,
+				"cpu_profile", "go tool pprof http://"+*pprofAddr+"/debug/pprof/profile?seconds=10")
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("spaced: pprof listener: %v", err)
+				logger.Error("pprof listener", "err", err)
 			}
 		}()
 	}
@@ -100,12 +125,13 @@ func main() {
 		var err error
 		blobs, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeMaxBytes})
 		if err != nil {
-			log.Fatalf("spaced: snapshot store: %v", err)
+			logger.Error("snapshot store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
 		}
 		st := blobs.Stats()
 		// Warm start: every scanned blob is a space the next build of
 		// that definition gets as a cache hit without rebuilding.
-		log.Printf("spaced: snapshot store %s: warm start with %d snapshot(s), %d bytes", *storeDir, st.Blobs, st.Bytes)
+		logger.Info("snapshot store warm start", "dir", *storeDir, "snapshots", st.Blobs, "bytes", st.Bytes)
 	}
 
 	reg := service.NewRegistry(service.RegistryConfig{
@@ -115,8 +141,12 @@ func main() {
 		BuildWorkers:        *buildWorkers,
 		Store:               blobs,
 	})
-	srv := service.NewServerWith(reg, service.SessionConfig{
+	srv := service.NewServerObs(reg, service.SessionConfig{
 		MaxSessions: *maxSessions, TTL: *sessionTTL,
+	}, service.ObsConfig{
+		TraceBuffer:   *traceBuffer,
+		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+		Logger:        logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -126,7 +156,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("spaced listening on %s (max-spaces=%d max-bytes=%d)", *addr, *maxSpaces, *maxBytes)
+		logger.Info("spaced listening", "addr", *addr,
+			"max_spaces", *maxSpaces, "max_bytes", *maxBytes,
+			"trace_buffer", *traceBuffer, "slow_ms", *slowMs)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -135,21 +167,24 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("spaced: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case sig := <-sigCh:
-		log.Printf("spaced: %v, draining (deadline %s)", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "deadline", drainTimeout.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("spaced: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
-	log.Printf("spaced: final cache state: %s", reg.Stats())
+	logger.Info("final cache state", "cache", reg.Stats().String())
 	if blobs != nil {
-		log.Printf("spaced: final store state: %s", blobs.Stats())
+		logger.Info("final store state", "store", blobs.Stats().String())
 	}
 	st := srv.Sessions().Stats()
-	log.Printf("spaced: final session state: active=%d created=%d expired_ttl=%d evicted_lru=%d deleted=%d dehydrated=%d rehydrated=%d",
-		st.Active, st.Created, st.ExpiredTTL, st.EvictedLRU, st.Deleted, st.Dehydrated, st.Rehydrated)
+	logger.Info("final session state",
+		"active", st.Active, "created", st.Created,
+		"expired_ttl", st.ExpiredTTL, "evicted_lru", st.EvictedLRU,
+		"deleted", st.Deleted, "dehydrated", st.Dehydrated, "rehydrated", st.Rehydrated)
 }

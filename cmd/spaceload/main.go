@@ -4,7 +4,7 @@
 // stack, not a network; point -server at a running daemon to load-test
 // over the wire instead.
 //
-// Five workloads, selected with -mode:
+// Six workloads, selected with -mode:
 //
 //   - service (default): many tuning clients sharing few kernels —
 //     workers draw one of -spaces distinct definitions, submit it via
@@ -47,11 +47,21 @@
 //     node count to its constrained prefix). In-process, no server.
 //     Writes BENCH_solver.json.
 //
+//   - obs: the observability cost check — runs two identical in-process
+//     servers, one with request tracing on and one with it off, hammers
+//     the cache-hit path on both, and asserts the tracing overhead
+//     stays under 5% (best-of--reps throughputs compared). Also
+//     verifies the functional contract: every response carries an
+//     X-Request-ID, the cold build's trace resolves by that ID with a
+//     build span, /v1/trace/recent and /metrics are populated. Writes
+//     BENCH_obs.json. (In-process only: -server is rejected.)
+//
 //     spaceload -spaces 8 -requests 2000 -workers 16
 //     spaceload -mode build -reps 3
 //     spaceload -mode sessions -spaces 8 -requests 300 -workers 16
 //     spaceload -mode restart -spaces 4
 //     spaceload -mode solver -reps 3
+//     spaceload -mode obs -reps 3 -requests 2000 -workers 16
 package main
 
 import (
@@ -82,7 +92,7 @@ import (
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
-	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver")
+	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs")
 	reps := flag.Int("reps", 3, "build/solver modes: runs per measured point; the minimum wall time is kept")
 	storeDir := flag.String("store-dir", "", "restart mode: snapshot store directory (default: a fresh temp dir)")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
@@ -95,10 +105,11 @@ func main() {
 	flag.Parse()
 
 	base := *server
-	if base == "" && *mode != "restart" && *mode != "solver" {
+	if base == "" && *mode != "restart" && *mode != "solver" && *mode != "obs" {
 		// restart mode manages its own pair of servers (before/after the
-		// simulated restart) and solver mode benchmarks the enumeration
-		// kernel in-process, so no default server is needed for them.
+		// simulated restart), solver mode benchmarks the enumeration
+		// kernel in-process, and obs mode runs a tracing-on/tracing-off
+		// server pair, so no default server is needed for them.
 		cfg := service.RegistryConfig{MaxEntries: 1024}
 		if *mode == "build" {
 			// The sweep measures the ENGINE's scaling, so the in-process
@@ -168,8 +179,16 @@ func main() {
 			outFile = "BENCH_solver.json"
 		}
 		result = runSolverBench(*reps)
+	case "obs":
+		if *server != "" {
+			log.Fatal("obs mode manages its own pair of in-process servers; -server is not supported")
+		}
+		if outFile == "" {
+			outFile = "BENCH_obs.json"
+		}
+		result = runObsBench(*reps, *requests, *workers)
 	default:
-		log.Fatalf("unknown mode %q (want service, build, sessions, restart, or solver)", *mode)
+		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, or obs)", *mode)
 	}
 
 	pretty, _ := json.MarshalIndent(result, "", "  ")

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"searchspace/internal/obs"
+	"searchspace/internal/service"
+)
+
+// runObsBench measures what request tracing costs on the cheapest path
+// the daemon has — the in-process cache hit, where the observability
+// span bookkeeping is the largest fraction of total work. Two identical
+// in-process servers differ only in ObsConfig: one records traces into
+// a ring, the other has tracing disabled. Both are warmed with one
+// build, then hammered with cache-hit submits; the best-of-reps
+// throughputs are compared. The run fails (nonzero "failures") if
+// tracing costs 5% or more, or if the functional checks — X-Request-ID
+// issued, the trace resolvable by that ID, /v1/trace/recent and
+// /metrics populated — do not hold.
+func runObsBench(reps, requests, workers int) map[string]any {
+	body := []byte(`{"problem": {
+		"name": "obs-bench",
+		"params": [
+			{"name": "block_size_x", "values": [1, 2, 4, 8, 16, 32, 64]},
+			{"name": "block_size_y", "values": [1, 2, 4, 8, 16]},
+			{"name": "tile", "values": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]}
+		],
+		"constraints": ["block_size_x * block_size_y <= 32", "tile <= block_size_x"]
+	}}`)
+
+	newObsServer := func(traceBuffer int) *httptest.Server {
+		reg := service.NewRegistry(service.RegistryConfig{MaxEntries: 64})
+		return httptest.NewServer(service.NewServerObs(reg, service.SessionConfig{},
+			service.ObsConfig{TraceBuffer: traceBuffer}))
+	}
+	traced := newObsServer(512)
+	defer traced.Close()
+	untraced := newObsServer(0)
+	defer untraced.Close()
+
+	client := &http.Client{Timeout: time.Minute}
+	var failures int64
+
+	// Warm both servers so every measured request is a cache hit, and
+	// capture the request ID of the traced cold build for the
+	// functional checks below.
+	coldID, ok := submitCapturingID(client, traced.URL, body)
+	if !ok || coldID == "" {
+		log.Printf("obs: traced warm-up build failed or carried no X-Request-ID")
+		failures++
+	}
+	if _, ok := submitCapturingID(client, untraced.URL, body); !ok {
+		log.Printf("obs: untraced warm-up build failed")
+		failures++
+	}
+
+	// Functional checks run before the hammer: the cold build's trace
+	// must still be resolvable, and the hammer's thousands of hits
+	// would rotate it out of the ring.
+	checks := map[string]bool{}
+
+	raw, ok := getRaw(client, traced.URL+"/v1/trace/"+coldID)
+	var coldTrace obs.Trace
+	checks["cold_build_trace_resolves"] = ok && json.Unmarshal(raw, &coldTrace) == nil &&
+		coldTrace.ID == coldID && len(coldTrace.Spans) > 0
+	hasBuildSpan := false
+	for _, sp := range coldTrace.Spans {
+		if sp.Name == "build" {
+			hasBuildSpan = true
+		}
+	}
+	checks["cold_build_trace_has_build_span"] = hasBuildSpan
+
+	raw, ok = getRaw(client, traced.URL+"/v1/trace/recent?n=5")
+	var recent service.TraceRecentResponse
+	checks["recent_traces_populated"] = ok && json.Unmarshal(raw, &recent) == nil && len(recent.Traces) > 0
+
+	raw, ok = getRaw(client, traced.URL+"/metrics")
+	checks["metrics_exposition_serves"] = ok &&
+		bytes.Contains(raw, []byte("spaced_http_requests_total")) &&
+		bytes.Contains(raw, []byte("spaced_trace_ring_capacity"))
+
+	// The untraced server must keep the request-ID contract (the header
+	// is issued regardless) while refusing trace lookups.
+	offID, ok := submitCapturingID(client, untraced.URL, body)
+	checks["untraced_still_issues_request_id"] = ok && offID != ""
+	resp, err := client.Get(untraced.URL + "/v1/trace/" + offID)
+	if err == nil {
+		resp.Body.Close()
+	}
+	checks["untraced_trace_endpoint_404s"] = err == nil && resp.StatusCode == http.StatusNotFound
+
+	for name, passed := range checks {
+		if !passed {
+			log.Printf("obs: functional check failed: %s", name)
+			failures++
+		}
+	}
+
+	hammer := func(base string, n int) (float64, int64) {
+		var bad atomic.Int64
+		per := n / workers
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, ok := submitCapturingID(client, base, body); !ok {
+						bad.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		return float64(per*workers) / elapsed.Seconds(), bad.Load()
+	}
+
+	// One unmeasured round on each side first — the runtime's first
+	// contact with a workload (connection pool growth, GC sizing,
+	// scheduler warm-up) must not be billed to whichever configuration
+	// happens to run first.
+	_, bad := hammer(traced.URL, requests/4+workers)
+	failures += bad
+	_, bad = hammer(untraced.URL, requests/4+workers)
+	failures += bad
+
+	// Best-of-reps on each side, alternating so ambient load (GC, CPU
+	// frequency drift) hits both configurations alike.
+	var bestOn, bestOff float64
+	for r := 0; r < reps; r++ {
+		thr, bad := hammer(traced.URL, requests)
+		failures += bad
+		if thr > bestOn {
+			bestOn = thr
+		}
+		thr, bad = hammer(untraced.URL, requests)
+		failures += bad
+		if thr > bestOff {
+			bestOff = thr
+		}
+	}
+	overhead := 1 - bestOn/bestOff
+	if overhead < 0 {
+		// Tracing measured faster than not tracing: noise, not a
+		// speedup. Report zero rather than a negative cost.
+		overhead = 0
+	}
+	if overhead >= 0.05 {
+		log.Printf("obs: tracing overhead %.2f%% exceeds the 5%% budget (on=%.0f req/s off=%.0f req/s)",
+			100*overhead, bestOn, bestOff)
+		failures++
+	}
+
+	return map[string]any{
+		"mode":                 "obs",
+		"requests_per_config":  (requests / workers) * workers,
+		"workers":              workers,
+		"reps":                 reps,
+		"hit_throughput_rps":   map[string]any{"tracing_on": bestOn, "tracing_off": bestOff},
+		"tracing_overhead_pct": 100 * overhead,
+		"overhead_budget_pct":  5.0,
+		"checks":               checks,
+		"failures":             failures,
+	}
+}
+
+// submitCapturingID posts a build request and returns the X-Request-ID
+// the response carried.
+func submitCapturingID(client *http.Client, base string, body []byte) (string, bool) {
+	resp, err := client.Post(base+"/v1/spaces", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	var out service.BuildResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
+		return id, false
+	}
+	return id, out.ID != ""
+}

@@ -1,0 +1,103 @@
+// Package obs is the daemon's observability kit: request-scoped ids
+// and traces with a bounded ring of completed ones, a hand-rolled
+// Prometheus text-format writer, and structured-logging helpers. It
+// knows nothing about the service's domain — the service records into
+// it and serves its output — and it depends only on the standard
+// library, so every layer (registry, store, handlers, commands) can
+// import it without cycles.
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+)
+
+// ctxKey keys the package's context values.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTrace
+)
+
+// WithRequestID returns ctx carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestID returns the request id carried by ctx, or "" when the
+// context is not request-scoped.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// WithTrace returns ctx carrying an active trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKeyTrace, t)
+}
+
+// TraceFrom returns the active trace carried by ctx, or nil. All
+// *Trace methods are nil-safe no-ops, so callers record spans
+// unconditionally and pay nothing when tracing is off.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKeyTrace).(*Trace)
+	return t
+}
+
+// maxRequestIDLen bounds accepted client-supplied request ids; longer
+// ones are replaced, not truncated, so an id either round-trips
+// exactly or not at all.
+const maxRequestIDLen = 64
+
+// ValidRequestID reports whether a client-supplied X-Request-ID is
+// acceptable: 1-64 characters from [A-Za-z0-9._-]. Anything else —
+// empty, oversized, or carrying separators that would corrupt log
+// lines and label values — is rejected and a fresh id generated.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewRequestID returns a fresh 16-hex-character random id.
+func NewRequestID() string {
+	var raw [8]byte
+	// crypto/rand never fails on the supported platforms; if it somehow
+	// does, the zero id is still a usable (if colliding) label.
+	_, _ = crand.Read(raw[:])
+	return hex.EncodeToString(raw[:])
+}
+
+// EnsureRequestID returns the client-supplied id when it is valid, or
+// a freshly generated one.
+func EnsureRequestID(client string) string {
+	if ValidRequestID(client) {
+		return client
+	}
+	return NewRequestID()
+}
+
+// NewLogger builds a structured logger writing to w. Format "json"
+// selects JSON lines (one object per record, machine-ingestible);
+// anything else selects logfmt-style text.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestIDValidation(t *testing.T) {
+	valid := []string{"a", "req-1", "A.B_c-9", strings.Repeat("x", 64)}
+	for _, id := range valid {
+		if !ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = false, want true", id)
+		}
+		if got := EnsureRequestID(id); got != id {
+			t.Errorf("EnsureRequestID(%q) = %q, want round-trip", id, got)
+		}
+	}
+	invalid := []string{"", "has space", "semi;colon", "new\nline", "quote\"", strings.Repeat("x", 65), "ünïcode"}
+	for _, id := range invalid {
+		if ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = true, want false", id)
+		}
+		got := EnsureRequestID(id)
+		if got == id || !ValidRequestID(got) {
+			t.Errorf("EnsureRequestID(%q) = %q, want fresh valid id", id, got)
+		}
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || !ValidRequestID(id) {
+			t.Fatalf("NewRequestID() = %q, want 16 valid hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewRequestID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextCarriers(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || TraceFrom(ctx) != nil {
+		t.Fatal("empty context should carry no id or trace")
+	}
+	tr := &Trace{ID: "x", Start: time.Now()}
+	ctx = WithTrace(WithRequestID(ctx, "abc"), tr)
+	if RequestID(ctx) != "abc" {
+		t.Fatalf("RequestID = %q, want abc", RequestID(ctx))
+	}
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom did not round-trip")
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddSpan("x", time.Now(), time.Second, nil)
+	tr.AdoptPhases([]Phase{{Name: "p"}})
+	tr.StartSpan("y")()
+	if name, d := tr.SlowestSpan(); name != "" || d != 0 {
+		t.Fatal("nil trace should report no slowest span")
+	}
+}
+
+func TestTraceSpanOffsetsAndSealing(t *testing.T) {
+	base := time.Now()
+	tr := &Trace{ID: "t1", Start: base}
+	tr.AddSpan("early", base.Add(-time.Second), 5*time.Millisecond, nil) // before trace start: clamps
+	tr.AddSpan("late", base.Add(10*time.Millisecond), 7*time.Millisecond, map[string]int64{"n": 3})
+	tr.finish(200, 20*time.Millisecond)
+	tr.AddSpan("dropped", base, time.Millisecond, nil)
+
+	if len(tr.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (post-finish span must be dropped)", len(tr.Spans))
+	}
+	if tr.Spans[0].StartNs != 0 {
+		t.Errorf("pre-start span offset = %d, want clamp to 0", tr.Spans[0].StartNs)
+	}
+	if tr.Spans[1].StartNs != int64(10*time.Millisecond) {
+		t.Errorf("offset = %d, want 10ms", tr.Spans[1].StartNs)
+	}
+	if tr.Spans[1].Attrs["n"] != 3 {
+		t.Error("attrs lost")
+	}
+	if name, d := tr.SlowestSpan(); name != "late" || d != 7*time.Millisecond {
+		t.Errorf("SlowestSpan = %q/%v, want late/7ms", name, d)
+	}
+}
+
+func TestTracerDisabledAndRing(t *testing.T) {
+	if NewTracer(0) != nil {
+		t.Fatal("capacity 0 must disable tracing")
+	}
+	var nilTc *Tracer
+	if tr := nilTc.Start("a", "r"); tr != nil {
+		t.Fatal("nil tracer must return nil trace")
+	}
+	nilTc.Finish(nil, 200, 0)
+
+	tc := NewTracer(3)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		tr := tc.Start(id, "GET /x")
+		if _, ok := tc.Get(id); ok {
+			t.Fatalf("trace %q visible before Finish", id)
+		}
+		tc.Finish(tr, 200, time.Millisecond)
+	}
+	if _, ok := tc.Get("a"); ok {
+		t.Error("oldest trace should have rotated out of capacity-3 ring")
+	}
+	for _, id := range []string{"b", "c", "d"} {
+		if _, ok := tc.Get(id); !ok {
+			t.Errorf("trace %q missing", id)
+		}
+	}
+	recent := tc.Recent(10)
+	if len(recent) != 3 || recent[0].ID != "d" || recent[2].ID != "b" {
+		t.Fatalf("Recent order wrong: %+v", recent)
+	}
+	st := tc.Stats()
+	if st.Capacity != 3 || st.Stored != 3 || st.Started != 4 || st.Finished != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTracerDuplicateIDLastWins(t *testing.T) {
+	tc := NewTracer(4)
+	t1 := tc.Start("dup", "r1")
+	tc.Finish(t1, 200, time.Millisecond)
+	t2 := tc.Start("dup", "r2")
+	tc.Finish(t2, 500, 2*time.Millisecond)
+	got, ok := tc.Get("dup")
+	if !ok || got.Route != "r2" {
+		t.Fatalf("duplicate id should resolve to newest trace, got %+v", got)
+	}
+	// Rotate t2 out; the map entry must go with it even though t1's
+	// eviction already removed the id once.
+	for i := 0; i < 4; i++ {
+		tc.Finish(tc.Start("fill", "r"), 200, 0)
+	}
+	if _, ok := tc.Get("dup"); ok {
+		t.Fatal("rotated duplicate id still resolvable")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tc := NewTracer(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := tc.Start(NewRequestID(), "r")
+				tr.AddSpan("s", time.Now(), time.Microsecond, nil)
+				tc.Finish(tr, 200, time.Microsecond)
+				tc.Recent(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tc.Stats(); st.Finished != 1600 {
+		t.Fatalf("finished = %d, want 1600", st.Finished)
+	}
+}
+
+func TestPromWriter(t *testing.T) {
+	var sb strings.Builder
+	p := NewProm(&sb)
+	p.Family("m_total", "counter", "A counter.")
+	p.Value("m_total", 3, "route", "GET /x")
+	p.Value("m_total", 0.5, "route", `weird"\`+"\n")
+	p.Family("h_seconds", "histogram", "A histogram.")
+	p.Histogram("h_seconds", []string{"phase", "build"}, []float64{0.1, 1}, []int64{2, 3, 1}, 4.25)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := []string{
+		"# HELP m_total A counter.\n",
+		"# TYPE m_total counter\n",
+		`m_total{route="GET /x"} 3` + "\n",
+		`m_total{route="weird\"\\\n"} 0.5` + "\n",
+		`h_seconds_bucket{phase="build",le="0.1"} 2` + "\n",
+		`h_seconds_bucket{phase="build",le="1"} 5` + "\n",
+		`h_seconds_bucket{phase="build",le="+Inf"} 6` + "\n",
+		`h_seconds_sum{phase="build"} 4.25` + "\n",
+		`h_seconds_count{phase="build"} 6` + "\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", w, got)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		1.5:  "1.5",
+		1e9:  "1e+09",
+		-2:   "-2",
+		0.25: "0.25",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

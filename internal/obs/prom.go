@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prom writes the Prometheus text exposition format (version 0.0.4)
+// without any client-library dependency. Errors are sticky: the first
+// write failure is retained and subsequent calls are no-ops, so a
+// metrics handler can render a whole page and check Err once.
+type Prom struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewProm returns a writer emitting to w.
+func NewProm(w io.Writer) *Prom {
+	return &Prom{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) flush() {
+	if p.err == nil {
+		_, p.err = p.w.Write(p.buf)
+	}
+	p.buf = p.buf[:0]
+}
+
+// Family emits the # HELP and # TYPE header for a metric family.
+// Call once per family, before its samples.
+func (p *Prom) Family(name, typ, help string) {
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, escapeHelp(help)...)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, typ...)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// Value emits one sample line. labels are alternating key, value
+// pairs; a trailing odd key is ignored.
+func (p *Prom) Value(name string, value float64, labels ...string) {
+	p.sample(name, labels, "", "", value)
+}
+
+// Histogram emits the cumulative _bucket series plus _sum and _count
+// for one labelled histogram. bounds are the upper bounds of each
+// finite bucket and counts holds one more element than bounds — the
+// last is the overflow (+Inf) bucket. sum is in the same unit as the
+// bounds.
+func (p *Prom) Histogram(name string, labels []string, bounds []float64, counts []int64, sum float64) {
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		p.sample(name+"_bucket", labels, "le", formatFloat(b), float64(cum))
+	}
+	cum += counts[len(bounds)]
+	p.sample(name+"_bucket", labels, "le", "+Inf", float64(cum))
+	p.sample(name+"_sum", labels, "", "", sum)
+	p.sample(name+"_count", labels, "", "", float64(cum))
+}
+
+// sample writes one line: name{labels,extraKey="extraVal"} value.
+func (p *Prom) sample(name string, labels []string, extraKey, extraVal string, value float64) {
+	p.buf = append(p.buf, name...)
+	n := len(labels) / 2 * 2
+	if n > 0 || extraKey != "" {
+		p.buf = append(p.buf, '{')
+		for i := 0; i < n; i += 2 {
+			if i > 0 {
+				p.buf = append(p.buf, ',')
+			}
+			p.buf = append(p.buf, labels[i]...)
+			p.buf = append(p.buf, '=', '"')
+			p.buf = append(p.buf, escapeLabel(labels[i+1])...)
+			p.buf = append(p.buf, '"')
+		}
+		if extraKey != "" {
+			if n > 0 {
+				p.buf = append(p.buf, ',')
+			}
+			p.buf = append(p.buf, extraKey...)
+			p.buf = append(p.buf, '=', '"')
+			p.buf = append(p.buf, extraVal...)
+			p.buf = append(p.buf, '"')
+		}
+		p.buf = append(p.buf, '}')
+	}
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, formatFloat(value)...)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes a HELP string (quotes are legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return helpEscaper.Replace(s)
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed phase inside a trace. StartNs is the offset from
+// the trace's start (not an absolute time), so a trace renders as a
+// waterfall without clock context. Attrs carries small integer facts
+// about the phase — kernel node counts, worker grants, byte sizes.
+type Span struct {
+	Name       string           `json:"name"`
+	StartNs    int64            `json:"start_ns"`
+	DurationNs int64            `json:"duration_ns"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Phase is an absolute-time span recorded away from any particular
+// trace — typically by the single builder goroutine that serves many
+// waiting requests. Each waiter adopts the phases into its own trace
+// after the build completes, converting absolute starts to offsets.
+type Phase struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	Attrs map[string]int64
+}
+
+// Trace accumulates spans for one request. A Trace is created by
+// Tracer.Start, carried through the request via context, and becomes
+// visible to readers only after Tracer.Finish — so readers never see
+// a trace mid-mutation. All methods are nil-receiver safe: when
+// tracing is disabled every recording call is a cheap no-op.
+type Trace struct {
+	ID         string    `json:"id"`
+	Route      string    `json:"route"`
+	Start      time.Time `json:"start"`
+	Status     int       `json:"status"`
+	DurationNs int64     `json:"duration_ns"`
+	Spans      []Span    `json:"spans"`
+
+	mu       sync.Mutex
+	finished bool
+}
+
+// AddSpan records a span that started at the absolute time start and
+// ran for d. Spans arriving after Finish are dropped — a handler
+// goroutine that lost a race with the client disconnecting must not
+// mutate a published trace.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration, attrs map[string]int64) {
+	if t == nil {
+		return
+	}
+	off := start.Sub(t.Start)
+	if off < 0 {
+		off = 0
+	}
+	t.mu.Lock()
+	if !t.finished {
+		t.Spans = append(t.Spans, Span{Name: name, StartNs: int64(off), DurationNs: int64(d), Attrs: attrs})
+	}
+	t.mu.Unlock()
+}
+
+// noopEnd is returned by StartSpan on a nil trace so the disabled
+// path does not allocate a closure per call.
+var noopEnd = func() {}
+
+// StartSpan starts timing a span now and returns the function that
+// records it. Use for spans that open and close on one goroutine:
+//
+//	defer tr.StartSpan("encode")()
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		t.AddSpan(name, start, time.Since(start), nil)
+	}
+}
+
+// AdoptPhases copies absolute-time phases into the trace as spans.
+// A joiner that attached to an in-flight build mid-way adopts phases
+// that began before its own request did; those clamp to offset zero,
+// which reads correctly — from this request's point of view the work
+// was already running when it arrived.
+func (t *Trace) AdoptPhases(ps []Phase) {
+	if t == nil {
+		return
+	}
+	for _, p := range ps {
+		t.AddSpan(p.Name, p.Start, p.Dur, p.Attrs)
+	}
+}
+
+// SlowestSpan returns the name and duration of the longest span, for
+// slow-request log lines. Empty name when no spans were recorded.
+func (t *Trace) SlowestSpan() (string, time.Duration) {
+	if t == nil {
+		return "", 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var name string
+	var dur int64
+	for _, s := range t.Spans {
+		if s.DurationNs > dur {
+			name, dur = s.Name, s.DurationNs
+		}
+	}
+	return name, time.Duration(dur)
+}
+
+// finish seals the trace. Further AddSpan calls are dropped.
+func (t *Trace) finish(status int, d time.Duration) {
+	t.mu.Lock()
+	t.Status = status
+	t.DurationNs = int64(d)
+	t.finished = true
+	t.mu.Unlock()
+}
+
+// Tracer keeps the last capacity completed traces in a ring. Started
+// traces are invisible until finished; finishing publishes the trace
+// into the ring, evicting the oldest. Lookup is by request id — a
+// client that kept its X-Request-ID can fetch the full waterfall for
+// as long as the trace survives rotation.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	byID map[string]*Trace
+	// The lifecycle counters are atomics, not mu-guarded: Start is on
+	// the hot path of every request and must not contend with readers
+	// draining the ring.
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// TracerStats describes the ring for /v1/stats-style reporting.
+type TracerStats struct {
+	Capacity int   `json:"capacity"`
+	Stored   int   `json:"stored"`
+	Started  int64 `json:"started"`
+	Finished int64 `json:"finished"`
+}
+
+// NewTracer returns a tracer retaining capacity completed traces, or
+// nil when capacity <= 0 — a nil *Tracer is valid and records nothing.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{
+		ring: make([]*Trace, capacity),
+		byID: make(map[string]*Trace, capacity),
+	}
+}
+
+// Start begins a trace for the given request id and route. Returns
+// nil on a nil tracer.
+func (tc *Tracer) Start(id, route string) *Trace {
+	if tc == nil {
+		return nil
+	}
+	tc.started.Add(1)
+	// A request records a handful of spans (decode, admission, build
+	// phases, encode); starting with room for them keeps the hit path
+	// at one slice allocation.
+	return &Trace{ID: id, Route: route, Start: time.Now(), Spans: make([]Span, 0, 8)}
+}
+
+// Finish seals t and publishes it into the ring. If a client reused a
+// request id, the newer trace wins the index — last write wins, same
+// as any cache keyed by caller-chosen names.
+func (tc *Tracer) Finish(t *Trace, status int, d time.Duration) {
+	if tc == nil || t == nil {
+		return
+	}
+	t.finish(status, d)
+	tc.mu.Lock()
+	if old := tc.ring[tc.next]; old != nil && tc.byID[old.ID] == old {
+		delete(tc.byID, old.ID)
+	}
+	tc.ring[tc.next] = t
+	tc.byID[t.ID] = t
+	tc.next = (tc.next + 1) % len(tc.ring)
+	tc.mu.Unlock()
+	tc.finished.Add(1)
+}
+
+// Get returns the completed trace for id, if it is still in the ring.
+func (tc *Tracer) Get(id string) (*Trace, bool) {
+	if tc == nil {
+		return nil, false
+	}
+	tc.mu.Lock()
+	t, ok := tc.byID[id]
+	tc.mu.Unlock()
+	return t, ok
+}
+
+// Recent returns up to n completed traces, newest first.
+func (tc *Tracer) Recent(n int) []*Trace {
+	if tc == nil || n <= 0 {
+		return nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= len(tc.ring) && len(out) < n; i++ {
+		idx := (tc.next - i + len(tc.ring)) % len(tc.ring)
+		if t := tc.ring[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Capacity returns the ring size (0 on a nil tracer).
+func (tc *Tracer) Capacity() int {
+	if tc == nil {
+		return 0
+	}
+	return len(tc.ring)
+}
+
+// Stats snapshots the ring counters.
+func (tc *Tracer) Stats() TracerStats {
+	if tc == nil {
+		return TracerStats{}
+	}
+	tc.mu.Lock()
+	stored := len(tc.byID)
+	tc.mu.Unlock()
+	return TracerStats{
+		Capacity: len(tc.ring),
+		Stored:   stored,
+		Started:  tc.started.Load(),
+		Finished: tc.finished.Load(),
+	}
+}

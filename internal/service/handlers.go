@@ -8,10 +8,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"searchspace"
+	"searchspace/internal/obs"
 	"searchspace/internal/value"
 )
 
@@ -20,8 +23,9 @@ import (
 const maxBodyBytes = 8 << 20
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
-// disconnected before the response was ready. Used for metrics only —
-// the connection is already gone.
+// disconnected before the response was ready. The connection is
+// already gone, so the status only feeds the per-route disconnect
+// counters in /v1/stats and /metrics.
 const statusClientClosedRequest = 499
 
 // Server wires the registry and metrics into an http.Handler exposing
@@ -40,24 +44,72 @@ const statusClientClosedRequest = 499
 //	GET  /v1/methods                  available construction methods
 //	POST /v1/compare                  race methods on one definition
 //	GET  /v1/stats                    request + cache + session metrics
+//	GET  /v1/trace/{id}               one request's span waterfall
+//	GET  /v1/trace/recent             latest completed traces
+//	GET  /metrics                     Prometheus text exposition
 //	GET  /healthz                     liveness
+//
+// Every response carries an X-Request-ID header — the client's own id
+// when it sent a valid one, a generated one otherwise — which is also
+// the key for GET /v1/trace/{id}.
 type Server struct {
 	reg      *Registry
 	sessions *Sessions
 	metrics  *Metrics
+	tracer   *obs.Tracer
+	logger   *slog.Logger
+	slow     time.Duration
 	mux      *http.ServeMux
 }
 
+// ObsConfig sets the server's observability knobs.
+type ObsConfig struct {
+	// TraceBuffer is the completed-trace ring capacity; 0 disables
+	// tracing entirely (requests still get X-Request-IDs).
+	TraceBuffer int
+	// SlowThreshold emits a warning log line for any request at or
+	// above it; 0 disables slow logging.
+	SlowThreshold time.Duration
+	// Logger receives request and slow-request lines; nil uses
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// DefaultObsConfig enables a modest trace ring and no slow threshold.
+func DefaultObsConfig() ObsConfig {
+	return ObsConfig{TraceBuffer: 256}
+}
+
 // NewServer builds a Server around the given registry with the default
-// session limits.
+// session limits and observability config.
 func NewServer(reg *Registry) *Server {
 	return NewServerWith(reg, DefaultSessionConfig())
 }
 
 // NewServerWith builds a Server with explicit session limits.
 func NewServerWith(reg *Registry, scfg SessionConfig) *Server {
-	s := &Server{reg: reg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	return NewServerObs(reg, scfg, DefaultObsConfig())
+}
+
+// NewServerObs builds a Server with explicit session limits and
+// observability config.
+func NewServerObs(reg *Registry, scfg SessionConfig, ocfg ObsConfig) *Server {
+	logger := ocfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
+		reg:     reg,
+		metrics: NewMetrics(),
+		tracer:  obs.NewTracer(ocfg.TraceBuffer),
+		logger:  logger,
+		slow:    ocfg.SlowThreshold,
+		mux:     http.NewServeMux(),
+	}
 	s.sessions = NewSessions(scfg, s.metrics)
+	// Completed build phases feed the per-phase histograms regardless
+	// of whether the initiating request carried a trace.
+	reg.SetPhaseObserver(s.metrics.ObserveBuildPhase)
 	// Registry eviction must stop sessions' steppers from pinning the
 	// evicted space in memory. When the eviction was a demotion (a
 	// snapshot survives on disk) the sessions merely dehydrate — the
@@ -87,13 +139,55 @@ func NewServerWith(reg *Registry, scfg SessionConfig) *Server {
 		{"GET /v1/methods", s.handleMethods},
 		{"POST /v1/compare", s.handleCompare},
 		{"GET /v1/stats", s.handleStats},
+		{"GET /v1/trace/recent", s.handleTraceRecent},
+		{"GET /v1/trace/{id}", s.handleTraceGet},
+		{"GET /metrics", s.handleMetrics},
 		{"GET /healthz", s.handleHealthz},
 	}
 	for _, rt := range routes {
-		s.mux.HandleFunc(rt.pattern, s.metrics.instrument(rt.pattern, rt.handler))
+		s.mux.HandleFunc(rt.pattern, s.instrument(rt.pattern, rt.handler))
 	}
 	return s
 }
+
+// instrument wraps a handler with the request-scoped observability
+// stack: it fixes the request id (accepting a valid client-supplied
+// X-Request-ID, generating one otherwise), opens a trace, threads both
+// through the request context, and on completion feeds the per-route
+// metrics, publishes the trace, and emits slow-request log lines.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		reqID := obs.EnsureRequestID(req.Header.Get("X-Request-ID"))
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := obs.WithRequestID(req.Context(), reqID)
+		tr := s.tracer.Start(reqID, route)
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, req.WithContext(ctx))
+		dur := time.Since(start)
+		s.metrics.ObserveRequest(route, rec.status, dur)
+		s.tracer.Finish(tr, rec.status, dur)
+		if s.slow > 0 && dur >= s.slow {
+			s.metrics.ObserveSlow(route)
+			span, spanDur := tr.SlowestSpan()
+			s.logger.Warn("slow request",
+				"request_id", reqID, "route", route, "status", rec.status,
+				"duration_ms", durMs(dur), "slowest_span", span, "slowest_span_ms", durMs(spanDur))
+		} else if rec.status >= 500 {
+			s.logger.Warn("request failed",
+				"request_id", reqID, "route", route, "status", rec.status, "duration_ms", durMs(dur))
+		} else {
+			s.logger.Debug("request",
+				"request_id", reqID, "route", route, "status", rec.status, "duration_ms", durMs(dur))
+		}
+	}
+}
+
+// durMs renders a duration as fractional milliseconds for log lines.
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -117,8 +211,10 @@ type apiError struct {
 // writeJSON marshals before touching the ResponseWriter so an
 // unencodable value becomes a clean 500 instead of a 200 with an empty
 // body (json cannot represent NaN/Inf, and the status is immutable
-// once the header is written).
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// once the header is written). Serialization time lands in the
+// request trace as an "encode" span.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	defer obs.TraceFrom(r.Context()).StartSpan("encode")()
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
@@ -131,13 +227,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, r, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
 // readJSON decodes the request body into v, rejecting oversized bodies
-// and trailing garbage.
+// and trailing garbage. Decode time lands in the request trace as a
+// "decode" span.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	defer obs.TraceFrom(r.Context()).StartSpan("decode")()
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
@@ -152,13 +250,13 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
 // writeBodyError maps a readJSON failure to its status: 413 when the
 // body blew the size limit (the client should shrink the payload, not
 // fix its JSON), 400 otherwise.
-func writeBodyError(w http.ResponseWriter, err error) {
+func writeBodyError(w http.ResponseWriter, r *http.Request, err error) {
 	var maxErr *http.MaxBytesError
 	if errors.As(err, &maxErr) {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+		writeError(w, r, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
 		return
 	}
-	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	writeError(w, r, http.StatusBadRequest, "bad request body: %v", err)
 }
 
 // BuildRequest is the POST /v1/spaces and /v1/compare payload.
@@ -211,33 +309,33 @@ type BuildResponse struct {
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	var req BuildRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	if req.Problem == nil {
-		writeError(w, http.StatusBadRequest, "missing \"problem\"")
+		writeError(w, r, http.StatusBadRequest, "missing \"problem\"")
 		return
 	}
 	if len(req.Methods) > 0 {
-		writeError(w, http.StatusBadRequest, "\"methods\" belongs to POST /v1/compare; this endpoint takes a single \"method\"")
+		writeError(w, r, http.StatusBadRequest, "\"methods\" belongs to POST /v1/compare; this endpoint takes a single \"method\"")
 		return
 	}
 	method := searchspace.Optimized
 	if req.Method != "" {
 		m, ok := searchspace.MethodByName(req.Method)
 		if !ok {
-			writeError(w, http.StatusBadRequest, "unknown method %q", req.Method)
+			writeError(w, r, http.StatusBadRequest, "unknown method %q", req.Method)
 			return
 		}
 		method = m
 	}
 	def, err := req.Problem.Decode()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "invalid problem: %v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, "invalid problem: %v", err)
 		return
 	}
 	if req.Workers < 0 {
-		writeError(w, http.StatusBadRequest, "\"workers\" must be >= 0")
+		writeError(w, r, http.StatusBadRequest, "\"workers\" must be >= 0")
 		return
 	}
 	entry, hit, err := s.reg.GetOrBuildN(r.Context(), def, method, req.Workers)
@@ -257,7 +355,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrInternal):
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, r, status, "%v", err)
 		return
 	}
 	if !hit {
@@ -265,7 +363,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	// Name echoes the submission; the cached entry keeps the label of
 	// the first submitter (names are not part of the content address).
-	writeJSON(w, http.StatusOK, BuildResponse{
+	writeJSON(w, r, http.StatusOK, BuildResponse{
 		ID:     entry.ID,
 		Name:   def.Name,
 		Size:   entry.Space.Size(),
@@ -309,10 +407,10 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
 		if r.Context().Err() != nil {
 			// The client went away mid-lookup/restore; nobody reads this,
 			// but the metrics row should not claim the space was absent.
-			writeError(w, statusClientClosedRequest, "client disconnected while resolving space %q", id)
+			writeError(w, r, statusClientClosedRequest, "client disconnected while resolving space %q", id)
 			return nil, false
 		}
-		writeError(w, http.StatusNotFound, "no space %q: unknown id, or evicted with no snapshot; re-submit via POST /v1/spaces", id)
+		writeError(w, r, http.StatusNotFound, "no space %q: unknown id, or evicted with no snapshot; re-submit via POST /v1/spaces", id)
 		return nil, false
 	}
 	return entry, true
@@ -345,7 +443,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		}
 		doc.Bounds[i] = bd
 	}
-	writeJSON(w, http.StatusOK, doc)
+	writeJSON(w, r, http.StatusOK, doc)
 }
 
 // ConfigDoc is a configuration on the wire, kind-faithful per value.
@@ -396,7 +494,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ContainsRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	configs := req.Configs
@@ -404,7 +502,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 		configs = append([]ConfigDoc{req.Config}, configs...)
 	}
 	if len(configs) == 0 {
-		writeError(w, http.StatusBadRequest, "need \"config\" or \"configs\"")
+		writeError(w, r, http.StatusBadRequest, "need \"config\" or \"configs\"")
 		return
 	}
 	resp := ContainsResponse{Results: make([]ContainsResult, len(configs))}
@@ -414,7 +512,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = ContainsResult{Contains: true, Index: &row}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // SampleRequest asks for k configurations under a named strategy with a
@@ -449,15 +547,15 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SampleRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	if req.K <= 0 {
-		writeError(w, http.StatusBadRequest, "\"k\" must be positive")
+		writeError(w, r, http.StatusBadRequest, "\"k\" must be positive")
 		return
 	}
 	if req.K > maxSampleK {
-		writeError(w, http.StatusBadRequest, "\"k\" exceeds limit %d", maxSampleK)
+		writeError(w, r, http.StatusBadRequest, "\"k\" exceeds limit %d", maxSampleK)
 		return
 	}
 	rng := rand.New(rand.NewSource(req.Seed))
@@ -473,12 +571,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		rows = entry.Space.SampleStratified(rng, req.K)
 	case "lhs":
 		if req.K > maxLHSK {
-			writeError(w, http.StatusBadRequest, "\"k\" exceeds the lhs limit %d (lhs cost grows with k times space size; use uniform or stratified for large samples)", maxLHSK)
+			writeError(w, r, http.StatusBadRequest, "\"k\" exceeds the lhs limit %d (lhs cost grows with k times space size; use uniform or stratified for large samples)", maxLHSK)
 			return
 		}
 		rows = entry.Space.SampleLHS(rng, req.K)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown strategy %q (want uniform, stratified, or lhs)", strategy)
+		writeError(w, r, http.StatusBadRequest, "unknown strategy %q (want uniform, stratified, or lhs)", strategy)
 		return
 	}
 	resp := SampleResponse{Strategy: strategy, Seed: req.Seed, Rows: rows,
@@ -486,7 +584,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	for i, row := range rows {
 		resp.Configs[i] = configDoc(entry.Space, row)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // NeighborsRequest asks for the neighbors of a configuration, given as
@@ -512,7 +610,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	}
 	var req NeighborsRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	var row int
@@ -520,18 +618,18 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	case req.Row != nil:
 		row = *req.Row
 		if row < 0 || row >= entry.Space.Size() {
-			writeError(w, http.StatusBadRequest, "row %d out of range [0,%d)", row, entry.Space.Size())
+			writeError(w, r, http.StatusBadRequest, "row %d out of range [0,%d)", row, entry.Space.Size())
 			return
 		}
 	case req.Config != nil:
 		idx, found := entry.Space.IndexOf(req.Config.toConfig())
 		if !found {
-			writeError(w, http.StatusBadRequest, "config is not a valid configuration of this space")
+			writeError(w, r, http.StatusBadRequest, "config is not a valid configuration of this space")
 			return
 		}
 		row = idx
 	default:
-		writeError(w, http.StatusBadRequest, "need \"row\" or \"config\"")
+		writeError(w, r, http.StatusBadRequest, "need \"row\" or \"config\"")
 		return
 	}
 	kind := req.Kind
@@ -545,7 +643,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	case "adjacent":
 		rows = entry.Space.AdjacentNeighbors(row)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown kind %q (want hamming or adjacent)", kind)
+		writeError(w, r, http.StatusBadRequest, "unknown kind %q (want hamming or adjacent)", kind)
 		return
 	}
 	resp := NeighborsResponse{Row: row, Kind: kind, Rows: rows,
@@ -553,7 +651,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	for i, nr := range rows {
 		resp.Configs[i] = configDoc(entry.Space, nr)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // MethodsResponse answers GET /v1/methods.
@@ -567,7 +665,7 @@ func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 	for _, m := range searchspace.Methods() {
 		names = append(names, m.String())
 	}
-	writeJSON(w, http.StatusOK, MethodsResponse{Methods: names, Default: searchspace.Optimized.String()})
+	writeJSON(w, r, http.StatusOK, MethodsResponse{Methods: names, Default: searchspace.Optimized.String()})
 }
 
 // CompareResult is one method's outcome in a comparison race.
@@ -619,26 +717,26 @@ type CompareResponse struct {
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req BuildRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	if req.Problem == nil {
-		writeError(w, http.StatusBadRequest, "missing \"problem\"")
+		writeError(w, r, http.StatusBadRequest, "missing \"problem\"")
 		return
 	}
 	def, err := req.Problem.Decode()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "invalid problem: %v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, "invalid problem: %v", err)
 		return
 	}
 	// A lone "method" is a one-element race; supplying both forms is
 	// ambiguous and rejected rather than silently merged.
 	if req.Method != "" && len(req.Methods) > 0 {
-		writeError(w, http.StatusBadRequest, "use either \"method\" or \"methods\", not both")
+		writeError(w, r, http.StatusBadRequest, "use either \"method\" or \"methods\", not both")
 		return
 	}
 	if req.Workers < 0 {
-		writeError(w, http.StatusBadRequest, "\"workers\" must be >= 0")
+		writeError(w, r, http.StatusBadRequest, "\"workers\" must be >= 0")
 		return
 	}
 	names := req.Methods
@@ -654,7 +752,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		for _, name := range names {
 			m, ok := searchspace.MethodByName(name)
 			if !ok {
-				writeError(w, http.StatusBadRequest, "unknown method %q", name)
+				writeError(w, r, http.StatusBadRequest, "unknown method %q", name)
 				return
 			}
 			if _, dup := seen[m]; dup {
@@ -669,21 +767,26 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// still race. A definition too large even for the optimized solver
 	// is rejected outright.
 	if err := s.reg.Admit(def, searchspace.Optimized); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	resp := CompareResponse{Name: def.Name}
 	sizes := make(map[int]struct{})
+	tr := obs.TraceFrom(r.Context())
 	for _, m := range methods {
 		if err := s.reg.Admit(def, m); err != nil {
 			resp.Results = append(resp.Results, CompareResult{Method: m.String(), Error: err.Error()})
 			continue
 		}
-		ss, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done(), req.Workers)
+		// Each race leg records its own queue-wait and build phases;
+		// they adopt into this request's trace labelled per leg.
+		var phases []obs.Phase
+		ss, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done(), req.Workers, &phases)
+		tr.AdoptPhases(phases)
 		if errors.Is(buildErr, errBuildCanceled) {
 			// The compare client disconnected; nobody will read the
 			// response, so stop racing the remaining methods.
-			writeError(w, statusClientClosedRequest, "client disconnected during comparison")
+			writeError(w, r, statusClientClosedRequest, "client disconnected during comparison")
 			return
 		}
 		res := CompareResult{Method: m.String(), WallSeconds: st.Duration.Seconds(), Valid: st.Valid, Workers: st.Workers}
@@ -697,13 +800,18 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, res)
 	}
 	resp.Agree = len(sizes) == 1
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg.Stats(), s.reg.StoreStats(), s.sessions.Stats()))
+	snap := s.metrics.Snapshot(s.reg.Stats(), s.reg.StoreStats(), s.sessions.Stats())
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		snap.Trace = &ts
+	}
+	writeJSON(w, r, http.StatusOK, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"searchspace/internal/obs"
 	"searchspace/internal/store"
 )
 
@@ -29,14 +31,39 @@ var buildBucketLabels = []string{
 	"le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "le_1m", "gt_1m",
 }
 
-// Metrics aggregates per-endpoint request counters, a histogram of
-// construction wall times, and per-strategy tuning-session counters.
-// All methods are safe for concurrent use.
+// numLatencyBuckets counts per-route latency buckets: the bounds below
+// plus the overflow bucket.
+const numLatencyBuckets = 10
+
+// latencyBuckets are the upper bounds of the per-route request-latency
+// histograms. Finer-grained than the build histogram because the hit
+// path lives in the sub-millisecond range the build bounds would
+// collapse into one bucket.
+var latencyBuckets = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Metrics aggregates per-endpoint request counters and latency
+// histograms, histograms of construction wall time (whole builds and
+// per phase), and per-strategy tuning-session counters. It is the
+// single source for both /v1/stats (JSON) and /metrics (Prometheus
+// text), so the two views cannot drift. All methods are safe for
+// concurrent use.
 type Metrics struct {
 	mu         sync.Mutex
 	start      time.Time
 	endpoints  map[string]*endpointCounters
 	buildHist  [numBuildBuckets]int64
+	buildSum   time.Duration
+	phases     map[string]*phaseCounters
 	strategies map[string]*strategyCounters
 }
 
@@ -52,10 +79,20 @@ type strategyCounters struct {
 }
 
 type endpointCounters struct {
-	count    int64
-	errors   int64
-	totalDur time.Duration
-	maxDur   time.Duration
+	count       int64
+	errors      int64 // status >= 400, excluding client disconnects
+	disconnects int64 // 499: client went away mid-request
+	slow        int64 // requests at or above the slow-log threshold
+	totalDur    time.Duration
+	maxDur      time.Duration
+	hist        [numLatencyBuckets]int64
+}
+
+// phaseCounters is one build phase's duration histogram, sharing the
+// build-time bounds.
+type phaseCounters struct {
+	hist [numBuildBuckets]int64
+	sum  time.Duration
 }
 
 // NewMetrics creates an empty metrics aggregator.
@@ -63,6 +100,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		start:      time.Now(),
 		endpoints:  make(map[string]*endpointCounters),
+		phases:     make(map[string]*phaseCounters),
 		strategies: make(map[string]*strategyCounters),
 	}
 }
@@ -113,46 +151,89 @@ func (m *Metrics) ObserveSessionComplete(strategy string) {
 	m.strategyLocked(strategy).completed++
 }
 
-// ObserveRequest records one handled request for a route label (e.g.
-// "POST /v1/spaces"). Status >= 400 counts as an error.
-func (m *Metrics) ObserveRequest(route string, status int, dur time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// endpointLocked returns the counters for a route label, creating them
+// on first use.
+func (m *Metrics) endpointLocked(route string) *endpointCounters {
 	c := m.endpoints[route]
 	if c == nil {
 		c = &endpointCounters{}
 		m.endpoints[route] = c
 	}
+	return c
+}
+
+// ObserveRequest records one handled request for a route label (e.g.
+// "POST /v1/spaces"). Status >= 400 counts as an error, except 499 —
+// the client disconnecting is the client's event, not a server
+// failure, so it gets its own counter.
+func (m *Metrics) ObserveRequest(route string, status int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.endpointLocked(route)
 	c.count++
-	if status >= 400 {
+	switch {
+	case status == statusClientClosedRequest:
+		c.disconnects++
+	case status >= 400:
 		c.errors++
 	}
 	c.totalDur += dur
 	if dur > c.maxDur {
 		c.maxDur = dur
 	}
+	c.hist[bucketIndex(latencyBuckets, dur)]++
+}
+
+// ObserveSlow records one request at or above the slow-log threshold.
+func (m *Metrics) ObserveSlow(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.endpointLocked(route).slow++
+}
+
+// bucketIndex returns the histogram slot for dur given the finite
+// upper bounds; durations past the last bound land in the overflow
+// slot at index len(bounds).
+func bucketIndex(bounds []time.Duration, dur time.Duration) int {
+	for i, ub := range bounds {
+		if dur <= ub {
+			return i
+		}
+	}
+	return len(bounds)
 }
 
 // ObserveBuild records one construction wall time in the histogram.
 func (m *Metrics) ObserveBuild(dur time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, ub := range buildBuckets {
-		if dur <= ub {
-			m.buildHist[i]++
-			return
-		}
+	m.buildHist[bucketIndex(buildBuckets, dur)]++
+	m.buildSum += dur
+}
+
+// ObserveBuildPhase records one build-phase duration (queue_wait,
+// build, write_through, restore_decode, ...) keyed by phase name.
+func (m *Metrics) ObserveBuildPhase(phase string, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.phases[phase]
+	if c == nil {
+		c = &phaseCounters{}
+		m.phases[phase] = c
 	}
-	m.buildHist[len(buildBuckets)]++
+	c.hist[bucketIndex(buildBuckets, dur)]++
+	c.sum += dur
 }
 
 // EndpointStats is one route's aggregate in a snapshot.
 type EndpointStats struct {
-	Route  string  `json:"route"`
-	Count  int64   `json:"count"`
-	Errors int64   `json:"errors"`
-	MeanMs float64 `json:"mean_ms"`
-	MaxMs  float64 `json:"max_ms"`
+	Route             string  `json:"route"`
+	Count             int64   `json:"count"`
+	Errors            int64   `json:"errors"`
+	ClientDisconnects int64   `json:"client_disconnects"`
+	SlowRequests      int64   `json:"slow_requests"`
+	MeanMs            float64 `json:"mean_ms"`
+	MaxMs             float64 `json:"max_ms"`
 }
 
 // StrategySessionStats is one strategy's session aggregate in a
@@ -181,6 +262,9 @@ type MetricsSnapshot struct {
 	Store        *store.Stats           `json:"store,omitempty"`
 	Sessions     []StrategySessionStats `json:"sessions,omitempty"`
 	SessionTable SessionTableStats      `json:"session_table"`
+	// Trace reports the completed-trace ring; absent when tracing is
+	// disabled (-trace-buffer 0).
+	Trace *obs.TracerStats `json:"trace,omitempty"`
 }
 
 // Snapshot captures the current counters; cache, store, and
@@ -209,10 +293,12 @@ func (m *Metrics) Snapshot(cache RegistryStats, diskStore *store.Stats, table Se
 	}
 	for route, c := range m.endpoints {
 		es := EndpointStats{
-			Route:  route,
-			Count:  c.count,
-			Errors: c.errors,
-			MaxMs:  float64(c.maxDur) / float64(time.Millisecond),
+			Route:             route,
+			Count:             c.count,
+			Errors:            c.errors,
+			ClientDisconnects: c.disconnects,
+			SlowRequests:      c.slow,
+			MaxMs:             float64(c.maxDur) / float64(time.Millisecond),
 		}
 		if c.count > 0 {
 			es.MeanMs = float64(c.totalDur) / float64(c.count) / float64(time.Millisecond)
@@ -221,6 +307,181 @@ func (m *Metrics) Snapshot(cache RegistryStats, diskStore *store.Stats, table Se
 	}
 	sort.Slice(snap.Endpoints, func(i, j int) bool { return snap.Endpoints[i].Route < snap.Endpoints[j].Route })
 	return snap
+}
+
+// secondsBounds converts duration bucket bounds to float seconds, the
+// unit Prometheus histograms conventionally use.
+func secondsBounds(bounds []time.Duration) []float64 {
+	out := make([]float64, len(bounds))
+	for i, b := range bounds {
+		out[i] = b.Seconds()
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order so the exposition is
+// deterministic (and diffable in tests).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every counter this aggregator holds — plus
+// the cache, store, session-table, and trace-ring stats merged in by
+// the caller — in the Prometheus text exposition format. It reads the
+// same fields Snapshot does, under the same lock, so /metrics and
+// /v1/stats always agree.
+func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *store.Stats, table SessionTableStats, trace obs.TracerStats) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := obs.NewProm(w)
+
+	p.Family("spaced_uptime_seconds", "gauge", "Seconds since the server started.")
+	p.Value("spaced_uptime_seconds", time.Since(m.start).Seconds())
+
+	routes := sortedKeys(m.endpoints)
+	p.Family("spaced_http_requests_total", "counter", "Requests handled, by route.")
+	for _, rt := range routes {
+		p.Value("spaced_http_requests_total", float64(m.endpoints[rt].count), "route", rt)
+	}
+	p.Family("spaced_http_request_errors_total", "counter", "Requests answered with status >= 400, excluding client disconnects, by route.")
+	for _, rt := range routes {
+		p.Value("spaced_http_request_errors_total", float64(m.endpoints[rt].errors), "route", rt)
+	}
+	p.Family("spaced_http_client_disconnects_total", "counter", "Requests abandoned by the client before completion (status 499), by route.")
+	for _, rt := range routes {
+		p.Value("spaced_http_client_disconnects_total", float64(m.endpoints[rt].disconnects), "route", rt)
+	}
+	p.Family("spaced_http_slow_requests_total", "counter", "Requests at or above the -slow-ms threshold, by route.")
+	for _, rt := range routes {
+		p.Value("spaced_http_slow_requests_total", float64(m.endpoints[rt].slow), "route", rt)
+	}
+	p.Family("spaced_http_request_duration_seconds", "histogram", "Request latency, by route.")
+	latBounds := secondsBounds(latencyBuckets)
+	for _, rt := range routes {
+		c := m.endpoints[rt]
+		p.Histogram("spaced_http_request_duration_seconds", []string{"route", rt}, latBounds, c.hist[:], c.totalDur.Seconds())
+	}
+
+	p.Family("spaced_build_duration_seconds", "histogram", "Search-space construction wall time, including /v1/compare races.")
+	p.Histogram("spaced_build_duration_seconds", nil, secondsBounds(buildBuckets), m.buildHist[:], m.buildSum.Seconds())
+
+	p.Family("spaced_build_phase_duration_seconds", "histogram", "Build pipeline phase durations (queue_wait, build, bounds, write_through, restore_decode, ...), by phase.")
+	phaseBounds := secondsBounds(buildBuckets)
+	for _, name := range sortedKeys(m.phases) {
+		c := m.phases[name]
+		p.Histogram("spaced_build_phase_duration_seconds", []string{"phase", name}, phaseBounds, c.hist[:], c.sum.Seconds())
+	}
+
+	p.Family("spaced_cache_entries", "gauge", "Spaces resident in the memory tier.")
+	p.Value("spaced_cache_entries", float64(cache.Entries))
+	p.Family("spaced_cache_bytes", "gauge", "Bytes resident in the memory tier.")
+	p.Value("spaced_cache_bytes", float64(cache.Bytes))
+	p.Family("spaced_cache_pending_bytes", "gauge", "Bytes admitted for in-flight builds, not yet resident.")
+	p.Value("spaced_cache_pending_bytes", float64(cache.PendingBytes))
+	p.Family("spaced_cache_events_total", "counter", "Cache tier events, by kind.")
+	for _, ev := range []struct {
+		kind string
+		n    int64
+	}{
+		{"hit", cache.Hits},
+		{"join", cache.Joins},
+		{"miss", cache.Misses},
+		{"build", cache.Builds},
+		{"restore", cache.Restores},
+		{"eviction", cache.Evictions},
+		{"demotion", cache.Demotions},
+		{"demote_dropped", cache.DemoteDropped},
+		{"busy_reject", cache.BusyRejects},
+		{"canceled", cache.Canceled},
+	} {
+		p.Value("spaced_cache_events_total", float64(ev.n), "event", ev.kind)
+	}
+
+	p.Family("spaced_build_pool_capacity", "gauge", "Build worker pool capacity.")
+	p.Value("spaced_build_pool_capacity", float64(cache.BuildPool.Capacity))
+	p.Family("spaced_build_pool_in_use", "gauge", "Build workers currently granted.")
+	p.Value("spaced_build_pool_in_use", float64(cache.BuildPool.InUse))
+	p.Family("spaced_build_pool_peak_in_use", "gauge", "High-water mark of granted build workers.")
+	p.Value("spaced_build_pool_peak_in_use", float64(cache.BuildPool.PeakInUse))
+	p.Family("spaced_build_pool_grants_total", "counter", "Worker-pool grants issued.")
+	p.Value("spaced_build_pool_grants_total", float64(cache.BuildPool.Grants))
+	p.Family("spaced_build_pool_workers_granted_total", "counter", "Workers handed out across all grants.")
+	p.Value("spaced_build_pool_workers_granted_total", float64(cache.BuildPool.WorkersGranted))
+
+	if diskStore != nil {
+		p.Family("spaced_store_blobs", "gauge", "Snapshot blobs on disk.")
+		p.Value("spaced_store_blobs", float64(diskStore.Blobs))
+		p.Family("spaced_store_bytes", "gauge", "Snapshot bytes on disk.")
+		p.Value("spaced_store_bytes", float64(diskStore.Bytes))
+		p.Family("spaced_store_max_bytes", "gauge", "Disk budget for the snapshot tier (0 = unlimited).")
+		p.Value("spaced_store_max_bytes", float64(diskStore.MaxBytes))
+		p.Family("spaced_store_events_total", "counter", "Snapshot store events, by kind.")
+		for _, ev := range []struct {
+			kind string
+			n    int64
+		}{
+			{"hit", diskStore.Hits},
+			{"miss", diskStore.Misses},
+			{"put", diskStore.Puts},
+			{"dup_put", diskStore.DupPuts},
+			{"put_error", diskStore.PutErrors},
+			{"quarantined", diskStore.Quarantined},
+			{"gc_evicted", diskStore.GCEvicted},
+		} {
+			p.Value("spaced_store_events_total", float64(ev.n), "event", ev.kind)
+		}
+	}
+
+	p.Family("spaced_sessions_active", "gauge", "Live tuning sessions in the table.")
+	p.Value("spaced_sessions_active", float64(table.Active))
+	p.Family("spaced_session_events_total", "counter", "Session-table lifecycle events, by kind.")
+	for _, ev := range []struct {
+		kind string
+		n    int64
+	}{
+		{"created", table.Created},
+		{"expired_ttl", table.ExpiredTTL},
+		{"evicted_lru", table.EvictedLRU},
+		{"deleted", table.Deleted},
+		{"space_evicted", table.SpaceEvicted},
+		{"dehydrated", table.Dehydrated},
+		{"rehydrated", table.Rehydrated},
+	} {
+		p.Value("spaced_session_events_total", float64(ev.n), "event", ev.kind)
+	}
+	p.Family("spaced_session_strategy_total", "counter", "Tuning-session traffic, by strategy and kind.")
+	for _, name := range sortedKeys(m.strategies) {
+		c := m.strategies[name]
+		for _, ev := range []struct {
+			kind string
+			n    int64
+		}{
+			{"sessions", c.sessions},
+			{"asks", c.asks},
+			{"rows_proposed", c.proposed},
+			{"tells", c.tells},
+			{"evaluations", c.evals},
+			{"completed", c.completed},
+		} {
+			p.Value("spaced_session_strategy_total", float64(ev.n), "strategy", name, "kind", ev.kind)
+		}
+	}
+
+	if trace.Capacity > 0 {
+		p.Family("spaced_trace_ring_capacity", "gauge", "Completed-trace ring capacity.")
+		p.Value("spaced_trace_ring_capacity", float64(trace.Capacity))
+		p.Family("spaced_trace_ring_stored", "gauge", "Completed traces currently held.")
+		p.Value("spaced_trace_ring_stored", float64(trace.Stored))
+		p.Family("spaced_traces_finished_total", "counter", "Traces completed and published to the ring.")
+		p.Value("spaced_traces_finished_total", float64(trace.Finished))
+	}
+
+	return p.Err()
 }
 
 // statusRecorder captures the status code a handler writes.
@@ -232,14 +493,4 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps a handler with per-route metrics collection.
-func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h(rec, req)
-		m.ObserveRequest(route, rec.status, time.Since(start))
-	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"searchspace"
 	"searchspace/internal/model"
+	"searchspace/internal/obs"
 	"searchspace/internal/store"
 )
 
@@ -128,6 +129,14 @@ type Entry struct {
 	waiters       int
 	cancelCh      chan struct{}
 	cancelRequest bool
+
+	// phases records the timed pipeline stages (queue_wait, build,
+	// bounds, write_through — or restore_wait, restore_decode) of the
+	// goroutine that materialized this entry. Written only by that
+	// goroutine before ready closes; the channel close orders the
+	// writes before any waiter's read, so waiters adopt them into
+	// their traces without locking.
+	phases []obs.Phase
 }
 
 // Registry is a content-addressed cache of built search spaces. Builds
@@ -170,10 +179,29 @@ type Registry struct {
 	// release their references (dropped) instead of keeping the space
 	// resident past the byte budget.
 	onEvict func(id string, demoted bool)
+
+	// onPhase, when set, receives every completed build/restore phase
+	// (name + duration), feeding the per-phase histograms regardless of
+	// whether any request carried a trace. Called outside the lock.
+	onPhase func(phase string, dur time.Duration)
 }
 
 // SetEvictionHook registers the eviction callback; call before serving.
 func (r *Registry) SetEvictionHook(fn func(id string, demoted bool)) { r.onEvict = fn }
+
+// SetPhaseObserver registers the build-phase callback; call before
+// serving.
+func (r *Registry) SetPhaseObserver(fn func(phase string, dur time.Duration)) { r.onPhase = fn }
+
+// observePhases reports completed phases to the observer, if any.
+func (r *Registry) observePhases(phases []obs.Phase) {
+	if r.onPhase == nil {
+		return
+	}
+	for _, p := range phases {
+		r.onPhase(p.Name, p.Dur)
+	}
+}
 
 // NewRegistry creates an empty registry with the given budget.
 func NewRegistry(cfg RegistryConfig) *Registry {
@@ -264,6 +292,8 @@ func (r *Registry) GetOrBuild(ctx context.Context, def *model.Definition, method
 // concurrent requests for one id still join a single build, running
 // with the first requester's grant.
 func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, method searchspace.Method, workers int) (*Entry, bool, error) {
+	tr := obs.TraceFrom(ctx)
+	admitStart := time.Now()
 	if err := r.Admit(def, method); err != nil {
 		return nil, false, err
 	}
@@ -271,6 +301,8 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 	if err != nil {
 		return nil, false, err
 	}
+	// Admission covers the budget checks plus the content-address hash.
+	tr.AddSpan("admission", admitStart, time.Since(admitStart), nil)
 
 	for {
 		r.mu.Lock()
@@ -288,12 +320,14 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 			}
 			r.mu.Unlock()
 			if joined {
+				waitStart := time.Now()
 				select {
 				case <-e.ready:
 				case <-ctx.Done():
 					r.dropWaiter(e)
 					return nil, false, ctx.Err()
 				}
+				tr.AddSpan("singleflight_wait", waitStart, time.Since(waitStart), nil)
 			}
 			err := e.err
 			if joined {
@@ -323,6 +357,11 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 					return nil, false, ctx.Err()
 				}
 				continue
+			}
+			if joined && err == nil {
+				// The joined goroutine's pipeline phases tell this request
+				// where its singleflight wait actually went.
+				tr.AdoptPhases(e.phases)
 			}
 			return e, true, err
 		}
@@ -355,6 +394,9 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 					return nil, false, ctx.Err()
 				}
 				continue // blob gone or quarantined; fall through to a build
+			}
+			if e.err == nil {
+				tr.AdoptPhases(e.phases)
 			}
 			return e, true, e.err
 		}
@@ -408,6 +450,9 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 			// Lost a cancellation race with a disconnecting joiner.
 			continue
 		}
+		if e.err == nil {
+			tr.AdoptPhases(e.phases)
+		}
 		return e, false, e.err
 	}
 }
@@ -443,13 +488,15 @@ func (r *Registry) dropWaiter(e *Entry) {
 // of the build's own wall time; for durability-of-solver-work that is
 // the right trade.)
 func (r *Registry) buildEntry(e *Entry) {
-	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers)
+	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers, &e.phases)
 
 	// The bounds scan is O(rows x params); do it outside the registry
 	// lock.
 	var bounds []searchspace.ParamBounds
 	if buildErr == nil {
+		boundsStart := time.Now()
 		bounds = ss.TrueBounds()
+		e.phases = append(e.phases, obs.Phase{Name: "bounds", Start: boundsStart, Dur: time.Since(boundsStart)})
 	}
 
 	var evicted []*Entry
@@ -474,7 +521,12 @@ func (r *Registry) buildEntry(e *Entry) {
 	}
 	r.mu.Unlock()
 	if buildErr == nil {
+		persistStart := time.Now()
 		r.persist(e)
+		if r.cfg.Store != nil {
+			e.phases = append(e.phases, obs.Phase{Name: "write_through", Start: persistStart, Dur: time.Since(persistStart)})
+		}
+		r.observePhases(e.phases)
 	}
 	close(e.ready)
 	r.demoteEvicted(evicted)
@@ -545,8 +597,11 @@ const maxConcurrentRestores = 4
 // misnamed — publishes errRestoreFailed, which sends GetOrBuild
 // waiters back around the loop to build from source.
 func (r *Registry) restoreEntry(e *Entry) {
+	waitStart := time.Now()
 	r.restoreSem <- struct{}{}
 	defer func() { <-r.restoreSem }()
+	e.phases = append(e.phases, obs.Phase{Name: "restore_wait", Start: waitStart, Dur: time.Since(waitStart)})
+	decodeStart := time.Now()
 	snap, err := r.cfg.Store.Get(e.ID)
 	if err == nil {
 		// The blob must BE the space it is named as: recompute the
@@ -558,6 +613,13 @@ func (r *Registry) restoreEntry(e *Entry) {
 			r.cfg.Store.Quarantine(e.ID)
 			err = fmt.Errorf("snapshot content does not hash to its address %s", e.ID)
 		}
+	}
+
+	if err == nil {
+		e.phases = append(e.phases, obs.Phase{
+			Name: "restore_decode", Start: decodeStart, Dur: time.Since(decodeStart),
+			Attrs: map[string]int64{"rows": int64(snap.Space.Size())},
+		})
 	}
 
 	var evicted []*Entry
@@ -578,6 +640,9 @@ func (r *Registry) restoreEntry(e *Entry) {
 		evicted = r.evictLocked()
 	}
 	r.mu.Unlock()
+	if err == nil {
+		r.observePhases(e.phases)
+	}
 	close(e.ready)
 	r.demoteEvicted(evicted)
 }
@@ -607,13 +672,19 @@ var errRestoreFailed = errors.New("service: snapshot restore failed")
 // recover keep a panicking solver from leaking the slot, the grant, or
 // wedging waiters: the panic becomes a build error, so the entry is
 // removed and every waiter is woken with it. A nil cancel builds
-// uncancelably.
-func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}, want int) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
+// uncancelably. When rec is non-nil the queue wait and the build
+// itself are appended to it as trace phases, the latter carrying the
+// kernel's enumeration counters.
+func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}, want int, rec *[]obs.Phase) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
 	if r.buildSem != nil {
+		queueStart := time.Now()
 		select {
 		case r.buildSem <- struct{}{}:
 		case <-cancel:
 			return nil, stats, errBuildCanceled
+		}
+		if rec != nil {
+			*rec = append(*rec, obs.Phase{Name: "queue_wait", Start: queueStart, Dur: time.Since(queueStart)})
 		}
 		defer func() { <-r.buildSem }()
 	}
@@ -641,11 +712,25 @@ func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, ca
 			}
 		}
 	}
+	buildStart := time.Now()
 	ss, stats, err = searchspace.FromDefinition(def).BuildWith(searchspace.BuildOpts{
 		Method: method, Workers: grant, Stop: stop,
 	})
 	if errors.Is(err, searchspace.ErrCanceled) {
 		err = errBuildCanceled
+	}
+	if err == nil && rec != nil {
+		// Nodes/blocks come from the enumeration kernel and are zero for
+		// multi-worker or non-optimized builds, which count differently.
+		*rec = append(*rec, obs.Phase{
+			Name: "build", Start: buildStart, Dur: time.Since(buildStart),
+			Attrs: map[string]int64{
+				"nodes":   stats.Nodes,
+				"blocks":  stats.Blocks,
+				"valid":   int64(stats.Valid),
+				"workers": int64(stats.Workers),
+			},
+		})
 	}
 	return ss, stats, err
 }
@@ -673,6 +758,7 @@ func (r *Registry) Lookup(id string) (*Entry, bool) {
 // Unlike GetOrBuild it holds no definition, so it can never fall back
 // to building.
 func (r *Registry) LookupOrRestore(ctx context.Context, id string) (*Entry, bool) {
+	tr := obs.TraceFrom(ctx)
 	for {
 		r.mu.Lock()
 		if e, ok := r.entries[id]; ok {
@@ -685,16 +771,19 @@ func (r *Registry) LookupOrRestore(ctx context.Context, id string) (*Entry, bool
 			}
 			e.waiters++
 			r.mu.Unlock()
+			waitStart := time.Now()
 			select {
 			case <-e.ready:
 			case <-ctx.Done():
 				r.dropWaiter(e)
 				return nil, false
 			}
+			tr.AddSpan("singleflight_wait", waitStart, time.Since(waitStart), nil)
 			r.mu.Lock()
 			e.waiters--
 			r.mu.Unlock()
 			if e.err == nil {
+				tr.AdoptPhases(e.phases)
 				return e, true
 			}
 			if ctx.Err() != nil {
@@ -724,6 +813,7 @@ func (r *Registry) LookupOrRestore(ctx context.Context, id string) (*Entry, bool
 			e.waiters--
 			r.mu.Unlock()
 			if e.err == nil {
+				tr.AdoptPhases(e.phases)
 				return e, true
 			}
 			if ctx.Err() != nil {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
+	"searchspace/internal/obs"
 	"searchspace/internal/tuner"
 )
 
@@ -175,31 +177,31 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SessionCreateRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	strat, err := strategyFor(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if entry.Space.Size() == 0 {
 		// An over-constrained definition builds (and caches) an empty
 		// space; there is nothing to tune over.
-		writeError(w, http.StatusUnprocessableEntity, "space %q is empty: no valid configurations to tune over", entry.ID)
+		writeError(w, r, http.StatusUnprocessableEntity, "space %q is empty: no valid configurations to tune over", entry.ID)
 		return
 	}
 	b := req.Budget
 	if b.MaxEvals <= 0 && b.MaxTimeSeconds <= 0 {
-		writeError(w, http.StatusBadRequest, "budget required: set \"budget.max_evals\" and/or \"budget.max_time_seconds\"")
+		writeError(w, r, http.StatusBadRequest, "budget required: set \"budget.max_evals\" and/or \"budget.max_time_seconds\"")
 		return
 	}
 	if b.MaxEvals > maxSessionEvals {
-		writeError(w, http.StatusBadRequest, "\"budget.max_evals\" exceeds limit %d", maxSessionEvals)
+		writeError(w, r, http.StatusBadRequest, "\"budget.max_evals\" exceeds limit %d", maxSessionEvals)
 		return
 	}
 	if b.StartTimeSeconds < 0 {
-		writeError(w, http.StatusBadRequest, "\"budget.start_time_seconds\" must be >= 0")
+		writeError(w, r, http.StatusBadRequest, "\"budget.start_time_seconds\" must be >= 0")
 		return
 	}
 	budget := tuner.Budget{
@@ -209,7 +211,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.sessions.Create(entry.ID, strat, req.Seed, budget, entry.Space)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	// Close the create/evict race: if the space was evicted between our
@@ -223,11 +225,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			s.sessions.DehydrateBySpace(entry.ID)
 		} else {
 			s.sessions.KillBySpace(entry.ID)
-			writeError(w, http.StatusGone, "space %q was evicted during session creation; rebuild the space and retry", entry.ID)
+			writeError(w, r, http.StatusGone, "space %q was evicted during session creation; rebuild the space and retry", entry.ID)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, SessionCreateResponse{
+	writeJSON(w, r, http.StatusOK, SessionCreateResponse{
 		Session: sess.ID, Space: entry.ID,
 		Strategy: sess.Strategy, Seed: sess.Seed, Budget: b,
 	})
@@ -242,10 +244,10 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*Session
 	sess, ok := s.sessions.Lookup(sid)
 	if !ok || sess.SpaceID != spaceID {
 		if killedSpace, killed := s.sessions.KilledSpace(sid); killed && killedSpace == spaceID {
-			writeError(w, http.StatusGone, "space %q backing session %q was evicted with no snapshot; rebuild the space and create a new session", spaceID, sid)
+			writeError(w, r, http.StatusGone, "space %q backing session %q was evicted with no snapshot; rebuild the space and create a new session", spaceID, sid)
 			return nil, nil, false
 		}
-		writeError(w, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
+		writeError(w, r, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
 		return nil, nil, false
 	}
 	entry, ok := s.reg.LookupOrRestore(r.Context(), spaceID)
@@ -255,14 +257,14 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*Session
 			// away mid-restore — which says nothing about the space.
 			// Killing the space's sessions here would let one impatient
 			// client destroy every other tenant's session.
-			writeError(w, statusClientClosedRequest, "client disconnected while resolving space %q", spaceID)
+			writeError(w, r, statusClientClosedRequest, "client disconnected while resolving space %q", spaceID)
 			return nil, nil, false
 		}
 		// No in-memory entry and no snapshot: the space is
 		// unrecoverable, so the session dies loudly and stops waiting
 		// for a space that cannot come back.
 		s.sessions.KillBySpace(spaceID)
-		writeError(w, http.StatusGone, "space %q backing session %q was evicted with no snapshot; rebuild the space and create a new session", spaceID, sid)
+		writeError(w, r, http.StatusGone, "space %q backing session %q was evicted with no snapshot; rebuild the space and create a new session", spaceID, sid)
 		return nil, nil, false
 	}
 	return sess, entry, true
@@ -270,20 +272,23 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*Session
 
 // rehydrateLocked rebuilds sess's stepper over the (possibly restored)
 // space if the session was dehydrated by a demotion, counting the
-// event. Caller holds sess.mu; on failure it writes the response and
-// reports false.
-func (s *Server) rehydrateLocked(w http.ResponseWriter, sess *Session, entry *Entry) bool {
+// event and recording a session_rehydrate span (the replay is O(told
+// history) and worth seeing in a slow trace). Caller holds sess.mu;
+// on failure it writes the response and reports false.
+func (s *Server) rehydrateLocked(w http.ResponseWriter, r *http.Request, sess *Session, entry *Entry) bool {
+	start := time.Now()
 	did, err := sess.rehydrateLocked(entry.Space)
 	if err != nil {
 		// The history records exactly the measurements the stepper
 		// consumed, in order, on a space the content address pins — so
 		// a replay failure is a server-side invariant violation, not a
 		// client error.
-		writeError(w, http.StatusInternalServerError, "session %q could not be rehydrated onto space %q: %v", sess.ID, sess.SpaceID, err)
+		writeError(w, r, http.StatusInternalServerError, "session %q could not be rehydrated onto space %q: %v", sess.ID, sess.SpaceID, err)
 		return false
 	}
 	if did {
 		s.sessions.NoteRehydrated()
+		obs.TraceFrom(r.Context()).AddSpan("session_rehydrate", start, time.Since(start), nil)
 	}
 	return true
 }
@@ -295,7 +300,7 @@ func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	var req AskRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	max := req.Max
@@ -303,11 +308,11 @@ func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
 		max = 1
 	}
 	if max < 1 || max > maxAskBatch {
-		writeError(w, http.StatusBadRequest, "\"max\" must be in [1,%d]", maxAskBatch)
+		writeError(w, r, http.StatusBadRequest, "\"max\" must be in [1,%d]", maxAskBatch)
 		return
 	}
 	sess.mu.Lock()
-	if !s.rehydrateLocked(w, sess, entry) {
+	if !s.rehydrateLocked(w, r, sess, entry) {
 		sess.mu.Unlock()
 		return
 	}
@@ -342,7 +347,7 @@ func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
 	for i, row := range rows {
 		resp.Configs[i] = configDoc(entry.Space, row)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionTell(w http.ResponseWriter, r *http.Request) {
@@ -352,15 +357,15 @@ func (s *Server) handleSessionTell(w http.ResponseWriter, r *http.Request) {
 	}
 	var req TellRequest
 	if err := readJSON(w, r, &req); err != nil {
-		writeBodyError(w, err)
+		writeBodyError(w, r, err)
 		return
 	}
 	if len(req.Results) == 0 {
-		writeError(w, http.StatusBadRequest, "need \"results\"")
+		writeError(w, r, http.StatusBadRequest, "need \"results\"")
 		return
 	}
 	sess.mu.Lock()
-	if !s.rehydrateLocked(w, sess, entry) {
+	if !s.rehydrateLocked(w, r, sess, entry) {
 		sess.mu.Unlock()
 		return
 	}
@@ -396,14 +401,14 @@ func (s *Server) handleSessionTell(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Batch/state mismatch: a stale or duplicate tell. 409 tells the
 		// client to re-ask and continue from the outstanding batch.
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, r, http.StatusConflict, "%v", err)
 		return
 	}
 	s.metrics.ObserveSessionTell(sess.Strategy, evals-before)
 	if completed {
 		s.metrics.ObserveSessionComplete(sess.Strategy)
 	}
-	writeJSON(w, http.StatusOK, TellResponse{
+	writeJSON(w, r, http.StatusOK, TellResponse{
 		Session: sess.ID, Accepted: len(req.Results), Done: done,
 		Evaluations: evals,
 		Best:        bestDoc(entry, bestRow, bestScore),
@@ -416,7 +421,7 @@ func (s *Server) handleSessionBest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
-	if !s.rehydrateLocked(w, sess, entry) {
+	if !s.rehydrateLocked(w, r, sess, entry) {
 		sess.mu.Unlock()
 		return
 	}
@@ -432,7 +437,7 @@ func (s *Server) handleSessionBest(w http.ResponseWriter, r *http.Request) {
 	for i, tp := range res.Trace {
 		resp.Trace[i] = TracePointDoc{Time: tp.Time, Best: tp.Best}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
@@ -442,10 +447,10 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		if killedSpace, killed := s.sessions.KilledSpace(sid); killed && killedSpace == spaceID {
 			// Same loud signal as ask/tell/best: the session died with
 			// its space; there is nothing left to delete.
-			writeError(w, http.StatusGone, "space %q backing session %q was evicted; the session is already gone", spaceID, sid)
+			writeError(w, r, http.StatusGone, "space %q backing session %q was evicted; the session is already gone", spaceID, sid)
 			return
 		}
-		writeError(w, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
+		writeError(w, r, http.StatusNotFound, "no session %q on space %q: unknown, expired, or evicted", sid, spaceID)
 		return
 	}
 	s.sessions.Remove(sid)

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+
+	"searchspace/internal/obs"
+)
+
+// handleMetrics serves the Prometheus text exposition. It renders into
+// a buffer first so a mid-render failure cannot leave a half-written
+// scrape on the wire.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var trace obs.TracerStats
+	if s.tracer != nil {
+		trace = s.tracer.Stats()
+	}
+	var buf bytes.Buffer
+	if err := s.metrics.WritePrometheus(&buf, s.reg.Stats(), s.reg.StoreStats(), s.sessions.Stats(), trace); err != nil {
+		writeError(w, r, http.StatusInternalServerError, "rendering metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleTraceGet serves one completed trace by request id.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, r, http.StatusNotFound, "tracing is disabled (-trace-buffer 0)")
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := s.tracer.Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound,
+			"no trace %q: unknown request id, still in flight, or rotated out of the %d-entry ring",
+			id, s.tracer.Capacity())
+		return
+	}
+	writeJSON(w, r, http.StatusOK, t)
+}
+
+// TraceRecentResponse answers GET /v1/trace/recent.
+type TraceRecentResponse struct {
+	Traces []*obs.Trace `json:"traces"`
+}
+
+// handleTraceRecent serves the latest completed traces, newest first.
+// ?n= bounds the count (default 20, capped at the ring size).
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, r, http.StatusNotFound, "tracing is disabled (-trace-buffer 0)")
+		return
+	}
+	n := 20
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, r, http.StatusBadRequest, "\"n\" must be a positive integer")
+			return
+		}
+		n = v
+	}
+	if n > s.tracer.Capacity() {
+		n = s.tracer.Capacity()
+	}
+	traces := s.tracer.Recent(n)
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	writeJSON(w, r, http.StatusOK, TraceRecentResponse{Traces: traces})
+}

@@ -53,14 +53,16 @@ type Snapshot struct {
 // mismatch is ErrCorrupt (quarantine it).
 var magic = [6]byte{'s', 's', 'n', 'a', 'p', 0}
 
-// Version is the current snapshot format version. Version 3 added the
-// enumeration kernel's visited-node count after the worker count
-// (version-2 and older blobs report Nodes 0 — the stat did not exist
-// when they were written). Version 2 added the original build's worker
-// count after the valid-size field; version-1
-// blobs still decode (their builds predate the parallel engine, so
-// they report Workers 1, the sequential path they actually ran).
-const Version uint16 = 3
+// Version is the current snapshot format version. Version 4 added the
+// kernel's emitted-block count after the node count (version-3 and
+// older blobs report Blocks 0). Version 3 added the enumeration
+// kernel's visited-node count after the worker count (version-2 and
+// older blobs report Nodes 0 — the stat did not exist when they were
+// written). Version 2 added the original build's worker count after
+// the valid-size field; version-1 blobs still decode (their builds
+// predate the parallel engine, so they report Workers 1, the
+// sequential path they actually ran).
+const Version uint16 = 4
 
 // maxPayloadBytes bounds a declared payload length so a corrupt header
 // cannot make the decoder attempt an absurd allocation.
@@ -203,6 +205,7 @@ func encodePayload(snap *Snapshot) ([]byte, error) {
 	le64(&b, uint64(snap.Stats.Valid))
 	le32(&b, uint32(snap.Stats.Workers)) // since version 2
 	le64(&b, uint64(snap.Stats.Nodes))   // since version 3
+	le64(&b, uint64(snap.Stats.Blocks))  // since version 4
 	le32(&b, uint32(len(snap.Bounds)))
 	for _, bd := range snap.Bounds {
 		str(&b, bd.Name)
@@ -278,10 +281,15 @@ func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 	if version >= 2 {
 		workers = d.u32()
 	}
-	// Version <= 2 blobs predate the node-visit stat.
+	// Version <= 2 blobs predate the node-visit stat; version <= 3
+	// blobs predate the block breakdown.
 	nodes := uint64(0)
 	if version >= 3 {
 		nodes = d.u64()
+	}
+	blocks := uint64(0)
+	if version >= 4 {
+		blocks = d.u64()
 	}
 	nBounds := d.u32()
 	if d.err != nil {
@@ -353,6 +361,7 @@ func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 			Valid:     int(valid),
 			Workers:   int(workers),
 			Nodes:     int64(nodes),
+			Blocks:    int64(blocks),
 		},
 		Bounds: bounds,
 		Space:  ss,

@@ -256,8 +256,9 @@ func TestDecodeVersion1Blob(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Rewrite the current blob as v1: drop the 4-byte workers field
-	// (since v2) and the 8-byte nodes field (since v3), both encoded
-	// right after duration+cartesian+valid, which follow the
+	// (since v2), the 8-byte nodes field (since v3), and the 8-byte
+	// blocks field (since v4), all encoded right after
+	// duration+cartesian+valid, which follow the
 	// method/name/params/constraints sections, and re-stamp version,
 	// length, and checksum. Locating the fields by re-encoding the
 	// prefix keeps this test honest about the layout.
@@ -280,7 +281,7 @@ func TestDecodeVersion1Blob(t *testing.T) {
 	}
 	workersOff := prefix.Len() + 8 + 8 + 8 // + duration + cartesian + valid
 	payload := raw[16 : len(raw)-32]
-	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4+8:]...)
+	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4+8+8:]...)
 
 	var v1 bytes.Buffer
 	v1.Write(magic[:])
@@ -333,10 +334,11 @@ func TestDecodeVersion2Blob(t *testing.T) {
 	for _, c := range snap.Def.Constraints {
 		str(&prefix, c)
 	}
-	// Drop only the 8-byte nodes field, right after the workers field.
+	// Drop the 8-byte nodes field (right after the workers field) and
+	// the 8-byte blocks field that follows it.
 	nodesOff := prefix.Len() + 8 + 8 + 8 + 4 // + duration + cartesian + valid + workers
 	payload := raw[16 : len(raw)-32]
-	v2payload := append(append([]byte(nil), payload[:nodesOff]...), payload[nodesOff+8:]...)
+	v2payload := append(append([]byte(nil), payload[:nodesOff]...), payload[nodesOff+8+8:]...)
 
 	var v2 bytes.Buffer
 	v2.Write(magic[:])
@@ -355,6 +357,59 @@ func TestDecodeVersion2Blob(t *testing.T) {
 	}
 	if got.Stats.Nodes != 0 {
 		t.Errorf("v2 blob decoded with Nodes %d, want 0 (stat postdates v2)", got.Stats.Nodes)
+	}
+	sameSpace(t, snap.Space, got.Space)
+}
+
+// TestDecodeVersion3Blob pins backward compatibility with the
+// immediately preceding version: a version-3 blob (written before the
+// block breakdown existed) must still decode, keeping the recorded
+// nodes and reporting Blocks 0.
+func TestDecodeVersion3Blob(t *testing.T) {
+	snap := buildSnapshot(t, searchspace.Optimized)
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix bytes.Buffer
+	str(&prefix, snap.Method.String())
+	str(&prefix, snap.Def.Name)
+	le32(&prefix, uint32(len(snap.Def.Params)))
+	for _, p := range snap.Def.Params {
+		str(&prefix, p.Name)
+		le32(&prefix, uint32(len(p.Values)))
+		for _, v := range p.Values {
+			if err := encodeValue(&prefix, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	le32(&prefix, uint32(len(snap.Def.Constraints)))
+	for _, c := range snap.Def.Constraints {
+		str(&prefix, c)
+	}
+	// Drop only the 8-byte blocks field, right after the nodes field.
+	blocksOff := prefix.Len() + 8 + 8 + 8 + 4 + 8 // + duration + cartesian + valid + workers + nodes
+	payload := raw[16 : len(raw)-32]
+	v3payload := append(append([]byte(nil), payload[:blocksOff]...), payload[blocksOff+8:]...)
+
+	var v3 bytes.Buffer
+	v3.Write(magic[:])
+	le16(&v3, 3)
+	le64(&v3, uint64(len(v3payload)))
+	v3.Write(v3payload)
+	sum := sha256.Sum256(v3payload)
+	v3.Write(sum[:])
+
+	got, err := DecodeBytes(v3.Bytes())
+	if err != nil {
+		t.Fatalf("decoding a v3 blob: %v", err)
+	}
+	if got.Stats.Nodes != snap.Stats.Nodes {
+		t.Errorf("v3 blob decoded with Nodes %d, want %d", got.Stats.Nodes, snap.Stats.Nodes)
+	}
+	if got.Stats.Blocks != 0 {
+		t.Errorf("v3 blob decoded with Blocks %d, want 0 (stat postdates v3)", got.Stats.Blocks)
 	}
 	sameSpace(t, snap.Space, got.Space)
 }

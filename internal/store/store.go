@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -306,6 +307,10 @@ func (s *Store) Get(id string) (*Snapshot, error) {
 // are Get's to report — so one bad blob never double-counts.
 func (s *Store) Quarantine(id string) {
 	s.dropIndexed(id)
+	// Quarantine is the one store event that indicates data damage
+	// rather than routine cache traffic, so it always logs — through
+	// the process-wide structured logger, which spaced configures.
+	slog.Warn("snapshot quarantined", "id", id, "dir", s.dir)
 	if err := os.Rename(s.path(id), filepath.Join(s.dir, id+corruptSuffix)); err != nil {
 		// Rename failed (already gone, or exotic fs error): removal keeps
 		// the store self-healing even without forensics.

@@ -228,8 +228,12 @@ type BuildStats struct {
 	// (the paper's measurement configuration); 0 for other methods and
 	// for parallel runs. With bulk tail expansion this is typically far
 	// below the node count a per-node walk would pay — the gap is the
-	// kernel's structural win on constraint-sparse spaces.
-	Nodes int64
+	// kernel's structural win on constraint-sparse spaces. Nodes counts
+	// visited nodes plus emitted tail blocks; Blocks breaks out the
+	// block component so telemetry can show how much of the walk the
+	// bulk expansion skipped.
+	Nodes  int64
+	Blocks int64
 }
 
 // BuildOpts configures one construction run: which algorithm, how many
@@ -316,10 +320,11 @@ func (p *Problem) BuildWith(o BuildOpts) (*SearchSpace, BuildStats, error) {
 	}
 	ex := core.Exec{Workers: o.Workers, Stop: o.Stop, OnProgress: o.OnProgress}
 	start := time.Now()
-	col, workers, nodes, err := construct(p.def, o.Method, ex)
+	col, workers, es, err := construct(p.def, o.Method, ex)
 	stats.Duration = time.Since(start)
 	stats.Workers = workers
-	stats.Nodes = nodes
+	stats.Nodes = es.Nodes + es.Blocks
+	stats.Blocks = es.Blocks
 	if err != nil {
 		return nil, stats, err
 	}
@@ -336,43 +341,45 @@ func (p *Problem) BuildWith(o BuildOpts) (*SearchSpace, BuildStats, error) {
 // construct dispatches to the selected construction backend; all return
 // the same columnar format. The returned worker count is the
 // parallelism the backend actually applied (1 for the inherently
-// sequential baselines, whatever the Exec resolved to otherwise); nodes
-// is the kernel's visited-node count for single-worker optimized runs.
-func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, int, int64, error) {
+// sequential baselines, whatever the Exec resolved to otherwise); the
+// EnumStats carry the kernel's visited-node and emitted-block counts
+// for single-worker optimized runs, zero everywhere else.
+func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, int, core.EnumStats, error) {
+	var none core.EnumStats
 	if ex.Stop != nil && ex.Stop() {
-		return nil, 1, 0, ErrCanceled
+		return nil, 1, none, ErrCanceled
 	}
 	switch m {
 	case Optimized:
 		prob, err := def.ToProblem()
 		if err != nil {
-			return nil, 1, 0, err
+			return nil, 1, none, err
 		}
 		compiled := prob.Compile(core.DefaultOptions())
 		if ex.EffectiveWorkers() == 1 {
 			col, es, canceled := compiled.SolveColumnarStats(ex.Stop)
 			if canceled {
-				return nil, 1, 0, ErrCanceled
+				return nil, 1, none, ErrCanceled
 			}
 			if ex.OnProgress != nil {
 				ex.OnProgress(1, 1)
 			}
-			return col, 1, es.Nodes + es.Blocks, nil
+			return col, 1, es, nil
 		}
 		col, canceled := compiled.SolveColumnarExec(ex)
 		if canceled {
-			return nil, ex.EffectiveWorkers(), 0, ErrCanceled
+			return nil, ex.EffectiveWorkers(), none, ErrCanceled
 		}
-		return col, ex.EffectiveWorkers(), 0, nil
+		return col, ex.EffectiveWorkers(), none, nil
 	case Original:
 		col, err := naive.Solve(def)
-		return col, 1, 0, err
+		return col, 1, none, err
 	case BruteForce:
 		col, _, err := bruteforce.SolveStop(def, ex.Stop)
 		if errors.Is(err, bruteforce.ErrCanceled) {
-			return nil, 1, 0, ErrCanceled
+			return nil, 1, none, ErrCanceled
 		}
-		return col, 1, 0, err
+		return col, 1, none, err
 	case ChainOfTrees, ChainOfTreesInterpreted:
 		mode := chaintrees.ModeCompiled
 		if m == ChainOfTreesInterpreted {
@@ -380,17 +387,17 @@ func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, i
 		}
 		chain, err := chaintrees.BuildExec(def, mode, ex)
 		if errors.Is(err, chaintrees.ErrCanceled) {
-			return nil, ex.EffectiveWorkers(), 0, ErrCanceled
+			return nil, ex.EffectiveWorkers(), none, ErrCanceled
 		}
 		if err != nil {
-			return nil, ex.EffectiveWorkers(), 0, err
+			return nil, ex.EffectiveWorkers(), none, err
 		}
-		return chain.ToColumnar(), ex.EffectiveWorkers(), 0, nil
+		return chain.ToColumnar(), ex.EffectiveWorkers(), none, nil
 	case IterativeSAT:
 		col, _, err := itersolve.Solve(def)
-		return col, 1, 0, err
+		return col, 1, none, err
 	}
-	return nil, 1, 0, fmt.Errorf("searchspace: unknown method %v", m)
+	return nil, 1, none, fmt.Errorf("searchspace: unknown method %v", m)
 }
 
 func toValue(v any) (value.Value, error) {
