@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+)
+
+// rowsPage mirrors the GET /v1/spaces/{id}/rows response. Columns hold
+// json.Number so int and float cells survive printing unchanged.
+type rowsPage struct {
+	Offset     int             `json:"offset"`
+	Limit      int             `json:"limit"`
+	Total      int             `json:"total"`
+	Count      int             `json:"count"`
+	Repr       string          `json:"repr"`
+	NextOffset *int            `json:"next_offset"`
+	Params     []string        `json:"params"`
+	Columns    [][]json.Number `json:"columns"`
+}
+
+// rowsMain implements `spacecli rows`: stream a daemon-built space page
+// by page instead of materializing the whole enumeration in one
+// response. With -all it follows next_offset to the end.
+func rowsMain(args []string) {
+	fs := flag.NewFlagSet("spacecli rows", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	in := fs.String("in", "", "JSON search-space definition file")
+	workload := fs.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM)")
+	method := fs.String("method", "", "construction method (daemon default: optimized)")
+	offset := fs.Int("offset", 0, "first row to fetch")
+	limit := fs.Int("limit", 4096, "rows per page")
+	repr := fs.String("repr", "values", "cell representation: values | indices")
+	all := fs.Bool("all", false, "follow next_offset until the space is exhausted")
+	_ = fs.Parse(args)
+
+	problem, err := loadProblemDoc(*in, *workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+	var built service.BuildResponse
+	postDoc(client, *server+"/v1/spaces", service.BuildRequest{Problem: problem, Method: *method}, &built)
+
+	printed, next := 0, *offset
+	for {
+		var page rowsPage
+		url := fmt.Sprintf("%s/v1/spaces/%s/rows?offset=%d&limit=%d&repr=%s",
+			*server, built.ID, next, *limit, *repr)
+		getDoc(client, url, &page)
+		for i := 0; i < page.Count; i++ {
+			parts := make([]string, len(page.Params))
+			for p, name := range page.Params {
+				parts[p] = fmt.Sprintf("%s=%s", name, page.Columns[p][i])
+			}
+			fmt.Println(strings.Join(parts, " "))
+		}
+		printed += page.Count
+		if page.NextOffset == nil || !*all {
+			if page.NextOffset != nil {
+				fmt.Printf("# %d of %d rows; resume with -offset %d (or -all)\n",
+					printed, page.Total, *page.NextOffset)
+			}
+			return
+		}
+		next = *page.NextOffset
+	}
+}
+
+// batchMain implements `spacecli batch`: a columnar round-trip against
+// the daemon's batch query plane. It samples k configurations, re-asks
+// membership for all of them in ONE batch/contains request, checks the
+// answers against the per-request sample, then exercises batch
+// neighbors and batch sampling, reporting wire throughput for each.
+func batchMain(args []string) {
+	fs := flag.NewFlagSet("spacecli batch", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	in := fs.String("in", "", "JSON search-space definition file")
+	workload := fs.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM)")
+	method := fs.String("method", "", "construction method (daemon default: optimized)")
+	k := fs.Int("k", 256, "number of configurations per batch")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	kind := fs.String("kind", "hamming", "neighborhood for the batch/neighbors leg: hamming | adjacent")
+	_ = fs.Parse(args)
+
+	problem, err := loadProblemDoc(*in, *workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+	var built service.BuildResponse
+	postDoc(client, *server+"/v1/spaces", service.BuildRequest{Problem: problem, Method: *method}, &built)
+	base := *server + "/v1/spaces/" + built.ID
+
+	// Draw the batch with one per-request sample so the round-trip has
+	// a ground truth: batch/contains must find exactly these rows.
+	var sample service.SampleResponse
+	postDoc(client, base+"/sample", service.SampleRequest{K: *k, Seed: *seed}, &sample)
+	names := paramNames(problem)
+	req := service.BatchContainsRequest{
+		Params: names,
+		Values: make([][]service.ValueDoc, len(names)),
+	}
+	for p, name := range names {
+		col := make([]service.ValueDoc, len(sample.Configs))
+		for i, cfg := range sample.Configs {
+			col[i] = cfg[name]
+		}
+		req.Values[p] = col
+	}
+
+	start := time.Now()
+	var contains service.BatchRowsResponse
+	postDoc(client, base+"/batch/contains", req, &contains)
+	containsDur := time.Since(start)
+	mismatches := 0
+	for i, row := range sample.Rows {
+		if contains.Rows[i] != row {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		log.Fatalf("batch/contains disagreed with the per-request sample on %d of %d rows", mismatches, len(sample.Rows))
+	}
+
+	start = time.Now()
+	var neigh service.BatchNeighborsResponse
+	postDoc(client, base+"/batch/neighbors",
+		service.BatchNeighborsRequest{Rows: sample.Rows, Kind: *kind}, &neigh)
+	neighDur := time.Since(start)
+	edges := 0
+	for _, ns := range neigh.Neighbors {
+		edges += len(ns)
+	}
+
+	seeds := []int64{*seed, *seed + 1, *seed + 2}
+	start = time.Now()
+	var bsample service.BatchSampleResponse
+	postDoc(client, base+"/batch/sample",
+		service.BatchSampleRequest{K: *k, Seeds: seeds}, &bsample)
+	sampleDur := time.Since(start)
+
+	fmt.Printf("space:  %s (%s rows, id %s)\n", built.Name, report.Count(float64(built.Size)), built.ID[:12])
+	fmt.Printf("batch:  %d configurations per request\n", *k)
+	rows := [][]string{
+		{"batch/contains", report.Seconds(containsDur.Seconds()),
+			fmt.Sprintf("%.0f", float64(*k)/containsDur.Seconds()),
+			fmt.Sprintf("%d/%d found, all match per-request sample", contains.Found, contains.Count)},
+		{"batch/neighbors", report.Seconds(neighDur.Seconds()),
+			fmt.Sprintf("%.0f", float64(len(sample.Rows))/neighDur.Seconds()),
+			fmt.Sprintf("%d %s edges", edges, neigh.Kind)},
+		{"batch/sample", report.Seconds(sampleDur.Seconds()),
+			fmt.Sprintf("%.0f", float64(len(seeds)*(*k))/sampleDur.Seconds()),
+			fmt.Sprintf("%d seeds x k=%d", len(seeds), bsample.K)},
+	}
+	fmt.Print(report.Table([]string{"endpoint", "round-trip", "configs/sec", "result"}, rows))
+}

@@ -48,6 +48,14 @@
 //
 //	spacecli trace -server http://localhost:8080 -id 9f2c4ab1d0e3f456
 //	spacecli trace -server http://localhost:8080 -recent 20
+//
+// The rows subcommand streams a daemon-built space page by page through
+// GET /v1/spaces/{id}/rows, and the batch subcommand round-trips a
+// sampled batch of configurations through the columnar batch query
+// plane (one request for the whole batch instead of one per config):
+//
+//	spacecli rows -server http://localhost:8080 -workload Hotspot -limit 1000 -all
+//	spacecli batch -server http://localhost:8080 -workload Hotspot -k 256 -seed 1
 package main
 
 import (
@@ -84,6 +92,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		traceMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "rows" {
+		rowsMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		batchMain(os.Args[2:])
 		return
 	}
 	in := flag.String("in", "", "JSON search-space definition file")

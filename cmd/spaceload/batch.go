@@ -1,0 +1,310 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/model"
+	"searchspace/internal/service"
+)
+
+// batchDef is the batch-plane workload: a constrained space of a few
+// thousand rows, big enough that a 1024-genotype batch is a real page
+// and small enough that the build is instant.
+func batchDef() *model.Definition {
+	return &model.Definition{
+		Name: "batch-load",
+		Params: []model.Param{
+			model.RangeParam("block_size_x", 1, 16),
+			model.RangeParam("block_size_y", 1, 16),
+			model.RangeParam("tile", 1, 16),
+		},
+		Constraints: []string{"block_size_x * block_size_y <= 64"},
+	}
+}
+
+// rowsPage mirrors the GET /v1/spaces/{id}/rows response for
+// repr=indices pages.
+type rowsPage struct {
+	Offset     int       `json:"offset"`
+	Total      int       `json:"total"`
+	Count      int       `json:"count"`
+	NextOffset *int      `json:"next_offset"`
+	Params     []string  `json:"params"`
+	Columns    [][]int32 `json:"columns"`
+}
+
+// minSeconds runs fn reps times and returns the fastest wall time.
+func minSeconds(reps int, fn func()) float64 {
+	best := math.Inf(1)
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		fn()
+		if s := time.Since(t0).Seconds(); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// runBatchLoad measures what the columnar batch plane buys over the
+// wire: the same 1024-genotype query stream resolved as 1024
+// single-genotype requests (batch=1) versus one batched request
+// (batch=1024), with an in-process SearchSpace.LookupRows baseline for
+// scale. Every batched answer is checked byte-for-byte against its
+// per-request counterpart — contains, lookup, neighbors, sample, and
+// the rows paging plane — so the speedup number only stands on
+// identical results.
+func runBatchLoad(client *http.Client, base string, reps int) map[string]any {
+	if reps < 1 {
+		reps = 1
+	}
+	var failures int64
+	fail := func(format string, args ...any) {
+		failures++
+		log.Printf("batch: "+format, args...)
+	}
+	// jsonEq reports whether two values have identical JSON encodings —
+	// the "byte-identical results" contract between the batched and
+	// per-request planes.
+	jsonEq := func(a, b any) bool {
+		ra, _ := json.Marshal(a)
+		rb, _ := json.Marshal(b)
+		return bytes.Equal(ra, rb)
+	}
+
+	def := batchDef()
+	raw, err := service.MarshalProblem(def)
+	if err != nil {
+		log.Fatalf("batch: marshal: %v", err)
+	}
+	body := []byte(fmt.Sprintf(`{"problem": %s}`, raw))
+	var built service.BuildResponse
+	if !postInto(client, base+"/v1/spaces", body, &built) {
+		log.Fatal("batch: build failed")
+	}
+	sbase := base + "/v1/spaces/" + built.ID
+
+	// The query stream: the genotypes of the first n rows, fetched from
+	// the paging plane in indices form. Resolving them through
+	// batch/lookup must answer exactly 0..n-1, which pins correctness
+	// of every timed request below.
+	const n = 1024
+	var page rowsPage
+	if raw, ok := getRaw(client, fmt.Sprintf("%s/rows?repr=indices&limit=%d", sbase, n)); !ok {
+		log.Fatal("batch: fetching genotype page failed")
+	} else if err := json.Unmarshal(raw, &page); err != nil {
+		log.Fatalf("batch: bad rows page: %v", err)
+	}
+	if page.Count != n {
+		log.Fatalf("batch: space has %d rows, need at least %d", page.Total, n)
+	}
+	nParams := len(page.Params)
+
+	// batch=1: the genotypes one request at a time.
+	single := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		cols := make([][]int32, nParams)
+		for p := range cols {
+			cols[p] = []int32{page.Columns[p][i]}
+		}
+		single[i], _ = json.Marshal(map[string]any{"indices": cols})
+	}
+	rows1 := make([]int, 0, n)
+	batch1Seconds := minSeconds(reps, func() {
+		rows1 = rows1[:0]
+		for i := 0; i < n; i++ {
+			var resp service.BatchRowsResponse
+			if !postInto(client, sbase+"/batch/lookup", single[i], &resp) {
+				log.Fatal("batch: single lookup failed")
+			}
+			rows1 = append(rows1, resp.Rows...)
+		}
+	})
+
+	// batch=1024: the same stream in one request.
+	whole, _ := json.Marshal(map[string]any{"indices": page.Columns})
+	var batched service.BatchRowsResponse
+	batch1024Seconds := minSeconds(reps, func() {
+		batched = service.BatchRowsResponse{}
+		if !postInto(client, sbase+"/batch/lookup", whole, &batched) {
+			log.Fatal("batch: batched lookup failed")
+		}
+	})
+
+	lookupParity := jsonEq(rows1, batched.Rows)
+	if !lookupParity {
+		fail("batched lookup answers differ from per-request answers")
+	}
+	for i, row := range batched.Rows {
+		if row != i {
+			fail("genotype of row %d resolved to %d", i, row)
+			break
+		}
+	}
+
+	// In-process baseline: the same genotypes through
+	// SearchSpace.LookupRows, no wire.
+	method, _ := searchspace.MethodByName("optimized")
+	ss, _, err := searchspace.FromDefinition(batchDef()).BuildTimed(method)
+	if err != nil {
+		log.Fatalf("batch: local build: %v", err)
+	}
+	genotypes := make([][]int32, n)
+	for i := range genotypes {
+		g := make([]int32, nParams)
+		for p := 0; p < nParams; p++ {
+			g[p] = page.Columns[p][i]
+		}
+		genotypes[i] = g
+	}
+	var local []int
+	inProcessSeconds := minSeconds(reps, func() { local = ss.LookupRows(genotypes) })
+	if !jsonEq(local, batched.Rows) {
+		fail("in-process LookupRows disagrees with the service")
+	}
+
+	// Parity sweeps over the remaining batch endpoints: every batched
+	// answer must be byte-identical to its per-request counterpart.
+
+	// contains: a seeded sample re-asked in columnar form.
+	const kContains = 64
+	var sample service.SampleResponse
+	if !postInto(client, sbase+"/sample", []byte(fmt.Sprintf(`{"k": %d, "seed": 7}`, kContains)), &sample) {
+		log.Fatal("batch: sample failed")
+	}
+	creq := service.BatchContainsRequest{Values: make([][]service.ValueDoc, nParams)}
+	for p, name := range page.Params {
+		creq.Params = append(creq.Params, name)
+		col := make([]service.ValueDoc, len(sample.Configs))
+		for i, cfg := range sample.Configs {
+			col[i] = cfg[name]
+		}
+		creq.Values[p] = col
+	}
+	craw, _ := json.Marshal(creq)
+	var bcontains service.BatchRowsResponse
+	if !postInto(client, sbase+"/batch/contains", craw, &bcontains) {
+		log.Fatal("batch: batch contains failed")
+	}
+	perReq := make([]int, 0, kContains)
+	for _, cfg := range sample.Configs {
+		body, _ := json.Marshal(map[string]any{"config": cfg})
+		var resp service.ContainsResponse
+		if !postInto(client, sbase+"/contains", body, &resp) {
+			log.Fatal("batch: contains failed")
+		}
+		if resp.Results[0].Index != nil {
+			perReq = append(perReq, *resp.Results[0].Index)
+		} else {
+			perReq = append(perReq, -1)
+		}
+	}
+	containsParity := jsonEq(perReq, bcontains.Rows)
+	if !containsParity {
+		fail("batched contains answers differ from per-request answers")
+	}
+
+	// neighbors: the sampled rows' Hamming neighborhoods.
+	nreq, _ := json.Marshal(service.BatchNeighborsRequest{Rows: sample.Rows})
+	var bneigh service.BatchNeighborsResponse
+	if !postInto(client, sbase+"/batch/neighbors", nreq, &bneigh) {
+		log.Fatal("batch: batch neighbors failed")
+	}
+	neighborsParity := true
+	for i, row := range sample.Rows {
+		var resp service.NeighborsResponse
+		body := []byte(fmt.Sprintf(`{"row": %d}`, row))
+		if !postInto(client, sbase+"/neighbors", body, &resp) {
+			log.Fatal("batch: neighbors failed")
+		}
+		if !jsonEq(resp.Rows, bneigh.Neighbors[i]) {
+			neighborsParity = false
+		}
+	}
+	if !neighborsParity {
+		fail("batched neighbors differ from per-request answers")
+	}
+
+	// sample: one seed per column of the batched draw.
+	seeds := []int64{11, 12, 13}
+	sreq, _ := json.Marshal(service.BatchSampleRequest{K: 32, Seeds: seeds})
+	var bsample service.BatchSampleResponse
+	if !postInto(client, sbase+"/batch/sample", sreq, &bsample) {
+		log.Fatal("batch: batch sample failed")
+	}
+	sampleParity := true
+	for i, seed := range seeds {
+		var resp service.SampleResponse
+		body := []byte(fmt.Sprintf(`{"k": 32, "seed": %d, "rows_only": true}`, seed))
+		if !postInto(client, sbase+"/sample", body, &resp) {
+			log.Fatal("batch: seeded sample failed")
+		}
+		if !jsonEq(resp.Rows, bsample.Rows[i]) {
+			sampleParity = false
+		}
+	}
+	if !sampleParity {
+		fail("batched sample draws differ from per-request draws")
+	}
+
+	// paging: walking the space page by page reassembles exactly the
+	// single-page enumeration.
+	var full rowsPage
+	if raw, ok := getRaw(client, sbase+"/rows?repr=indices&limit=65536"); !ok {
+		log.Fatal("batch: full rows page failed")
+	} else if err := json.Unmarshal(raw, &full); err != nil {
+		log.Fatalf("batch: bad rows page: %v", err)
+	}
+	walked := make([][]int32, nParams)
+	for offset := 0; ; {
+		var p rowsPage
+		if raw, ok := getRaw(client, fmt.Sprintf("%s/rows?repr=indices&offset=%d&limit=512", sbase, offset)); !ok {
+			log.Fatal("batch: rows page failed")
+		} else if err := json.Unmarshal(raw, &p); err != nil {
+			log.Fatalf("batch: bad rows page: %v", err)
+		}
+		for c := range p.Columns {
+			walked[c] = append(walked[c], p.Columns[c]...)
+		}
+		if p.NextOffset == nil {
+			break
+		}
+		offset = *p.NextOffset
+	}
+	pagingParity := jsonEq(walked, full.Columns)
+	if !pagingParity {
+		fail("paged enumeration differs from the single-page enumeration")
+	}
+
+	batch1CPS := float64(n) / batch1Seconds
+	batch1024CPS := float64(n) / batch1024Seconds
+	return map[string]any{
+		"benchmark":         "batch-query",
+		"space":             def.Name,
+		"valid":             built.Size,
+		"reps":              reps,
+		"queries":           n,
+		"batch1_seconds":    batch1Seconds,
+		"batch1_cps":        batch1CPS,
+		"batch1024_seconds": batch1024Seconds,
+		"batch1024_cps":     batch1024CPS,
+		// The acceptance headline: configs/sec over the wire, batched
+		// versus one request per genotype, identical answers required.
+		"speedup":          batch1024CPS / batch1CPS,
+		"in_process_cps":   float64(n) / inProcessSeconds,
+		"parity_lookup":    lookupParity,
+		"parity_contains":  containsParity,
+		"parity_neighbors": neighborsParity,
+		"parity_sample":    sampleParity,
+		"parity_paging":    pagingParity,
+		"parity":           lookupParity && containsParity && neighborsParity && sampleParity && pagingParity,
+		"failures":         failures,
+	}
+}

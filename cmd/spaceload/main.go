@@ -4,7 +4,7 @@
 // stack, not a network; point -server at a running daemon to load-test
 // over the wire instead.
 //
-// Six workloads, selected with -mode:
+// Seven workloads, selected with -mode:
 //
 //   - service (default): many tuning clients sharing few kernels —
 //     workers draw one of -spaces distinct definitions, submit it via
@@ -56,12 +56,22 @@
 //     build span, /v1/trace/recent and /metrics are populated. Writes
 //     BENCH_obs.json. (In-process only: -server is rejected.)
 //
+//   - batch: the batch-query-plane benchmark — resolves the same
+//     1024-genotype stream through POST batch/lookup as 1024
+//     single-genotype requests versus one batched request (min wall
+//     time over -reps runs), requires byte-identical answers between
+//     the batched and per-request planes on every endpoint (contains,
+//     lookup, neighbors, sample, and the rows paging walk), and
+//     reports configs/sec for both plus an in-process LookupRows
+//     baseline. Writes BENCH_batch.json.
+//
 //     spaceload -spaces 8 -requests 2000 -workers 16
 //     spaceload -mode build -reps 3
 //     spaceload -mode sessions -spaces 8 -requests 300 -workers 16
 //     spaceload -mode restart -spaces 4
 //     spaceload -mode solver -reps 3
 //     spaceload -mode obs -reps 3 -requests 2000 -workers 16
+//     spaceload -mode batch -reps 3
 package main
 
 import (
@@ -92,7 +102,7 @@ import (
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
-	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs")
+	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs | batch")
 	reps := flag.Int("reps", 3, "build/solver modes: runs per measured point; the minimum wall time is kept")
 	storeDir := flag.String("store-dir", "", "restart mode: snapshot store directory (default: a fresh temp dir)")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
@@ -187,8 +197,13 @@ func main() {
 			outFile = "BENCH_obs.json"
 		}
 		result = runObsBench(*reps, *requests, *workers)
+	case "batch":
+		if outFile == "" {
+			outFile = "BENCH_batch.json"
+		}
+		result = runBatchLoad(client, base, *reps)
 	default:
-		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, or obs)", *mode)
+		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, obs, or batch)", *mode)
 	}
 
 	pretty, _ := json.MarshalIndent(result, "", "  ")

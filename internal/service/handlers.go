@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
 	"net/http"
@@ -36,6 +37,11 @@ const statusClientClosedRequest = 499
 //	POST /v1/spaces/{id}/contains     membership tests
 //	POST /v1/spaces/{id}/sample      	seeded uniform/stratified/lhs sampling
 //	POST /v1/spaces/{id}/neighbors    hamming/adjacent neighbors
+//	POST .../batch/contains           columnar batch membership (values)
+//	POST .../batch/lookup             columnar batch genotype→row lookup
+//	POST .../batch/neighbors          neighbors of many rows at once
+//	POST .../batch/sample             one k, many seeds, rows only
+//	GET  /v1/spaces/{id}/rows         paged enumeration (offset/limit)
 //	POST /v1/spaces/{id}/sessions     create an ask/tell tuning session
 //	POST .../sessions/{sid}/ask       next batch of configurations
 //	POST .../sessions/{sid}/tell      report measured costs
@@ -131,6 +137,11 @@ func NewServerObs(reg *Registry, scfg SessionConfig, ocfg ObsConfig) *Server {
 		{"POST /v1/spaces/{id}/contains", s.handleContains},
 		{"POST /v1/spaces/{id}/sample", s.handleSample},
 		{"POST /v1/spaces/{id}/neighbors", s.handleNeighbors},
+		{"POST /v1/spaces/{id}/batch/contains", s.handleBatchContains},
+		{"POST /v1/spaces/{id}/batch/lookup", s.handleBatchLookup},
+		{"POST /v1/spaces/{id}/batch/neighbors", s.handleBatchNeighbors},
+		{"POST /v1/spaces/{id}/batch/sample", s.handleBatchSample},
+		{"GET /v1/spaces/{id}/rows", s.handleRows},
 		{"POST /v1/spaces/{id}/sessions", s.handleSessionCreate},
 		{"POST /v1/spaces/{id}/sessions/{sid}/ask", s.handleSessionAsk},
 		{"POST /v1/spaces/{id}/sessions/{sid}/tell", s.handleSessionTell},
@@ -214,7 +225,13 @@ type apiError struct {
 // once the header is written). Serialization time lands in the
 // request trace as an "encode" span.
 func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
-	defer obs.TraceFrom(r.Context()).StartSpan("encode")()
+	writeJSONSpan(w, r, status, v, "encode")
+}
+
+// writeJSONSpan is writeJSON with an explicit trace-span name, so the
+// batch plane can label its single encode "batch_encode".
+func writeJSONSpan(w http.ResponseWriter, r *http.Request, status int, v any, span string) {
+	defer obs.TraceFrom(r.Context()).StartSpan(span)()
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
@@ -235,13 +252,24 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, format strin
 // and trailing garbage. Decode time lands in the request trace as a
 // "decode" span.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	defer obs.TraceFrom(r.Context()).StartSpan("decode")()
+	return readJSONSpan(w, r, v, "decode")
+}
+
+// readJSONSpan is readJSON with an explicit trace-span name, so the
+// batch plane can label its single decode "batch_decode".
+func readJSONSpan(w http.ResponseWriter, r *http.Request, v any, span string) error {
+	defer obs.TraceFrom(r.Context()).StartSpan(span)()
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
 		return err
 	}
-	if dec.More() {
+	// Exactly one document per request: a second Decode must hit clean
+	// EOF. Decoder.More cannot enforce this — it peeks one byte and
+	// reports false on any peek error, so bodies like `{...}]` or
+	// `{...}{...}` slipped through when it was the trailing check.
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
 		return errors.New("trailing data after JSON document")
 	}
 	return nil
@@ -497,9 +525,18 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 		writeBodyError(w, r, err)
 		return
 	}
+	// The two request forms are exclusive: earlier releases silently
+	// prepended "config" before "configs", shifting every result index
+	// by one with no documented contract. Mixed requests are now a hard
+	// 400 so result index i always answers input i of whichever form
+	// was sent.
+	if req.Config != nil && len(req.Configs) > 0 {
+		writeError(w, r, http.StatusBadRequest, "use either \"config\" or \"configs\", not both: results are indexed by input position, and mixing the forms would shift them")
+		return
+	}
 	configs := req.Configs
 	if req.Config != nil {
-		configs = append([]ConfigDoc{req.Config}, configs...)
+		configs = []ConfigDoc{req.Config}
 	}
 	if len(configs) == 0 {
 		writeError(w, r, http.StatusBadRequest, "need \"config\" or \"configs\"")
@@ -521,6 +558,10 @@ type SampleRequest struct {
 	K        int    `json:"k"`
 	Strategy string `json:"strategy,omitempty"` // uniform (default) | stratified | lhs
 	Seed     int64  `json:"seed"`
+	// RowsOnly omits the materialized configs from the response; rows
+	// are resolvable to configurations via GET /v1/spaces/{id}/rows
+	// paging. Required for k above maxSampleConfigsK.
+	RowsOnly bool `json:"rows_only,omitempty"`
 }
 
 // SampleResponse answers POST /v1/spaces/{id}/sample.
@@ -528,12 +569,19 @@ type SampleResponse struct {
 	Strategy string      `json:"strategy"`
 	Seed     int64       `json:"seed"`
 	Rows     []int       `json:"rows"`
-	Configs  []ConfigDoc `json:"configs"`
+	Configs  []ConfigDoc `json:"configs,omitempty"`
 }
 
 // maxSampleK bounds one sample response; larger K belongs in paging or
 // a bulk export endpoint, not one JSON body.
 const maxSampleK = 100000
+
+// maxSampleConfigsK bounds how many ConfigDoc maps one sample response
+// may materialize. Row indices are cheap — ints — but each config is a
+// full name→value map, so a k near maxSampleK used to pin ~100k map
+// allocations on one request. Larger draws must set rows_only and page
+// the configurations through GET /v1/spaces/{id}/rows.
+const maxSampleConfigsK = 4096
 
 // maxLHSK bounds Latin-Hypercube requests much tighter: SampleLHS's
 // without-replacement snap loop is O(k·rows·params), so a large k on a
@@ -558,6 +606,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "\"k\" exceeds limit %d", maxSampleK)
 		return
 	}
+	if req.K > maxSampleConfigsK && !req.RowsOnly {
+		writeError(w, r, http.StatusBadRequest,
+			"\"k\"=%d would materialize %d config documents in one response; set \"rows_only\": true and resolve rows via GET /v1/spaces/{id}/rows paging (configs limit %d)",
+			req.K, req.K, maxSampleConfigsK)
+		return
+	}
 	rng := rand.New(rand.NewSource(req.Seed))
 	var rows []int
 	strategy := req.Strategy
@@ -579,10 +633,12 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "unknown strategy %q (want uniform, stratified, or lhs)", strategy)
 		return
 	}
-	resp := SampleResponse{Strategy: strategy, Seed: req.Seed, Rows: rows,
-		Configs: make([]ConfigDoc, len(rows))}
-	for i, row := range rows {
-		resp.Configs[i] = configDoc(entry.Space, row)
+	resp := SampleResponse{Strategy: strategy, Seed: req.Seed, Rows: rows}
+	if !req.RowsOnly {
+		resp.Configs = make([]ConfigDoc, len(rows))
+		for i, row := range rows {
+			resp.Configs[i] = configDoc(entry.Space, row)
+		}
 	}
 	writeJSON(w, r, http.StatusOK, resp)
 }

@@ -370,7 +370,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *s
 	p.Family("spaced_build_duration_seconds", "histogram", "Search-space construction wall time, including /v1/compare races.")
 	p.Histogram("spaced_build_duration_seconds", nil, secondsBounds(buildBuckets), m.buildHist[:], m.buildSum.Seconds())
 
-	p.Family("spaced_build_phase_duration_seconds", "histogram", "Build pipeline phase durations (queue_wait, build, bounds, write_through, restore_decode, ...), by phase.")
+	p.Family("spaced_build_phase_duration_seconds", "histogram", "Pipeline phase durations (queue_wait, build, bounds, write_through, restore_decode, batch_decode, batch_encode, ...), by phase.")
 	phaseBounds := secondsBounds(buildBuckets)
 	for _, name := range sortedKeys(m.phases) {
 		c := m.phases[name]

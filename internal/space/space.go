@@ -179,6 +179,32 @@ func (s *Space) Lookup(idx []int32) (int, bool) {
 	return int(r), ok
 }
 
+// LookupRows resolves a batch of per-parameter index vectors to rows in
+// one pass: the row index is built (at most) once and a single packed-key
+// buffer is reused across the whole batch, so each element costs one map
+// probe — the bulk form of Lookup that the service's batch endpoints sit
+// on. out[i] is -1 when batch[i] is not a valid configuration (wrong
+// width included).
+func (s *Space) LookupRows(batch [][]int32) []int {
+	out := make([]int, len(batch))
+	index := s.rowIndex()
+	var stack [stackKeyBytes]byte
+	buf := keyBuf(&stack, len(s.cols))
+	for i, idx := range batch {
+		if len(idx) != len(s.cols) {
+			out[i] = -1
+			continue
+		}
+		packInto(buf, idx)
+		if r, ok := index[string(buf)]; ok {
+			out[i] = int(r)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
 // LookupValues resolves a configuration given as values.
 func (s *Space) LookupValues(vals []value.Value) (int, bool) {
 	if len(vals) != len(s.cols) {

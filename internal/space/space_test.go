@@ -329,3 +329,50 @@ func TestLookupDoesNotAllocate(t *testing.T) {
 		t.Fatalf("LookupValues allocates %.1f objects per call, want 0", avg)
 	}
 }
+
+func TestLookupRowsBulk(t *testing.T) {
+	s := buildSpace(t, gridDef())
+	batch := make([][]int32, 0, s.Size()+3)
+	want := make([]int, 0, s.Size()+3)
+	for r := 0; r < s.Size(); r++ {
+		batch = append(batch, s.Indices(r))
+		want = append(want, r)
+	}
+	// An invalid combination (6*6 > 18), an out-of-range index, and a
+	// wrong-width vector all resolve to -1 without disturbing neighbors.
+	batch = append(batch, []int32{5, 5}, []int32{99, 0}, []int32{1})
+	want = append(want, -1, -1, -1)
+	got := s.LookupRows(batch)
+	if len(got) != len(want) {
+		t.Fatalf("LookupRows returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LookupRows[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLookupRowsStaysOnZeroAllocPath pins the batch inner loop to the
+// same allocation-free probe as Lookup: the only allocation per call is
+// the result slice, however large the batch.
+func TestLookupRowsStaysOnZeroAllocPath(t *testing.T) {
+	s := buildSpace(t, gridDef())
+	const batchSize = 1024
+	batch := make([][]int32, batchSize)
+	for i := range batch {
+		batch[i] = s.Indices(i % s.Size())
+	}
+	s.LookupRows(batch[:1]) // build the row index outside the measurement
+	avg := testing.AllocsPerRun(100, func() {
+		out := s.LookupRows(batch)
+		if out[0] != 0 {
+			t.Fatal("unexpected row")
+		}
+	})
+	// One allocation for the result slice; anything per-element would
+	// show up as hundreds.
+	if avg > 1.5 {
+		t.Fatalf("LookupRows allocates %.1f objects per %d-element batch, want ~1 (result slice only)", avg, batchSize)
+	}
+}

@@ -143,6 +143,15 @@ func (ss *SearchSpace) Lookup(idx []int32) (int, bool) {
 	return ss.s.Lookup(idx)
 }
 
+// LookupRows resolves a batch of genotypes (per-parameter index vectors,
+// the form Indices returns and optimizers recombine) to rows in one
+// call. The row index is built at most once and one key buffer serves
+// the whole batch, so per-element cost is a single map probe. Element i
+// is -1 when batch[i] is not a valid configuration.
+func (ss *SearchSpace) LookupRows(batch [][]int32) []int {
+	return ss.s.LookupRows(batch)
+}
+
 // HammingNeighbors returns the rows differing from row i in exactly one
 // parameter.
 func (ss *SearchSpace) HammingNeighbors(i int) []int {
