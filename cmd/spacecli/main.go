@@ -56,6 +56,14 @@
 //
 //	spacecli rows -server http://localhost:8080 -workload Hotspot -limit 1000 -all
 //	spacecli batch -server http://localhost:8080 -workload Hotspot -k 256 -seed 1
+//
+// The top subcommand is a polling terminal view of the daemon's
+// operations plane: in-flight builds with live done/total progress and
+// node counts, the busiest spaces by attributed query and build cost,
+// and the tail of the lifecycle event journal:
+//
+//	spacecli top -server http://localhost:8080 -interval 2s
+//	spacecli top -server http://localhost:8080 -once          (one frame, scriptable)
 package main
 
 import (
@@ -100,6 +108,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "batch" {
 		batchMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		topMain(os.Args[2:])
 		return
 	}
 	in := flag.String("in", "", "JSON search-space definition file")

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"searchspace/internal/obs"
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+)
+
+// topMain implements `spacecli top`: a polling terminal view of a
+// running spaced daemon's operations plane — in-flight builds with
+// live progress, the busiest spaces by attributed cost, and the tail
+// of the lifecycle event journal. With -once it renders a single
+// frame and exits (scriptable; CI uses it).
+func topMain(args []string) {
+	fs := flag.NewFlagSet("spacecli top", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render one frame and exit instead of polling")
+	n := fs.Int("n", 10, "rows to show per section (top spaces, recent events)")
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		frame, err := renderTop(client, *server, *n)
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "spacecli top: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "spacecli top: %v (retrying)\n", err)
+		} else {
+			if !*once {
+				// ANSI clear + home so the frame repaints in place.
+				fmt.Print("\033[2J\033[H")
+			}
+			fmt.Print(frame)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderTop fetches one snapshot of the three operations endpoints and
+// formats the frame. Errors are returned rather than fatal so the
+// polling loop survives a daemon restart.
+func renderTop(client *http.Client, server string, n int) (string, error) {
+	var stats service.MetricsSnapshot
+	if err := getTopDoc(client, server+"/v1/stats", &stats); err != nil {
+		return "", err
+	}
+	var builds service.BuildsResponse
+	if err := getTopDoc(client, server+"/v1/builds", &builds); err != nil {
+		return "", err
+	}
+	// Events 404 when journaling is off (-event-buffer 0); the view
+	// still works without that section.
+	var events service.EventsResponse
+	eventsErr := getTopDoc(client, fmt.Sprintf("%s/v1/events?n=%d", server, n), &events)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "spaced %s  up %s  inflight %d (peak %d)  cached %d/%s",
+		server, report.Seconds(stats.UptimeSeconds),
+		stats.InflightRequests, stats.InflightPeak,
+		stats.Cache.Entries, topBytes(float64(stats.Cache.Bytes)))
+	if stats.Events != nil {
+		fmt.Fprintf(&b, "  events %d", stats.Events.Recorded)
+	}
+	b.WriteString("\n\n")
+
+	b.WriteString("IN-FLIGHT BUILDS\n")
+	if len(builds.Builds) == 0 {
+		b.WriteString("  (idle)\n")
+	} else {
+		var rows [][]string
+		for _, op := range builds.Builds {
+			progress := "-"
+			if op.Total > 0 {
+				progress = fmt.Sprintf("%d/%d", op.Done, op.Total)
+			}
+			eta := "-"
+			if op.ETASeconds > 0 {
+				eta = report.Seconds(op.ETASeconds)
+			}
+			rows = append(rows, []string{
+				op.Kind, shortID(op.SpaceID), op.Method, progress,
+				fmt.Sprintf("%d", op.Nodes), fmt.Sprintf("%d", op.Waiters),
+				report.Seconds(op.ElapsedSeconds), eta, op.RequestID,
+			})
+		}
+		b.WriteString(report.Table(
+			[]string{"kind", "space", "method", "tasks", "nodes", "waiters", "elapsed", "eta", "request"}, rows))
+	}
+	b.WriteString("\n")
+
+	b.WriteString("TOP SPACES\n")
+	if len(stats.TopSpaces) == 0 {
+		b.WriteString("  (no usage recorded)\n")
+	} else {
+		top := stats.TopSpaces
+		if len(top) > n {
+			top = top[:n]
+		}
+		var rows [][]string
+		for _, u := range top {
+			rows = append(rows, []string{
+				shortID(u.ID), fmt.Sprintf("%d", u.Queries),
+				fmt.Sprintf("%d", u.BatchRows), fmt.Sprintf("%d", u.Builds),
+				report.Seconds(float64(u.BuildNanos) / 1e9),
+				fmt.Sprintf("%d", u.Restores),
+				residentLabel(u), fmt.Sprintf("%s ago", sinceLabel(u.LastAccess)),
+			})
+		}
+		b.WriteString(report.Table(
+			[]string{"space", "queries", "batch rows", "builds", "build time", "restores", "resident", "last access"}, rows))
+	}
+	b.WriteString("\n")
+
+	b.WriteString("RECENT EVENTS\n")
+	switch {
+	case eventsErr != nil:
+		b.WriteString("  (journal disabled: -event-buffer 0)\n")
+	case len(events.Events) == 0:
+		b.WriteString("  (none)\n")
+	default:
+		var rows [][]string
+		for _, e := range events.Events {
+			rows = append(rows, []string{
+				fmt.Sprintf("%s ago", sinceLabel(e.Time)), e.Type, shortID(e.SpaceID),
+				orDash(e.Cause), eventAttrs(e), orDash(e.RequestID),
+			})
+		}
+		b.WriteString(report.Table(
+			[]string{"when", "type", "space", "cause", "attrs", "request"}, rows))
+	}
+	return b.String(), nil
+}
+
+// getTopDoc is getDoc without the log.Fatal: top must keep polling
+// through daemon restarts and render partial frames on 404s.
+func getTopDoc(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// topBytes renders a byte count with a binary-unit suffix.
+func topBytes(n float64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", n/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", n)
+	}
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	if id == "" {
+		return "-"
+	}
+	return id
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func residentLabel(u service.SpaceUsageDoc) string {
+	if !u.Resident {
+		return "no"
+	}
+	return topBytes(float64(u.ResidentBytes))
+}
+
+func sinceLabel(t time.Time) string {
+	d := time.Since(t)
+	if d < 0 {
+		d = 0
+	}
+	return d.Truncate(time.Second).String()
+}
+
+func eventAttrs(e obs.Event) string {
+	if len(e.Attrs) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, e.Attrs[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -25,6 +25,9 @@
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /v1/trace/{id}               per-request span breakdown by request ID
 //	GET  /v1/trace/recent             most recently finished traces
+//	GET  /v1/builds                   in-flight builds/restores with live progress
+//	GET  /v1/events                   lifecycle event journal (builds, evictions, sessions)
+//	GET  /v1/spaces/{id}/stats        per-space usage and cost attribution
 //	GET  /healthz                     liveness
 //
 // Construction runs on the parallel engine by default: each build
@@ -54,6 +57,16 @@
 // in the ring. -slow-ms logs any request slower than the threshold
 // with its slowest span, and -log-format json switches the structured
 // log to machine-readable output for collectors.
+//
+// The operations plane rides on the same rings: GET /v1/builds lists
+// every in-flight construction and restore with live done/total task
+// progress, node counts, waiter counts, and ETA; with -event-buffer
+// > 0 (the default) a bounded journal records lifecycle events —
+// build start/finish/cancel, admission and busy rejections, evictions,
+// demotions, restores, quarantines, session churn — at GET /v1/events;
+// and GET /v1/spaces/{id}/stats attributes queries, batch rows, build
+// time, and resident bytes to each space. `spacecli top` renders all
+// three as a polling terminal view.
 //
 // With -pprof set, a net/http/pprof listener runs on its own address
 // (never the public one) so hot-path regressions are diagnosable
@@ -97,6 +110,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060) for diagnosing hot-path regressions against a live daemon; empty = off")
 	traceBuffer := flag.Int("trace-buffer", 512, "finished request traces kept for /v1/trace/{id} (0 = tracing off)")
+	eventBuffer := flag.Int("event-buffer", 1024, "lifecycle events kept for /v1/events — build start/finish/cancel, evict, demote, restore, quarantine, session churn (0 = journaling off)")
 	slowMs := flag.Int("slow-ms", 0, "log requests slower than this many milliseconds with their slowest span (0 = off)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
@@ -145,6 +159,7 @@ func main() {
 		MaxSessions: *maxSessions, TTL: *sessionTTL,
 	}, service.ObsConfig{
 		TraceBuffer:   *traceBuffer,
+		EventBuffer:   *eventBuffer,
 		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
 		Logger:        logger,
 	})

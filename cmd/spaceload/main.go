@@ -4,7 +4,7 @@
 // stack, not a network; point -server at a running daemon to load-test
 // over the wire instead.
 //
-// Seven workloads, selected with -mode:
+// Eight workloads, selected with -mode:
 //
 //   - service (default): many tuning clients sharing few kernels —
 //     workers draw one of -spaces distinct definitions, submit it via
@@ -47,14 +47,19 @@
 //     node count to its constrained prefix). In-process, no server.
 //     Writes BENCH_solver.json.
 //
-//   - obs: the observability cost check — runs two identical in-process
-//     servers, one with request tracing on and one with it off, hammers
-//     the cache-hit path on both, and asserts the tracing overhead
-//     stays under 5% (best-of--reps throughputs compared). Also
-//     verifies the functional contract: every response carries an
-//     X-Request-ID, the cold build's trace resolves by that ID with a
-//     build span, /v1/trace/recent and /metrics are populated. Writes
-//     BENCH_obs.json. (In-process only: -server is rejected.)
+//   - obs: the observability cost check — runs three identical
+//     in-process servers (full plane: tracing + lifecycle journal;
+//     tracing only; everything off), hammers the cache-hit path on
+//     all, and asserts both the tracing overhead (trace-only vs off)
+//     and the journal overhead (full vs trace-only) stay under 5%
+//     (best-of--reps throughputs compared). Also verifies the
+//     functional contract: every response carries an X-Request-ID, the
+//     cold build's trace resolves by that ID with a build span, its
+//     build_finish event cross-links the same request id, /v1/builds
+//     and the per-space attribution stats serve, /v1/trace/recent and
+//     /metrics (including the go_* and lifecycle families) are
+//     populated. Writes BENCH_obs.json. (In-process only: -server is
+//     rejected.)
 //
 //   - batch: the batch-query-plane benchmark — resolves the same
 //     1024-genotype stream through POST batch/lookup as 1024
@@ -65,6 +70,15 @@
 //     reports configs/sec for both plus an in-process LookupRows
 //     baseline. Writes BENCH_batch.json.
 //
+//   - ops: the operations-plane driver, not a benchmark — submits one
+//     deliberately slow build (a deep all-parameter constraint forces
+//     a full ~10^8-node tree walk while keeping the valid set tiny) so
+//     an outside observer can watch it mid-flight through GET
+//     /v1/builds and `spacecli top`, then checks the build_finish
+//     event, attribution row, and trace all cross-link the same
+//     -request-id. Meant against a live daemon: CI backgrounds it and
+//     polls /v1/builds with curl while it runs.
+//
 //     spaceload -spaces 8 -requests 2000 -workers 16
 //     spaceload -mode build -reps 3
 //     spaceload -mode sessions -spaces 8 -requests 300 -workers 16
@@ -72,6 +86,7 @@
 //     spaceload -mode solver -reps 3
 //     spaceload -mode obs -reps 3 -requests 2000 -workers 16
 //     spaceload -mode batch -reps 3
+//     spaceload -mode ops -server http://localhost:8080 -request-id ci-slow-1
 package main
 
 import (
@@ -102,7 +117,7 @@ import (
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
-	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs | batch")
+	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs | batch | ops")
 	reps := flag.Int("reps", 3, "build/solver modes: runs per measured point; the minimum wall time is kept")
 	storeDir := flag.String("store-dir", "", "restart mode: snapshot store directory (default: a fresh temp dir)")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
@@ -111,6 +126,7 @@ func main() {
 	batch := flag.Int("batch", 8, "sessions mode: configurations per ask/tell round trip")
 	evals := flag.Int("evals", 40, "sessions mode: evaluation budget per session")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
+	requestID := flag.String("request-id", "ops-load-1", "ops mode: X-Request-ID sent with the slow build, for /v1/builds and journal cross-links")
 	out := flag.String("out", "", "result file (default BENCH_service.json or BENCH_sessions.json by mode; \"-\" = stdout only)")
 	flag.Parse()
 
@@ -202,8 +218,14 @@ func main() {
 			outFile = "BENCH_batch.json"
 		}
 		result = runBatchLoad(client, base, *reps)
+	case "ops":
+		// A driver, not a benchmark: no BENCH artifact by default.
+		if outFile == "" {
+			outFile = "-"
+		}
+		result = runOpsLoad(client, base, *requestID)
 	default:
-		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, obs, or batch)", *mode)
+		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, obs, batch, or ops)", *mode)
 	}
 
 	pretty, _ := json.MarshalIndent(result, "", "  ")

@@ -14,16 +14,20 @@ import (
 	"searchspace/internal/service"
 )
 
-// runObsBench measures what request tracing costs on the cheapest path
-// the daemon has — the in-process cache hit, where the observability
-// span bookkeeping is the largest fraction of total work. Two identical
-// in-process servers differ only in ObsConfig: one records traces into
-// a ring, the other has tracing disabled. Both are warmed with one
-// build, then hammered with cache-hit submits; the best-of-reps
-// throughputs are compared. The run fails (nonzero "failures") if
-// tracing costs 5% or more, or if the functional checks — X-Request-ID
-// issued, the trace resolvable by that ID, /v1/trace/recent and
-// /metrics populated — do not hold.
+// runObsBench measures what the observability planes cost on the
+// cheapest path the daemon has — the in-process cache hit, where the
+// bookkeeping is the largest fraction of total work. Three identical
+// in-process servers differ only in ObsConfig: one runs the full plane
+// (trace ring + lifecycle event journal), one traces but does not
+// journal, one records nothing. All are warmed with one build, then
+// hammered with cache-hit submits; the best-of-reps throughputs are
+// compared pairwise, isolating the tracing cost (trace-only vs off)
+// from the journal + attribution cost (full vs trace-only). The run
+// fails (nonzero "failures") if either plane costs 5% or more, or if
+// the functional checks — X-Request-ID issued, the trace resolvable by
+// that ID, the build_finish event cross-linked to that request,
+// /v1/builds and the per-space stats serving, /metrics populated — do
+// not hold.
 func runObsBench(reps, requests, workers int) map[string]any {
 	body := []byte(`{"problem": {
 		"name": "obs-bench",
@@ -35,14 +39,16 @@ func runObsBench(reps, requests, workers int) map[string]any {
 		"constraints": ["block_size_x * block_size_y <= 32", "tile <= block_size_x"]
 	}}`)
 
-	newObsServer := func(traceBuffer int) *httptest.Server {
+	newObsServer := func(traceBuffer, eventBuffer int) *httptest.Server {
 		reg := service.NewRegistry(service.RegistryConfig{MaxEntries: 64})
 		return httptest.NewServer(service.NewServerObs(reg, service.SessionConfig{},
-			service.ObsConfig{TraceBuffer: traceBuffer}))
+			service.ObsConfig{TraceBuffer: traceBuffer, EventBuffer: eventBuffer}))
 	}
-	traced := newObsServer(512)
+	full := newObsServer(512, 1024)
+	defer full.Close()
+	traced := newObsServer(512, 0)
 	defer traced.Close()
-	untraced := newObsServer(0)
+	untraced := newObsServer(0, 0)
 	defer untraced.Close()
 
 	client := &http.Client{Timeout: time.Minute}
@@ -51,12 +57,16 @@ func runObsBench(reps, requests, workers int) map[string]any {
 	// Warm both servers so every measured request is a cache hit, and
 	// capture the request ID of the traced cold build for the
 	// functional checks below.
-	coldID, ok := submitCapturingID(client, traced.URL, body)
+	coldID, coldSpace, ok := submitCapturingID(client, full.URL, body)
 	if !ok || coldID == "" {
-		log.Printf("obs: traced warm-up build failed or carried no X-Request-ID")
+		log.Printf("obs: full-plane warm-up build failed or carried no X-Request-ID")
 		failures++
 	}
-	if _, ok := submitCapturingID(client, untraced.URL, body); !ok {
+	if _, _, ok := submitCapturingID(client, traced.URL, body); !ok {
+		log.Printf("obs: trace-only warm-up build failed")
+		failures++
+	}
+	if _, _, ok := submitCapturingID(client, untraced.URL, body); !ok {
 		log.Printf("obs: untraced warm-up build failed")
 		failures++
 	}
@@ -66,7 +76,7 @@ func runObsBench(reps, requests, workers int) map[string]any {
 	// would rotate it out of the ring.
 	checks := map[string]bool{}
 
-	raw, ok := getRaw(client, traced.URL+"/v1/trace/"+coldID)
+	raw, ok := getRaw(client, full.URL+"/v1/trace/"+coldID)
 	var coldTrace obs.Trace
 	checks["cold_build_trace_resolves"] = ok && json.Unmarshal(raw, &coldTrace) == nil &&
 		coldTrace.ID == coldID && len(coldTrace.Spans) > 0
@@ -78,18 +88,54 @@ func runObsBench(reps, requests, workers int) map[string]any {
 	}
 	checks["cold_build_trace_has_build_span"] = hasBuildSpan
 
-	raw, ok = getRaw(client, traced.URL+"/v1/trace/recent?n=5")
+	raw, ok = getRaw(client, full.URL+"/v1/trace/recent?n=5")
 	var recent service.TraceRecentResponse
 	checks["recent_traces_populated"] = ok && json.Unmarshal(raw, &recent) == nil && len(recent.Traces) > 0
 
-	raw, ok = getRaw(client, traced.URL+"/metrics")
+	raw, ok = getRaw(client, full.URL+"/metrics")
 	checks["metrics_exposition_serves"] = ok &&
 		bytes.Contains(raw, []byte("spaced_http_requests_total")) &&
 		bytes.Contains(raw, []byte("spaced_trace_ring_capacity"))
+	checks["metrics_has_ops_families"] = ok &&
+		bytes.Contains(raw, []byte("spaced_lifecycle_events_total")) &&
+		bytes.Contains(raw, []byte("spaced_http_inflight_requests")) &&
+		bytes.Contains(raw, []byte("go_goroutines"))
+
+	// The operations plane: the cold build left a build_finish event
+	// cross-linked to its request id, the in-flight table serves (idle
+	// by now), and the space has an attribution row.
+	raw, ok = getRaw(client, full.URL+"/v1/events?type=build_finish")
+	var events service.EventsResponse
+	finishLinked := false
+	if ok && json.Unmarshal(raw, &events) == nil {
+		for _, e := range events.Events {
+			if e.RequestID == coldID && e.SpaceID == coldSpace {
+				finishLinked = true
+			}
+		}
+	}
+	checks["build_finish_event_links_request"] = finishLinked
+
+	raw, ok = getRaw(client, full.URL+"/v1/builds")
+	var builds service.BuildsResponse
+	checks["builds_endpoint_serves"] = ok && json.Unmarshal(raw, &builds) == nil
+
+	raw, ok = getRaw(client, full.URL+"/v1/spaces/"+coldSpace+"/stats")
+	var usage service.SpaceUsageDoc
+	checks["space_stats_attributes_build"] = ok && json.Unmarshal(raw, &usage) == nil &&
+		usage.Builds >= 1 && usage.BuildNanos > 0
+
+	// Journaling off must 404 the events endpoint while everything else
+	// keeps working.
+	respEv, errEv := client.Get(traced.URL + "/v1/events")
+	if errEv == nil {
+		respEv.Body.Close()
+	}
+	checks["events_endpoint_404s_when_disabled"] = errEv == nil && respEv.StatusCode == http.StatusNotFound
 
 	// The untraced server must keep the request-ID contract (the header
 	// is issued regardless) while refusing trace lookups.
-	offID, ok := submitCapturingID(client, untraced.URL, body)
+	offID, _, ok := submitCapturingID(client, untraced.URL, body)
 	checks["untraced_still_issues_request_id"] = ok && offID != ""
 	resp, err := client.Get(untraced.URL + "/v1/trace/" + offID)
 	if err == nil {
@@ -114,7 +160,7 @@ func runObsBench(reps, requests, workers int) map[string]any {
 			go func() {
 				defer wg.Done()
 				for i := 0; i < per; i++ {
-					if _, ok := submitCapturingID(client, base, body); !ok {
+					if _, _, ok := submitCapturingID(client, base, body); !ok {
 						bad.Add(1)
 					}
 				}
@@ -129,16 +175,23 @@ func runObsBench(reps, requests, workers int) map[string]any {
 	// contact with a workload (connection pool growth, GC sizing,
 	// scheduler warm-up) must not be billed to whichever configuration
 	// happens to run first.
-	_, bad := hammer(traced.URL, requests/4+workers)
+	_, bad := hammer(full.URL, requests/4+workers)
+	failures += bad
+	_, bad = hammer(traced.URL, requests/4+workers)
 	failures += bad
 	_, bad = hammer(untraced.URL, requests/4+workers)
 	failures += bad
 
 	// Best-of-reps on each side, alternating so ambient load (GC, CPU
-	// frequency drift) hits both configurations alike.
-	var bestOn, bestOff float64
+	// frequency drift) hits all configurations alike.
+	var bestFull, bestOn, bestOff float64
 	for r := 0; r < reps; r++ {
-		thr, bad := hammer(traced.URL, requests)
+		thr, bad := hammer(full.URL, requests)
+		failures += bad
+		if thr > bestFull {
+			bestFull = thr
+		}
+		thr, bad = hammer(traced.URL, requests)
 		failures += bad
 		if thr > bestOn {
 			bestOn = thr
@@ -149,25 +202,37 @@ func runObsBench(reps, requests, workers int) map[string]any {
 			bestOff = thr
 		}
 	}
-	overhead := 1 - bestOn/bestOff
-	if overhead < 0 {
-		// Tracing measured faster than not tracing: noise, not a
+	clampPct := func(x float64) float64 {
+		// A plane measured faster than its baseline is noise, not a
 		// speedup. Report zero rather than a negative cost.
-		overhead = 0
+		if x < 0 {
+			return 0
+		}
+		return x
 	}
-	if overhead >= 0.05 {
+	traceOverhead := clampPct(1 - bestOn/bestOff)
+	journalOverhead := clampPct(1 - bestFull/bestOn)
+	if traceOverhead >= 0.05 {
 		log.Printf("obs: tracing overhead %.2f%% exceeds the 5%% budget (on=%.0f req/s off=%.0f req/s)",
-			100*overhead, bestOn, bestOff)
+			100*traceOverhead, bestOn, bestOff)
+		failures++
+	}
+	if journalOverhead >= 0.05 {
+		log.Printf("obs: journal overhead %.2f%% exceeds the 5%% budget (full=%.0f req/s trace-only=%.0f req/s)",
+			100*journalOverhead, bestFull, bestOn)
 		failures++
 	}
 
 	return map[string]any{
-		"mode":                 "obs",
-		"requests_per_config":  (requests / workers) * workers,
-		"workers":              workers,
-		"reps":                 reps,
-		"hit_throughput_rps":   map[string]any{"tracing_on": bestOn, "tracing_off": bestOff},
-		"tracing_overhead_pct": 100 * overhead,
+		"mode":                "obs",
+		"requests_per_config": (requests / workers) * workers,
+		"workers":             workers,
+		"reps":                reps,
+		"hit_throughput_rps": map[string]any{
+			"full_plane": bestFull, "tracing_on": bestOn, "tracing_off": bestOff,
+		},
+		"tracing_overhead_pct": 100 * traceOverhead,
+		"journal_overhead_pct": 100 * journalOverhead,
 		"overhead_budget_pct":  5.0,
 		"checks":               checks,
 		"failures":             failures,
@@ -175,17 +240,17 @@ func runObsBench(reps, requests, workers int) map[string]any {
 }
 
 // submitCapturingID posts a build request and returns the X-Request-ID
-// the response carried.
-func submitCapturingID(client *http.Client, base string, body []byte) (string, bool) {
+// the response carried plus the space id it resolved to.
+func submitCapturingID(client *http.Client, base string, body []byte) (reqID, spaceID string, ok bool) {
 	resp, err := client.Post(base+"/v1/spaces", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return "", false
+		return "", "", false
 	}
 	defer resp.Body.Close()
-	id := resp.Header.Get("X-Request-ID")
+	reqID = resp.Header.Get("X-Request-ID")
 	var out service.BuildResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
-		return id, false
+		return reqID, "", false
 	}
-	return id, out.ID != ""
+	return reqID, out.ID, out.ID != ""
 }

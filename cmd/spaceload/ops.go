@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"searchspace/internal/service"
+)
+
+// runOpsLoad implements -mode ops: drive one deliberately slow build
+// against a daemon so an outside observer (CI, a human with `spacecli
+// top`) can watch it through GET /v1/builds while it runs. The
+// definition's single constraint spans all six parameters of a ~10^8
+// cartesian, so the solver spends most of a second (single-threaded;
+// longer on smaller machines) walking the enumeration tree while the
+// sum bound keeps the materialized rows modest. After the build
+// returns, the
+// lifecycle journal and attribution endpoints are checked for the
+// finish event (cross-linked to -request-id) and the cost row.
+func runOpsLoad(client *http.Client, base, requestID string) map[string]any {
+	vals := make([]string, 24)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", i+1)
+	}
+	list := strings.Join(vals, ", ")
+	body := fmt.Sprintf(`{"problem": {
+		"name": "ops-slow",
+		"params": [
+			{"name": "a", "values": [%s]},
+			{"name": "b", "values": [%s]},
+			{"name": "c", "values": [%s]},
+			{"name": "d", "values": [%s]},
+			{"name": "e", "values": [%s]},
+			{"name": "f", "values": [%s]}
+		],
+		"constraints": ["a + b + c + d + e + f <= 40"]
+	}}`, list, list, list, list, list, list)
+
+	var failures int64
+	start := time.Now()
+	req, err := http.NewRequest("POST", base+"/v1/spaces", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", requestID)
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("ops: POST /v1/spaces: %v (is spaced running?)", err)
+	}
+	var build service.BuildResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&build)
+	resp.Body.Close()
+	wall := time.Since(start)
+	if resp.StatusCode != http.StatusOK || decodeErr != nil || build.ID == "" {
+		log.Printf("ops: slow build failed: HTTP %d, decode err %v", resp.StatusCode, decodeErr)
+		failures++
+	}
+
+	checks := map[string]bool{}
+
+	// The journal must hold the finish event cross-linked to our
+	// request id (skipped gracefully when -event-buffer 0).
+	raw, ok := getRaw(client, base+"/v1/events?type=build_finish")
+	var events service.EventsResponse
+	linked := false
+	if ok && json.Unmarshal(raw, &events) == nil {
+		for _, e := range events.Events {
+			if e.SpaceID == build.ID && e.RequestID == requestID {
+				linked = true
+			}
+		}
+	}
+	checks["build_finish_event_links_request"] = linked
+
+	// The attribution row must charge the build to the space.
+	raw, ok = getRaw(client, base+"/v1/spaces/"+build.ID+"/stats")
+	var usage service.SpaceUsageDoc
+	checks["space_stats_attributes_build"] = ok && json.Unmarshal(raw, &usage) == nil &&
+		usage.Builds >= 1 && usage.BuildNanos > 0
+
+	// The trace ring must resolve the same request id.
+	_, ok = getRaw(client, base+"/v1/trace/"+requestID)
+	checks["request_trace_resolves"] = ok
+
+	for name, passed := range checks {
+		if !passed {
+			log.Printf("ops: check failed: %s", name)
+			failures++
+		}
+	}
+
+	return map[string]any{
+		"mode":               "ops",
+		"request_id":         requestID,
+		"space_id":           build.ID,
+		"build_wall_seconds": wall.Seconds(),
+		"build":              build.Build,
+		"checks":             checks,
+		"failures":           failures,
+	}
+}

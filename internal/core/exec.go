@@ -6,6 +6,20 @@ import (
 	"sync/atomic"
 )
 
+// ProgressSink receives live enumeration counters from inside a
+// running solve. The kernel adds to it at its stop-poll cadence (every
+// few thousand charged nodes) and at each task boundary, so a reader
+// polling the atomics sees a build move in near real time without the
+// kernel taking any lock. Nodes counts charged node visits — walked
+// loop iterations plus each bulk block's whole subtree, the same
+// accounting the stop pacing uses — and Rows counts emitted solution
+// rows. Both only ever grow; a canceled run stops adding but never
+// subtracts.
+type ProgressSink struct {
+	Nodes atomic.Int64
+	Rows  atomic.Int64
+}
+
 // Exec configures how a construction run executes: how many workers
 // enumerate the search tree, how the run is cancelled, and how progress
 // is observed. It is the one execution contract shared by every
@@ -21,11 +35,15 @@ type Exec struct {
 	// the run. Nil never cancels. Stop may be called concurrently from
 	// several workers.
 	Stop func() bool
-	// OnProgress, when set, is invoked after each completed prefix task
-	// with the number done so far and the total. Calls arrive from
-	// worker goroutines concurrently and not necessarily in order of
-	// the done count.
+	// OnProgress, when set, is invoked once when the run starts — with
+	// done 0 and the task total, so observers learn the denominator
+	// before any work completes — and again after each completed prefix
+	// task. Calls arrive from worker goroutines concurrently and not
+	// necessarily in order of the done count.
 	OnProgress func(done, total int)
+	// Sink, when set, receives live node/row counters from inside the
+	// enumeration kernel; see ProgressSink. Shared by all workers.
+	Sink *ProgressSink
 }
 
 // EffectiveWorkers resolves the worker count the engine will run with.
@@ -77,6 +95,11 @@ func (e Exec) ForEachTask(total int, newWorker func() any, runTask func(st any, 
 		return false
 	}
 	var done atomic.Int64
+	if e.OnProgress != nil {
+		// Publish the denominator up front: a live-progress observer
+		// needs the total before the first (possibly long) task lands.
+		e.OnProgress(0, total)
+	}
 	workers := e.EffectiveWorkers()
 	if workers > total {
 		workers = total
@@ -158,7 +181,10 @@ func (c *Compiled) SolveColumnarExec(ex Exec) (*Columnar, bool) {
 	}
 	k, tasks := c.splitPrefix(workers)
 	if workers == 1 || tasks <= 1 {
-		col, canceled := c.SolveColumnarStop(ex.Stop)
+		if ex.OnProgress != nil {
+			ex.OnProgress(0, 1)
+		}
+		col, canceled := c.solveColumnarSink(ex.Stop, ex.Sink)
 		if !canceled && ex.OnProgress != nil {
 			ex.OnProgress(1, 1)
 		}
@@ -197,7 +223,7 @@ func (c *Compiled) SolveColumnarExec(ex Exec) (*Columnar, bool) {
 			rem /= int64(radix[d])
 		}
 		pw.snk.reset(n)
-		if c.enumColumnar(pw.snk, pw.pfx, pw.st, stop, nil) {
+		if c.enumColumnar(pw.snk, pw.pfx, pw.st, stop, nil, ex.Sink) {
 			return true
 		}
 		buckets[t] = pw.snk.takeColumnar()

@@ -77,20 +77,30 @@ func TestExecParityAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-// TestExecProgressReachesTotal checks the progress contract: done
-// reaches total exactly once and total is stable across calls.
+// TestExecProgressReachesTotal checks the progress contract: one
+// upfront call with done 0 publishes the total before any task lands,
+// then done reaches total in exactly one call per task.
 func TestExecProgressReachesTotal(t *testing.T) {
+	// Four constrained depths with domains the prefix split stops short
+	// of, so tasks still walk nodes below the pinned prefix (a fully
+	// pinned task is one leaf block and charges no node visits).
 	p := buildProblem(t, []varDef{
-		{"a", rangeInts(1, 6)},
-		{"b", rangeInts(1, 6)},
-		{"c", rangeInts(1, 6)},
-	}, []string{"a + b + c <= 12"})
+		{"a", rangeInts(1, 12)},
+		{"b", rangeInts(1, 12)},
+		{"c", rangeInts(1, 12)},
+		{"d", rangeInts(1, 12)},
+	}, []string{"a + b + c + d <= 24"})
 	compiled := p.Compile(DefaultOptions())
-	var calls, maxDone, total atomic.Int64
-	_, canceled := compiled.SolveColumnarExec(Exec{
+	var calls, maxDone, total, firstDone atomic.Int64
+	firstDone.Store(-1)
+	var sink ProgressSink
+	col, canceled := compiled.SolveColumnarExec(Exec{
 		Workers: 4,
+		Sink:    &sink,
 		OnProgress: func(done, tot int) {
-			calls.Add(1)
+			if calls.Add(1) == 1 {
+				firstDone.Store(int64(done))
+			}
 			total.Store(int64(tot))
 			for {
 				cur := maxDone.Load()
@@ -106,9 +116,18 @@ func TestExecProgressReachesTotal(t *testing.T) {
 	if total.Load() <= 1 {
 		t.Fatalf("expected a real split, got %d tasks", total.Load())
 	}
-	if maxDone.Load() != total.Load() || calls.Load() != total.Load() {
-		t.Fatalf("progress saw %d calls, max done %d, total %d; want one call per task",
+	if firstDone.Load() != 0 {
+		t.Fatalf("first progress call carried done=%d, want the upfront 0/total publication", firstDone.Load())
+	}
+	if maxDone.Load() != total.Load() || calls.Load() != total.Load()+1 {
+		t.Fatalf("progress saw %d calls, max done %d, total %d; want one upfront call plus one per task",
 			calls.Load(), maxDone.Load(), total.Load())
+	}
+	if sink.Nodes.Load() <= 0 {
+		t.Fatalf("progress sink saw %d nodes, want > 0", sink.Nodes.Load())
+	}
+	if got, want := sink.Rows.Load(), int64(col.NumSolutions()); got != want {
+		t.Fatalf("progress sink saw %d rows, space has %d", got, want)
 	}
 }
 

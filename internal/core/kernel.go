@@ -682,8 +682,11 @@ func (c *Compiled) emitBlock(snk *sink, idx []int32, blockStart int, blockRows i
 // cartesian block. st is caller-owned scratch reused across calls; stop
 // is polled every few thousand loop iterations AND charged per emitted
 // block, so cancellation latency matches the per-node walk. es, when
-// non-nil, accumulates execution stats.
-func (c *Compiled) enumColumnar(snk *sink, pfx []int, st *state, stop func() bool, es *EnumStats) (canceled bool) {
+// non-nil, accumulates execution stats. ps, when non-nil, receives
+// live node/row deltas at the stop-poll cadence and at every exit —
+// including the cancel path, so a torn-down build's counters land
+// before its waiters wake.
+func (c *Compiled) enumColumnar(snk *sink, pfx []int, st *state, stop func() bool, es *EnumStats, ps *ProgressSink) (canceled bool) {
 	n := len(c.order)
 	k := len(pfx)
 	for d := 0; d < k; d++ {
@@ -723,6 +726,10 @@ func (c *Compiled) enumColumnar(snk *sink, pfx []int, st *state, stop func() boo
 			es.Blocks++
 			es.BlockRows += blockRows
 		}
+		if ps != nil {
+			ps.Nodes.Add(tailNodes)
+			ps.Rows.Add(blockRows)
+		}
 		return false
 	}
 
@@ -740,8 +747,17 @@ func (c *Compiled) enumColumnar(snk *sink, pfx []int, st *state, stop func() boo
 	// stopCheckMask+1 charged nodes) matches the per-node walk even
 	// when a single block jumps past several poll points.
 	nextPoll := int64(0)
+	// reported/reportedRows track what has already been flushed to the
+	// progress sink, so each flush adds only the delta since the last.
+	reported := int64(0)
+	reportedRows := snk.rows
 	for depth >= k {
 		if nodes >= nextPoll {
+			if ps != nil {
+				ps.Nodes.Add(nodes - reported)
+				ps.Rows.Add(int64(snk.rows - reportedRows))
+				reported, reportedRows = nodes, snk.rows
+			}
 			if stop != nil && stop() {
 				if es != nil {
 					es.Nodes += nodes - blocks*tailNodes
@@ -786,6 +802,10 @@ func (c *Compiled) enumColumnar(snk *sink, pfx []int, st *state, stop func() boo
 		es.Blocks += blocks
 		es.BlockRows += blocks * blockRows
 	}
+	if ps != nil {
+		ps.Nodes.Add(nodes - reported)
+		ps.Rows.Add(int64(snk.rows - reportedRows))
+	}
 	return false
 }
 
@@ -793,6 +813,14 @@ func (c *Compiled) enumColumnar(snk *sink, pfx []int, st *state, stop func() boo
 // constrained node visits, bulk blocks, and block rows. It backs the
 // spaceload solver benchmark's nodes-visited reporting.
 func (c *Compiled) SolveColumnarStats(stop func() bool) (*Columnar, EnumStats, bool) {
+	return c.SolveColumnarStatsSink(stop, nil)
+}
+
+// SolveColumnarStatsSink is SolveColumnarStats with a live progress
+// sink: ps, when non-nil, sees node and row counts grow while the
+// enumeration runs. It is the sequential entry point of the live
+// build-progress plane.
+func (c *Compiled) SolveColumnarStatsSink(stop func() bool, ps *ProgressSink) (*Columnar, EnumStats, bool) {
 	out := &Columnar{
 		Names: append([]string(nil), c.names...),
 		Cols:  make([][]int32, len(c.names)),
@@ -802,7 +830,7 @@ func (c *Compiled) SolveColumnarStats(stop func() bool) (*Columnar, EnumStats, b
 		return out, es, false
 	}
 	snk := newSink(len(c.names))
-	canceled := c.enumColumnar(snk, nil, c.newState(), stop, &es)
+	canceled := c.enumColumnar(snk, nil, c.newState(), stop, &es, ps)
 	snk.fillColumnar(out)
 	return out, es, canceled
 }

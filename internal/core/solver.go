@@ -129,6 +129,12 @@ func (c *Compiled) SolveColumnar() *Columnar {
 // depths walk node by node, unconstrained tail depths are emitted as
 // whole cartesian blocks into a single shared-backing sink.
 func (c *Compiled) SolveColumnarStop(stop func() bool) (*Columnar, bool) {
+	return c.solveColumnarSink(stop, nil)
+}
+
+// solveColumnarSink is SolveColumnarStop with a live progress sink for
+// the single-worker execution path.
+func (c *Compiled) solveColumnarSink(stop func() bool, ps *ProgressSink) (*Columnar, bool) {
 	out := &Columnar{
 		Names: append([]string(nil), c.names...),
 		Cols:  make([][]int32, len(c.names)),
@@ -137,7 +143,7 @@ func (c *Compiled) SolveColumnarStop(stop func() bool) (*Columnar, bool) {
 		return out, false
 	}
 	snk := newSink(len(c.names))
-	canceled := c.enumColumnar(snk, nil, c.newState(), stop, nil)
+	canceled := c.enumColumnar(snk, nil, c.newState(), stop, nil, ps)
 	snk.fillColumnar(out)
 	return out, canceled
 }

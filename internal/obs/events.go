@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event is one lifecycle decision the daemon made: a build starting,
+// finishing, or being torn down; an admission or capacity rejection; a
+// cache eviction or demotion; a snapshot restore or quarantine; a
+// session killed, dehydrated, or rehydrated. Events answer "why did
+// this space disappear" after the fact — the trace ring only covers
+// requests, and a space can die with no request in sight (LRU pressure
+// from someone else's build). Seq is a process-lifetime sequence
+// number: gaps in a drained window mean events rotated out of the ring
+// between reads, not that recording dropped any.
+type Event struct {
+	Seq       int64            `json:"seq"`
+	Time      time.Time        `json:"time"`
+	Type      string           `json:"type"`
+	SpaceID   string           `json:"space_id,omitempty"`
+	RequestID string           `json:"request_id,omitempty"`
+	Cause     string           `json:"cause,omitempty"`
+	Attrs     map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Journal keeps the last capacity lifecycle events in a ring, with the
+// same discipline as Tracer: bounded memory, one short mutex hold per
+// record, nil-receiver safe so a disabled journal costs one pointer
+// compare per call site. Every event is also mirrored to slog —
+// disruptive types (cancellations, rejections, evictions, quarantines,
+// session kills) at Info so they survive default log levels, routine
+// lifecycle at Debug.
+type Journal struct {
+	logger *slog.Logger
+
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	seq    int64
+	stored int
+	byType map[string]int64
+}
+
+// JournalStats describes the ring for /v1/stats-style reporting.
+// Recorded counts every event ever recorded; while Recorded stays at
+// or below Capacity, Recent(Capacity, "") returns all of them — the
+// "no events lost below ring capacity" contract the hammer test pins.
+type JournalStats struct {
+	Capacity int              `json:"capacity"`
+	Stored   int              `json:"stored"`
+	Recorded int64            `json:"recorded"`
+	ByType   map[string]int64 `json:"by_type,omitempty"`
+}
+
+// NewJournal returns a journal retaining capacity events, or nil when
+// capacity <= 0 — a nil *Journal is valid and records nothing. A nil
+// logger mirrors to slog.Default().
+func NewJournal(capacity int, logger *slog.Logger) *Journal {
+	if capacity <= 0 {
+		return nil
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Journal{
+		logger: logger,
+		ring:   make([]Event, capacity),
+		byType: make(map[string]int64),
+	}
+}
+
+// disruptiveEvent reports whether a type describes work being torn
+// down or refused rather than routine lifecycle, and so mirrors to the
+// log at Info instead of Debug.
+func disruptiveEvent(typ string) bool {
+	switch typ {
+	case "build_cancel", "admission_reject", "busy_reject", "evict",
+		"quarantine", "session_kill", "restore_failed":
+		return true
+	}
+	return false
+}
+
+// Record appends one event to the ring and mirrors it to the log.
+// spaceID, requestID, cause, and attrs may each be empty/nil when the
+// event has no such context (an admission reject has no space id yet;
+// an eviction has no initiating request).
+func (j *Journal) Record(typ, spaceID, requestID, cause string, attrs map[string]int64) {
+	if j == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Type: typ, SpaceID: spaceID, RequestID: requestID, Cause: cause, Attrs: attrs}
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	j.ring[j.next] = ev
+	j.next = (j.next + 1) % len(j.ring)
+	if j.stored < len(j.ring) {
+		j.stored++
+	}
+	j.byType[typ]++
+	j.mu.Unlock()
+
+	logArgs := make([]any, 0, 8)
+	logArgs = append(logArgs, "type", typ)
+	if spaceID != "" {
+		logArgs = append(logArgs, "space_id", spaceID)
+	}
+	if requestID != "" {
+		logArgs = append(logArgs, "request_id", requestID)
+	}
+	if cause != "" {
+		logArgs = append(logArgs, "cause", cause)
+	}
+	if disruptiveEvent(typ) {
+		j.logger.Info("lifecycle event", logArgs...)
+	} else {
+		j.logger.Debug("lifecycle event", logArgs...)
+	}
+}
+
+// Recent returns up to n events, newest first, optionally filtered by
+// type. A filtered read still walks at most the whole ring.
+func (j *Journal) Recent(n int, typ string) []Event {
+	if j == nil || n <= 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, min(n, j.stored))
+	for i := 1; i <= j.stored && len(out) < n; i++ {
+		idx := (j.next - i + len(j.ring)) % len(j.ring)
+		ev := j.ring[idx]
+		if typ != "" && ev.Type != typ {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Capacity returns the ring size (0 on a nil journal).
+func (j *Journal) Capacity() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.ring)
+}
+
+// Stats snapshots the ring counters.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	byType := make(map[string]int64, len(j.byType))
+	for k, v := range j.byType {
+		byType[k] = v
+	}
+	return JournalStats{
+		Capacity: len(j.ring),
+		Stored:   j.stored,
+		Recorded: j.seq,
+		ByType:   byType,
+	}
+}

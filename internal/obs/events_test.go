@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"testing"
+)
+
+// TestJournalNilSafety: a disabled journal (capacity 0) is nil, and
+// every method on the nil journal is a safe no-op — callers record
+// events unconditionally.
+func TestJournalNilSafety(t *testing.T) {
+	j := NewJournal(0, nil)
+	if j != nil {
+		t.Fatalf("capacity 0 should disable the journal, got %v", j)
+	}
+	j.Record("build_start", "abc", "req-1", "", nil) // must not panic
+	if got := j.Recent(10, ""); got != nil {
+		t.Fatalf("nil journal Recent = %v, want nil", got)
+	}
+	if got := j.Capacity(); got != 0 {
+		t.Fatalf("nil journal Capacity = %d, want 0", got)
+	}
+	if st := j.Stats(); st.Capacity != 0 || st.Recorded != 0 {
+		t.Fatalf("nil journal Stats = %+v, want zero", st)
+	}
+}
+
+// TestJournalRecentOrderAndFilter: Recent returns newest first, honors
+// n, and filters by type.
+func TestJournalRecentOrderAndFilter(t *testing.T) {
+	j := NewJournal(16, slog.New(slog.DiscardHandler))
+	for i := 0; i < 5; i++ {
+		j.Record("build_finish", fmt.Sprintf("space-%d", i), "", "", map[string]int64{"i": int64(i)})
+	}
+	j.Record("evict", "space-0", "", "budget", nil)
+
+	got := j.Recent(3, "")
+	if len(got) != 3 {
+		t.Fatalf("Recent(3) returned %d events", len(got))
+	}
+	if got[0].Type != "evict" || got[1].SpaceID != "space-4" || got[2].SpaceID != "space-3" {
+		t.Fatalf("Recent not newest-first: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Seq <= got[i].Seq {
+			t.Fatalf("sequence numbers not descending: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+
+	builds := j.Recent(10, "build_finish")
+	if len(builds) != 5 {
+		t.Fatalf("type filter returned %d events, want 5", len(builds))
+	}
+	for _, e := range builds {
+		if e.Type != "build_finish" {
+			t.Fatalf("filtered listing contains %q", e.Type)
+		}
+	}
+	if builds[0].Attrs["i"] != 4 {
+		t.Fatalf("newest build_finish should carry i=4, got %v", builds[0].Attrs)
+	}
+}
+
+// TestJournalRotation: the ring keeps only the newest capacity events,
+// while Stats keeps counting everything recorded.
+func TestJournalRotation(t *testing.T) {
+	j := NewJournal(4, slog.New(slog.DiscardHandler))
+	for i := 0; i < 10; i++ {
+		j.Record("restore", fmt.Sprintf("s%d", i), "", "", nil)
+	}
+	got := j.Recent(10, "")
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 holds %d events", len(got))
+	}
+	if got[0].SpaceID != "s9" || got[3].SpaceID != "s6" {
+		t.Fatalf("rotation kept the wrong events: %+v", got)
+	}
+	st := j.Stats()
+	if st.Recorded != 10 || st.Stored != 4 || st.Capacity != 4 {
+		t.Fatalf("Stats = %+v, want recorded 10, stored 4, capacity 4", st)
+	}
+	if st.ByType["restore"] != 10 {
+		t.Fatalf("ByType[restore] = %d, want 10", st.ByType["restore"])
+	}
+}
+
+// TestJournalNoLossBelowCapacity pins the hammer-test contract: as long
+// as fewer events were recorded than the ring holds, Recent returns
+// every one of them.
+func TestJournalNoLossBelowCapacity(t *testing.T) {
+	j := NewJournal(64, slog.New(slog.DiscardHandler))
+	for i := 0; i < 40; i++ {
+		j.Record("demote", fmt.Sprintf("s%d", i), "", "", nil)
+	}
+	if got := j.Recent(64, ""); len(got) != 40 {
+		t.Fatalf("recorded 40 < capacity 64 but Recent returned %d", len(got))
+	}
+}

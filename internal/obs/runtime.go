@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// goRuntimeSamples are the runtime/metrics series the exposition
+// scrapes, resolved once. Reading by explicit name (instead of
+// metrics.All) keeps the scrape cost and the exposition surface fixed
+// across Go releases.
+var goRuntimeSamples = []metrics.Sample{
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/memory/classes/total:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/sched/pauses/total/gc:seconds"},
+	{Name: "/sched/latencies:seconds"},
+}
+
+// goSecondsBounds are the fixed bucket upper bounds (seconds) the
+// runtime's variable-resolution histograms are re-bucketed into: the
+// runtime reports hundreds of exponentially spaced buckets whose edges
+// shift across Go versions, which would make the exposition's shape a
+// moving target for scrapers and for the golden grammar test.
+var goSecondsBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// WriteGoRuntimeMetrics renders the daemon's Go runtime health —
+// goroutine count, heap and total memory, GC cycles, and the GC-pause
+// and scheduler-latency distributions — as go_* families. Gauges and
+// counters pass through; histograms are re-bucketed into
+// goSecondsBounds with per-bucket midpoint-approximated sums.
+func WriteGoRuntimeMetrics(p *Prom) {
+	samples := make([]metrics.Sample, len(goRuntimeSamples))
+	copy(samples, goRuntimeSamples)
+	metrics.Read(samples)
+
+	writeValue := func(name, typ, help string, s metrics.Sample) {
+		var v float64
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			return // series unavailable in this runtime; omit the family
+		}
+		p.Family(name, typ, help)
+		p.Value(name, v)
+	}
+	writeValue("go_goroutines", "gauge", "Live goroutines.", samples[0])
+	writeValue("go_heap_objects_bytes", "gauge", "Bytes of live heap objects.", samples[1])
+	writeValue("go_memory_total_bytes", "gauge", "Total bytes of memory mapped by the Go runtime.", samples[2])
+	writeValue("go_gc_cycles_total", "counter", "Completed GC cycles.", samples[3])
+
+	writeHist := func(name, help string, s metrics.Sample) {
+		if s.Value.Kind() != metrics.KindFloat64Histogram {
+			return
+		}
+		h := s.Value.Float64Histogram()
+		counts, sum := rebucket(h, goSecondsBounds)
+		p.Family(name, "histogram", help)
+		p.Histogram(name, nil, goSecondsBounds, counts, sum)
+	}
+	writeHist("go_gc_pause_seconds", "Stop-the-world GC pause durations.", samples[4])
+	writeHist("go_sched_latency_seconds", "Time goroutines spent runnable before running.", samples[5])
+}
+
+// rebucket folds a runtime Float64Histogram into fixed upper bounds.
+// Each runtime bucket lands whole in the first fixed bucket whose
+// bound covers its upper edge (the overflow slot when none does), and
+// contributes count x midpoint to the sum — an approximation, but one
+// that keeps the histogram invariants exact: counts conserved, sum
+// non-negative, +Inf bucket equal to the total count.
+func rebucket(h *metrics.Float64Histogram, bounds []float64) (counts []int64, sum float64) {
+	counts = make([]int64, len(bounds)+1)
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		slot := len(bounds)
+		for b, ub := range bounds {
+			if hi <= ub {
+				slot = b
+				break
+			}
+		}
+		counts[slot] += int64(n)
+		// Midpoint of the source bucket; infinite edges collapse to the
+		// finite one so the sum stays finite.
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			mid = 0
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		if mid < 0 {
+			mid = 0
+		}
+		sum += float64(n) * mid
+	}
+	return counts, sum
+}

@@ -182,6 +182,7 @@ func (s *Server) handleBatchContains(w http.ResponseWriter, r *http.Request) {
 			found++
 		}
 	}
+	s.reg.NoteRows(entry.ID, int64(n))
 	s.writeBatchJSON(w, r, http.StatusOK, BatchRowsResponse{Count: n, Found: found, Rows: rows})
 }
 
@@ -226,6 +227,7 @@ func (s *Server) handleBatchLookup(w http.ResponseWriter, r *http.Request) {
 			found++
 		}
 	}
+	s.reg.NoteRows(entry.ID, int64(n))
 	s.writeBatchJSON(w, r, http.StatusOK, BatchRowsResponse{Count: n, Found: found, Rows: rows})
 }
 
@@ -285,6 +287,7 @@ func (s *Server) handleBatchNeighbors(w http.ResponseWriter, r *http.Request) {
 			resp.Neighbors[i] = entry.Space.AdjacentNeighbors(row)
 		}
 	}
+	s.reg.NoteRows(entry.ID, int64(len(req.Rows)))
 	s.writeBatchJSON(w, r, http.StatusOK, resp)
 }
 
@@ -352,6 +355,7 @@ func (s *Server) handleBatchSample(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.reg.NoteRows(entry.ID, int64(req.K*len(req.Seeds)))
 	s.writeBatchJSON(w, r, http.StatusOK, resp)
 }
 

@@ -47,9 +47,12 @@ const statusClientClosedRequest = 499
 //	POST .../sessions/{sid}/tell      report measured costs
 //	GET  .../sessions/{sid}/best      best configuration + trace
 //	DEL  .../sessions/{sid}           end the session
+//	GET  /v1/spaces/{id}/stats        per-space cost attribution
 //	GET  /v1/methods                  available construction methods
 //	POST /v1/compare                  race methods on one definition
 //	GET  /v1/stats                    request + cache + session metrics
+//	GET  /v1/builds                   in-flight builds/restores, live progress
+//	GET  /v1/events                   lifecycle event journal (?n=&type=)
 //	GET  /v1/trace/{id}               one request's span waterfall
 //	GET  /v1/trace/recent             latest completed traces
 //	GET  /metrics                     Prometheus text exposition
@@ -63,6 +66,7 @@ type Server struct {
 	sessions *Sessions
 	metrics  *Metrics
 	tracer   *obs.Tracer
+	journal  *obs.Journal
 	logger   *slog.Logger
 	slow     time.Duration
 	mux      *http.ServeMux
@@ -73,6 +77,9 @@ type ObsConfig struct {
 	// TraceBuffer is the completed-trace ring capacity; 0 disables
 	// tracing entirely (requests still get X-Request-IDs).
 	TraceBuffer int
+	// EventBuffer is the lifecycle event journal's ring capacity; 0
+	// disables journaling (GET /v1/events answers 404).
+	EventBuffer int
 	// SlowThreshold emits a warning log line for any request at or
 	// above it; 0 disables slow logging.
 	SlowThreshold time.Duration
@@ -81,9 +88,10 @@ type ObsConfig struct {
 	Logger *slog.Logger
 }
 
-// DefaultObsConfig enables a modest trace ring and no slow threshold.
+// DefaultObsConfig enables a modest trace ring and event journal and
+// no slow threshold.
 func DefaultObsConfig() ObsConfig {
-	return ObsConfig{TraceBuffer: 256}
+	return ObsConfig{TraceBuffer: 256, EventBuffer: 256}
 }
 
 // NewServer builds a Server around the given registry with the default
@@ -108,6 +116,7 @@ func NewServerObs(reg *Registry, scfg SessionConfig, ocfg ObsConfig) *Server {
 		reg:     reg,
 		metrics: NewMetrics(),
 		tracer:  obs.NewTracer(ocfg.TraceBuffer),
+		journal: obs.NewJournal(ocfg.EventBuffer, logger),
 		logger:  logger,
 		slow:    ocfg.SlowThreshold,
 		mux:     http.NewServeMux(),
@@ -116,6 +125,25 @@ func NewServerObs(reg *Registry, scfg SessionConfig, ocfg ObsConfig) *Server {
 	// Completed build phases feed the per-phase histograms regardless
 	// of whether the initiating request carried a trace.
 	reg.SetPhaseObserver(s.metrics.ObserveBuildPhase)
+	// The registry and session table write lifecycle events; Record is
+	// nil-safe, so a disabled journal costs nothing.
+	reg.SetJournal(s.journal)
+	s.sessions.SetJournal(s.journal)
+	if st := reg.Store(); st != nil {
+		// The store predates the server (Open runs first), so its
+		// observability attaches here: IO timings feed the
+		// spaced_store_io_seconds histograms, damage and GC feed the
+		// journal.
+		st.SetIOObserver(s.metrics.ObserveStoreIO)
+		st.SetEventHook(func(kind, id string) {
+			switch kind {
+			case "quarantine":
+				s.journal.Record("quarantine", id, "", "snapshot failed verification", nil)
+			case "gc":
+				s.journal.Record("store_gc", id, "", "snapshot dropped past the disk budget", nil)
+			}
+		})
+	}
 	// Registry eviction must stop sessions' steppers from pinning the
 	// evicted space in memory. When the eviction was a demotion (a
 	// snapshot survives on disk) the sessions merely dehydrate — the
@@ -147,9 +175,12 @@ func NewServerObs(reg *Registry, scfg SessionConfig, ocfg ObsConfig) *Server {
 		{"POST /v1/spaces/{id}/sessions/{sid}/tell", s.handleSessionTell},
 		{"GET /v1/spaces/{id}/sessions/{sid}/best", s.handleSessionBest},
 		{"DELETE /v1/spaces/{id}/sessions/{sid}", s.handleSessionDelete},
+		{"GET /v1/spaces/{id}/stats", s.handleSpaceStats},
 		{"GET /v1/methods", s.handleMethods},
 		{"POST /v1/compare", s.handleCompare},
 		{"GET /v1/stats", s.handleStats},
+		{"GET /v1/builds", s.handleBuilds},
+		{"GET /v1/events", s.handleEvents},
 		{"GET /v1/trace/recent", s.handleTraceRecent},
 		{"GET /v1/trace/{id}", s.handleTraceGet},
 		{"GET /metrics", s.handleMetrics},
@@ -176,6 +207,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			ctx = obs.WithTrace(ctx, tr)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.RequestBegin(route)
 		start := time.Now()
 		h(rec, req.WithContext(ctx))
 		dur := time.Since(start)
@@ -441,6 +473,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
 		writeError(w, r, http.StatusNotFound, "no space %q: unknown id, or evicted with no snapshot; re-submit via POST /v1/spaces", id)
 		return nil, false
 	}
+	s.reg.NoteQuery(entry.ID, r.Pattern)
 	return entry, true
 }
 
@@ -835,9 +868,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		// Each race leg records its own queue-wait and build phases;
-		// they adopt into this request's trace labelled per leg.
+		// they adopt into this request's trace labelled per leg. The leg
+		// also registers with the live op table so long baseline races
+		// show up in /v1/builds.
 		var phases []obs.Phase
-		ss, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done(), req.Workers, &phases)
+		op := s.reg.beginOp("compare", def.Name, m.String(), obs.RequestID(r.Context()), nil)
+		ss, st, buildErr := s.reg.runBuild(def.Clone(), m, r.Context().Done(), req.Workers, &phases, op)
+		s.reg.endOp(op)
 		tr.AdoptPhases(phases)
 		if errors.Is(buildErr, errBuildCanceled) {
 			// The compare client disconnected; nobody will read the
@@ -865,6 +902,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ts := s.tracer.Stats()
 		snap.Trace = &ts
 	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		snap.Events = &js
+	}
+	snap.TopSpaces = s.reg.TopSpaces(10)
 	writeJSON(w, r, http.StatusOK, snap)
 }
 

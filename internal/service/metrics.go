@@ -65,6 +65,38 @@ type Metrics struct {
 	buildSum   time.Duration
 	phases     map[string]*phaseCounters
 	strategies map[string]*strategyCounters
+
+	// inflight/inflightPeak gauge requests between RequestBegin and
+	// ObserveRequest across all routes; per-route peaks live on the
+	// endpoint counters.
+	inflight     int64
+	inflightPeak int64
+
+	// storeIO holds per-operation (scan, put, get, gc) duration
+	// histograms for the snapshot store's disk IO.
+	storeIO map[string]*ioCounters
+}
+
+// numStoreIOBuckets counts store-IO histogram buckets: the bounds
+// below plus the overflow bucket.
+const numStoreIOBuckets = 7
+
+// storeIOBuckets are the upper bounds of the store IO histograms —
+// finer at the low end than the build bounds, because a blob get is
+// dominated by page-cache reads in the 100µs range.
+var storeIOBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// ioCounters is one store IO operation's duration histogram.
+type ioCounters struct {
+	hist [numStoreIOBuckets]int64
+	sum  time.Duration
 }
 
 // strategyCounters aggregates one optimization strategy's session
@@ -86,6 +118,9 @@ type endpointCounters struct {
 	totalDur    time.Duration
 	maxDur      time.Duration
 	hist        [numLatencyBuckets]int64
+
+	inflight     int64 // requests currently inside the handler
+	inflightPeak int64 // high-water mark of inflight
 }
 
 // phaseCounters is one build phase's duration histogram, sharing the
@@ -102,7 +137,39 @@ func NewMetrics() *Metrics {
 		endpoints:  make(map[string]*endpointCounters),
 		phases:     make(map[string]*phaseCounters),
 		strategies: make(map[string]*strategyCounters),
+		storeIO:    make(map[string]*ioCounters),
 	}
+}
+
+// RequestBegin marks a request entering the handler for a route,
+// raising the in-flight gauges (and their peaks). The matching
+// decrement happens inside ObserveRequest when the request completes.
+func (m *Metrics) RequestBegin(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight++
+	if m.inflight > m.inflightPeak {
+		m.inflightPeak = m.inflight
+	}
+	c := m.endpointLocked(route)
+	c.inflight++
+	if c.inflight > c.inflightPeak {
+		c.inflightPeak = c.inflight
+	}
+}
+
+// ObserveStoreIO records one snapshot-store disk operation (scan, put,
+// get, gc) in the per-op duration histogram.
+func (m *Metrics) ObserveStoreIO(op string, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.storeIO[op]
+	if c == nil {
+		c = &ioCounters{}
+		m.storeIO[op] = c
+	}
+	c.hist[bucketIndex(storeIOBuckets, dur)]++
+	c.sum += dur
 }
 
 // strategyLocked returns the counters for a strategy label, creating
@@ -170,6 +237,14 @@ func (m *Metrics) ObserveRequest(route string, status int, dur time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c := m.endpointLocked(route)
+	// Clamp at zero: tests (and recovery paths) may call ObserveRequest
+	// without a matching RequestBegin.
+	if m.inflight > 0 {
+		m.inflight--
+	}
+	if c.inflight > 0 {
+		c.inflight--
+	}
 	c.count++
 	switch {
 	case status == statusClientClosedRequest:
@@ -265,6 +340,15 @@ type MetricsSnapshot struct {
 	// Trace reports the completed-trace ring; absent when tracing is
 	// disabled (-trace-buffer 0).
 	Trace *obs.TracerStats `json:"trace,omitempty"`
+	// Events reports the lifecycle event journal; absent when journaling
+	// is disabled (-event-buffer 0).
+	Events *obs.JournalStats `json:"events,omitempty"`
+	// InflightRequests gauges requests currently inside a handler;
+	// InflightPeak is its high-water mark since start.
+	InflightRequests int64 `json:"inflight_requests"`
+	InflightPeak     int64 `json:"inflight_peak"`
+	// TopSpaces ranks the busiest spaces by attributed query traffic.
+	TopSpaces []SpaceUsageDoc `json:"top_spaces,omitempty"`
 }
 
 // Snapshot captures the current counters; cache, store, and
@@ -274,11 +358,13 @@ func (m *Metrics) Snapshot(cache RegistryStats, diskStore *store.Stats, table Se
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		BuildTimeHist: make(map[string]int64, len(buildBucketLabels)),
-		Cache:         cache,
-		Store:         diskStore,
-		SessionTable:  table,
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		BuildTimeHist:    make(map[string]int64, len(buildBucketLabels)),
+		Cache:            cache,
+		Store:            diskStore,
+		SessionTable:     table,
+		InflightRequests: m.inflight,
+		InflightPeak:     m.inflightPeak,
 	}
 	for name, c := range m.strategies {
 		snap.Sessions = append(snap.Sessions, StrategySessionStats{
@@ -331,11 +417,13 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // WritePrometheus renders every counter this aggregator holds — plus
-// the cache, store, session-table, and trace-ring stats merged in by
-// the caller — in the Prometheus text exposition format. It reads the
-// same fields Snapshot does, under the same lock, so /metrics and
-// /v1/stats always agree.
-func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *store.Stats, table SessionTableStats, trace obs.TracerStats) error {
+// the cache, store, session-table, trace-ring, and event-journal stats
+// merged in by the caller — in the Prometheus text exposition format.
+// It reads the same fields Snapshot does, under the same lock, so
+// /metrics and /v1/stats always agree. Go runtime health families
+// (go_goroutines, heap, GC pauses, scheduler latency) are appended
+// from runtime/metrics.
+func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *store.Stats, table SessionTableStats, trace obs.TracerStats, journal obs.JournalStats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p := obs.NewProm(w)
@@ -343,7 +431,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *s
 	p.Family("spaced_uptime_seconds", "gauge", "Seconds since the server started.")
 	p.Value("spaced_uptime_seconds", time.Since(m.start).Seconds())
 
+	p.Family("spaced_http_inflight_requests", "gauge", "Requests currently inside a handler.")
+	p.Value("spaced_http_inflight_requests", float64(m.inflight))
+	p.Family("spaced_http_inflight_peak", "gauge", "High-water mark of concurrent in-flight requests, total and by route.")
+	p.Value("spaced_http_inflight_peak", float64(m.inflightPeak))
+
 	routes := sortedKeys(m.endpoints)
+	p.Family("spaced_http_inflight_route_peak", "gauge", "High-water mark of concurrent in-flight requests, by route.")
+	for _, rt := range routes {
+		p.Value("spaced_http_inflight_route_peak", float64(m.endpoints[rt].inflightPeak), "route", rt)
+	}
 	p.Family("spaced_http_requests_total", "counter", "Requests handled, by route.")
 	for _, rt := range routes {
 		p.Value("spaced_http_requests_total", float64(m.endpoints[rt].count), "route", rt)
@@ -375,6 +472,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *s
 	for _, name := range sortedKeys(m.phases) {
 		c := m.phases[name]
 		p.Histogram("spaced_build_phase_duration_seconds", []string{"phase", name}, phaseBounds, c.hist[:], c.sum.Seconds())
+	}
+
+	if len(m.storeIO) > 0 {
+		p.Family("spaced_store_io_seconds", "histogram", "Snapshot-store disk IO durations (scan, put, get, gc), by op.")
+		ioBounds := secondsBounds(storeIOBuckets)
+		for _, op := range sortedKeys(m.storeIO) {
+			c := m.storeIO[op]
+			p.Histogram("spaced_store_io_seconds", []string{"op", op}, ioBounds, c.hist[:], c.sum.Seconds())
+		}
 	}
 
 	p.Family("spaced_cache_entries", "gauge", "Spaces resident in the memory tier.")
@@ -480,6 +586,22 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *s
 		p.Family("spaced_traces_finished_total", "counter", "Traces completed and published to the ring.")
 		p.Value("spaced_traces_finished_total", float64(trace.Finished))
 	}
+
+	if journal.Capacity > 0 {
+		p.Family("spaced_journal_ring_capacity", "gauge", "Lifecycle event journal ring capacity.")
+		p.Value("spaced_journal_ring_capacity", float64(journal.Capacity))
+		p.Family("spaced_journal_ring_stored", "gauge", "Lifecycle events currently held.")
+		p.Value("spaced_journal_ring_stored", float64(journal.Stored))
+		p.Family("spaced_lifecycle_events_total", "counter", "Lifecycle events recorded since start, by type.")
+		if len(journal.ByType) == 0 {
+			p.Value("spaced_lifecycle_events_total", 0, "type", "none")
+		}
+		for _, typ := range sortedKeys(journal.ByType) {
+			p.Value("spaced_lifecycle_events_total", float64(journal.ByType[typ]), "type", typ)
+		}
+	}
+
+	obs.WriteGoRuntimeMetrics(p)
 
 	return p.Err()
 }

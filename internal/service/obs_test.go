@@ -373,8 +373,18 @@ func TestMetricsExposition(t *testing.T) {
 		"spaced_cache_entries",
 		"spaced_cache_events_total",
 		"spaced_store_blobs",
+		"spaced_store_io_seconds",
 		"spaced_sessions_active",
 		"spaced_trace_ring_capacity",
+		"spaced_journal_ring_capacity",
+		"spaced_lifecycle_events_total",
+		"spaced_http_inflight_requests",
+		"spaced_http_inflight_peak",
+		"go_goroutines",
+		"go_heap_objects_bytes",
+		"go_gc_cycles_total",
+		"go_gc_pause_seconds",
+		"go_sched_latency_seconds",
 	} {
 		if !seen[family] {
 			t.Fatalf("family %q missing from exposition", family)
@@ -470,9 +480,12 @@ func TestMetricsExposition(t *testing.T) {
 			continue
 		}
 		route := s.labels["route"]
-		// The /v1/stats scrape itself and the /metrics scrape ran after
-		// the snapshot, so allow the counted-now difference of one.
-		if diff := s.value - want[route]; diff < 0 || diff > 1 {
+		// The scrapes themselves shift the counters by at most one in
+		// either direction: the /v1/stats snapshot ran after /metrics
+		// rendered (so it counts that scrape), and the /metrics scrape
+		// registers its own route before rendering but counts itself only
+		// after.
+		if diff := s.value - want[route]; diff < -1 || diff > 1 {
 			t.Fatalf("route %q: /metrics says %v requests, /v1/stats said %v", route, s.value, want[route])
 		}
 	}

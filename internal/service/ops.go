@@ -1,0 +1,307 @@
+package service
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/obs"
+)
+
+// opEntry is one in-flight registry operation (a build, restore, or
+// compare leg) as tracked for the live operations plane. The counters
+// are written by the solver goroutine at its own cadence and read
+// lock-free by /v1/builds pollers; done only grows (CAS-max), so a
+// poller never observes progress moving backward even when task
+// completions race the upfront total publication.
+type opEntry struct {
+	seq     int64
+	kind    string // "build", "restore", or "compare"
+	spaceID string
+	method  string
+	reqID   string // request id of the initiating client, links to its trace
+	started time.Time
+
+	done  atomic.Int64
+	total atomic.Int64
+	sink  searchspace.ProgressSink
+
+	entry *Entry // waiter count source; nil for compare legs
+}
+
+// noteProgress is the OnProgress callback for this operation: total is
+// stored as published, done advances monotonically (worker completions
+// may deliver out of order).
+func (op *opEntry) noteProgress(done, total int) {
+	op.total.Store(int64(total))
+	d := int64(done)
+	for {
+		cur := op.done.Load()
+		if d <= cur || op.done.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// BuildOp is one row of GET /v1/builds: a point-in-time view of an
+// in-flight build or restore. Done/Total count solver tasks; Nodes and
+// Rows are the kernel's live enumeration counters (nodes charged, rows
+// emitted so far). ETASeconds extrapolates the per-task rate once at
+// least one task has landed and is omitted before that.
+type BuildOp struct {
+	ID             int64   `json:"id"`
+	Kind           string  `json:"kind"`
+	SpaceID        string  `json:"space_id"`
+	Method         string  `json:"method,omitempty"`
+	RequestID      string  `json:"request_id,omitempty"`
+	Done           int64   `json:"done"`
+	Total          int64   `json:"total"`
+	Nodes          int64   `json:"nodes"`
+	Rows           int64   `json:"rows"`
+	Waiters        int     `json:"waiters"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds,omitempty"`
+}
+
+// beginOp registers an in-flight operation with the live table.
+func (r *Registry) beginOp(kind, spaceID, method, reqID string, e *Entry) *opEntry {
+	op := &opEntry{
+		kind: kind, spaceID: spaceID, method: method, reqID: reqID,
+		started: time.Now(), entry: e,
+	}
+	r.opMu.Lock()
+	r.opSeq++
+	op.seq = r.opSeq
+	r.ops[op.seq] = op
+	r.opMu.Unlock()
+	return op
+}
+
+// endOp removes a finished operation from the live table.
+func (r *Registry) endOp(op *opEntry) {
+	if op == nil {
+		return
+	}
+	r.opMu.Lock()
+	delete(r.ops, op.seq)
+	r.opMu.Unlock()
+}
+
+// ActiveOps snapshots the in-flight operations, oldest first. Waiter
+// counts are read under the registry lock in a second pass so the op
+// table lock never nests inside it.
+func (r *Registry) ActiveOps() []BuildOp {
+	r.opMu.Lock()
+	ops := make([]*opEntry, 0, len(r.ops))
+	for _, op := range r.ops {
+		ops = append(ops, op)
+	}
+	r.opMu.Unlock()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].seq < ops[j].seq })
+
+	now := time.Now()
+	out := make([]BuildOp, len(ops))
+	entries := make([]*Entry, len(ops))
+	for i, op := range ops {
+		elapsed := now.Sub(op.started).Seconds()
+		done, total := op.done.Load(), op.total.Load()
+		doc := BuildOp{
+			ID: op.seq, Kind: op.kind, SpaceID: op.spaceID,
+			Method: op.method, RequestID: op.reqID,
+			Done: done, Total: total,
+			Nodes: op.sink.Nodes.Load(), Rows: op.sink.Rows.Load(),
+			ElapsedSeconds: elapsed,
+		}
+		if done > 0 && total > done {
+			doc.ETASeconds = elapsed * float64(total-done) / float64(done)
+		}
+		out[i] = doc
+		entries[i] = op.entry
+	}
+	r.mu.Lock()
+	for i, e := range entries {
+		if e != nil {
+			out[i].Waiters = e.waiters
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// SetJournal registers the lifecycle event journal; call before
+// serving. A nil journal (journaling disabled) is fine — every Record
+// call is nil-safe.
+func (r *Registry) SetJournal(j *obs.Journal) { r.journal = j }
+
+// maxUsageEntries caps the per-space attribution table. Usage rows are
+// tiny compared to the spaces they describe, so the cap is generous;
+// past it the least recently accessed row is dropped.
+const maxUsageEntries = 4096
+
+// spaceUsage accumulates per-space cost attribution. Guarded by
+// Registry.usageMu (its own lock: attribution rides the query hot path
+// and must not contend with the cache lock).
+type spaceUsage struct {
+	id         string
+	queries    map[string]int64 // route → count
+	batchRows  int64
+	builds     int64
+	buildNanos int64
+	restores   int64
+	bytes      int64 // last known resident estimate
+	lastAccess time.Time
+}
+
+// SpaceUsageDoc is the JSON rendering of one space's attribution row,
+// served by GET /v1/spaces/{id}/stats and the top-spaces list.
+type SpaceUsageDoc struct {
+	ID             string           `json:"id"`
+	Queries        int64            `json:"queries"`
+	QueriesByRoute map[string]int64 `json:"queries_by_route,omitempty"`
+	BatchRows      int64            `json:"batch_rows,omitempty"`
+	Builds         int64            `json:"builds,omitempty"`
+	BuildNanos     int64            `json:"build_time_ns,omitempty"`
+	Restores       int64            `json:"restores,omitempty"`
+	ResidentBytes  int64            `json:"resident_bytes,omitempty"`
+	Resident       bool             `json:"resident"`
+	LastAccess     time.Time        `json:"last_access"`
+}
+
+// usageRowLocked returns (creating if needed) the attribution row for
+// id, evicting the least recently accessed row past the cap. Caller
+// holds usageMu.
+func (r *Registry) usageRowLocked(id string) *spaceUsage {
+	if u, ok := r.usage[id]; ok {
+		return u
+	}
+	if len(r.usage) >= maxUsageEntries {
+		var oldest *spaceUsage
+		for _, u := range r.usage {
+			if oldest == nil || u.lastAccess.Before(oldest.lastAccess) {
+				oldest = u
+			}
+		}
+		if oldest != nil {
+			delete(r.usage, oldest.id)
+		}
+	}
+	u := &spaceUsage{id: id, queries: make(map[string]int64)}
+	r.usage[id] = u
+	return u
+}
+
+// NoteQuery attributes one query on route to the space.
+func (r *Registry) NoteQuery(id, route string) {
+	r.usageMu.Lock()
+	u := r.usageRowLocked(id)
+	u.queries[route]++
+	u.lastAccess = time.Now()
+	r.usageMu.Unlock()
+}
+
+// NoteRows attributes n batch result rows to the space.
+func (r *Registry) NoteRows(id string, n int64) {
+	if n <= 0 {
+		return
+	}
+	r.usageMu.Lock()
+	u := r.usageRowLocked(id)
+	u.batchRows += n
+	r.usageMu.Unlock()
+}
+
+// noteBuild attributes one completed construction to the space.
+func (r *Registry) noteBuild(id string, buildNanos, bytes int64) {
+	r.usageMu.Lock()
+	u := r.usageRowLocked(id)
+	u.builds++
+	u.buildNanos += buildNanos
+	u.bytes = bytes
+	u.lastAccess = time.Now()
+	r.usageMu.Unlock()
+}
+
+// noteRestore attributes one snapshot restore to the space.
+func (r *Registry) noteRestore(id string, bytes int64) {
+	r.usageMu.Lock()
+	u := r.usageRowLocked(id)
+	u.restores++
+	u.bytes = bytes
+	u.lastAccess = time.Now()
+	r.usageMu.Unlock()
+}
+
+// usageDocLocked renders one row. Caller holds usageMu; the resident
+// flag is filled in afterwards (it needs the cache lock).
+func usageDocLocked(u *spaceUsage) SpaceUsageDoc {
+	doc := SpaceUsageDoc{
+		ID: u.id, BatchRows: u.batchRows,
+		Builds: u.builds, BuildNanos: u.buildNanos,
+		Restores: u.restores, ResidentBytes: u.bytes,
+		LastAccess: u.lastAccess,
+	}
+	if len(u.queries) > 0 {
+		doc.QueriesByRoute = make(map[string]int64, len(u.queries))
+		for route, n := range u.queries {
+			doc.QueriesByRoute[route] = n
+			doc.Queries += n
+		}
+	}
+	return doc
+}
+
+// SpaceStats returns the attribution row for one space, or ok=false
+// when the space has never been seen (or its row aged out).
+func (r *Registry) SpaceStats(id string) (SpaceUsageDoc, bool) {
+	r.usageMu.Lock()
+	u, ok := r.usage[id]
+	var doc SpaceUsageDoc
+	if ok {
+		doc = usageDocLocked(u)
+	}
+	r.usageMu.Unlock()
+	if !ok {
+		return SpaceUsageDoc{}, false
+	}
+	r.mu.Lock()
+	if e, present := r.entries[id]; present && e.elem != nil {
+		doc.Resident = true
+	}
+	r.mu.Unlock()
+	return doc, true
+}
+
+// TopSpaces returns up to n attribution rows ordered by query count
+// (builds break ties), the spaces most worth an operator's attention.
+func (r *Registry) TopSpaces(n int) []SpaceUsageDoc {
+	if n <= 0 {
+		return nil
+	}
+	r.usageMu.Lock()
+	docs := make([]SpaceUsageDoc, 0, len(r.usage))
+	for _, u := range r.usage {
+		docs = append(docs, usageDocLocked(u))
+	}
+	r.usageMu.Unlock()
+	sort.Slice(docs, func(i, j int) bool {
+		if docs[i].Queries != docs[j].Queries {
+			return docs[i].Queries > docs[j].Queries
+		}
+		if docs[i].Builds != docs[j].Builds {
+			return docs[i].Builds > docs[j].Builds
+		}
+		return docs[i].ID < docs[j].ID
+	})
+	if len(docs) > n {
+		docs = docs[:n]
+	}
+	r.mu.Lock()
+	for i := range docs {
+		if e, present := r.entries[docs[i].ID]; present && e.elem != nil {
+			docs[i].Resident = true
+		}
+	}
+	r.mu.Unlock()
+	return docs
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+
+	"searchspace/internal/obs"
+)
+
+// BuildsResponse answers GET /v1/builds: the operations currently in
+// flight (builds, restores, compare legs), oldest first. Each row's
+// request id links to GET /v1/trace/{id} once that request completes.
+type BuildsResponse struct {
+	Builds []BuildOp `json:"builds"`
+}
+
+// handleBuilds serves the live in-flight operations table.
+func (s *Server) handleBuilds(w http.ResponseWriter, r *http.Request) {
+	ops := s.reg.ActiveOps()
+	if ops == nil {
+		ops = []BuildOp{}
+	}
+	writeJSON(w, r, http.StatusOK, BuildsResponse{Builds: ops})
+}
+
+// EventsResponse answers GET /v1/events: recent lifecycle events,
+// newest first.
+type EventsResponse struct {
+	Events []obs.Event `json:"events"`
+}
+
+// handleEvents serves the lifecycle event journal. ?n= bounds the
+// count (default 50, capped at the ring size); ?type= filters to one
+// event type (build_finish, evict, quarantine, ...).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, r, http.StatusNotFound, "event journaling is disabled (-event-buffer 0)")
+		return
+	}
+	n := 50
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, r, http.StatusBadRequest, "\"n\" must be a positive integer")
+			return
+		}
+		n = v
+	}
+	if n > s.journal.Capacity() {
+		n = s.journal.Capacity()
+	}
+	events := s.journal.Recent(n, r.URL.Query().Get("type"))
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, r, http.StatusOK, EventsResponse{Events: events})
+}
+
+// handleSpaceStats serves one space's cost attribution row. The space
+// itself need not be resident — attribution outlives eviction — but a
+// space the server has never touched is a 404.
+func (s *Server) handleSpaceStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	doc, ok := s.reg.SpaceStats(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "no usage recorded for space %q: never built or queried here, or its row aged out", id)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, doc)
+}

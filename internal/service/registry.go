@@ -130,6 +130,11 @@ type Entry struct {
 	cancelCh      chan struct{}
 	cancelRequest bool
 
+	// reqID is the request id of the client that initiated this build or
+	// restore, linking the live op table and journal events back to the
+	// initiating trace. Set once before the work goroutine starts.
+	reqID string
+
 	// phases records the timed pipeline stages (queue_wait, build,
 	// bounds, write_through — or restore_wait, restore_decode) of the
 	// goroutine that materialized this entry. Written only by that
@@ -184,6 +189,23 @@ type Registry struct {
 	// (name + duration), feeding the per-phase histograms regardless of
 	// whether any request carried a trace. Called outside the lock.
 	onPhase func(phase string, dur time.Duration)
+
+	// journal, when set, records lifecycle events (build start/finish/
+	// cancel, rejects, evictions, restores). Record is nil-safe, so the
+	// registry writes events unconditionally. Set before serving.
+	journal *obs.Journal
+
+	// opMu guards the live in-flight operations table. It is its own
+	// lock — /v1/builds pollers must never contend with the cache lock —
+	// and is never held while mu is taken.
+	opMu  sync.Mutex
+	opSeq int64
+	ops   map[int64]*opEntry
+
+	// usageMu guards the per-space attribution table (ops.go). Also its
+	// own lock: attribution rides the query hot path.
+	usageMu sync.Mutex
+	usage   map[string]*spaceUsage
 }
 
 // SetEvictionHook registers the eviction callback; call before serving.
@@ -211,6 +233,8 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		lru:        list.New(),
 		restoreSem: make(chan struct{}, maxConcurrentRestores),
 		pool:       newWorkerPool(cfg.BuildWorkers),
+		ops:        make(map[int64]*opEntry),
+		usage:      make(map[string]*spaceUsage),
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		r.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
@@ -295,6 +319,9 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 	tr := obs.TraceFrom(ctx)
 	admitStart := time.Now()
 	if err := r.Admit(def, method); err != nil {
+		// No content address yet (admission precedes hashing), so the
+		// event names the definition instead.
+		r.journal.Record("admission_reject", "", obs.RequestID(ctx), def.Name, nil)
 		return nil, false, err
 	}
 	id, err := Fingerprint(def, method)
@@ -374,6 +401,7 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 				ready:    make(chan struct{}),
 				cancelCh: make(chan struct{}),
 				waiters:  1,
+				reqID:    obs.RequestID(ctx),
 			}
 			r.entries[id] = e
 			r.mu.Unlock()
@@ -418,6 +446,8 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 				r.busyRejects++
 				pending := r.pendingBytes
 				r.mu.Unlock()
+				r.journal.Record("busy_reject", id, obs.RequestID(ctx), "in-flight builds fill the byte budget",
+					map[string]int64{"pending_bytes": pending, "estimate_bytes": est})
 				return nil, false, fmt.Errorf("%w (in-flight estimate %d bytes, new build estimate %d, overcommitted budget %d)",
 					ErrBusy, pending, est, budget)
 			}
@@ -429,6 +459,7 @@ func (r *Registry) GetOrBuildN(ctx context.Context, def *model.Definition, metho
 			waiters:     1,
 			pending:     est,
 			wantWorkers: workers,
+			reqID:       obs.RequestID(ctx),
 		}
 		r.pendingBytes += est
 		r.entries[id] = e
@@ -488,7 +519,10 @@ func (r *Registry) dropWaiter(e *Entry) {
 // of the build's own wall time; for durability-of-solver-work that is
 // the right trade.)
 func (r *Registry) buildEntry(e *Entry) {
-	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers, &e.phases)
+	op := r.beginOp("build", e.ID, e.Method.String(), e.reqID, e)
+	defer r.endOp(op)
+	r.journal.Record("build_start", e.ID, e.reqID, e.Method.String(), nil)
+	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers, &e.phases, op)
 
 	// The bounds scan is O(rows x params); do it outside the registry
 	// lock.
@@ -520,13 +554,24 @@ func (r *Registry) buildEntry(e *Entry) {
 		evicted = r.evictLocked()
 	}
 	r.mu.Unlock()
-	if buildErr == nil {
+	switch {
+	case buildErr == nil:
 		persistStart := time.Now()
 		r.persist(e)
 		if r.cfg.Store != nil {
 			e.phases = append(e.phases, obs.Phase{Name: "write_through", Start: persistStart, Dur: time.Since(persistStart)})
 		}
 		r.observePhases(e.phases)
+		r.noteBuild(e.ID, int64(stats.Duration), e.Bytes)
+		r.journal.Record("build_finish", e.ID, e.reqID, e.Method.String(), map[string]int64{
+			"duration_ms": stats.Duration.Milliseconds(),
+			"valid":       int64(stats.Valid),
+			"workers":     int64(stats.Workers),
+		})
+	case errors.Is(buildErr, errBuildCanceled):
+		r.journal.Record("build_cancel", e.ID, e.reqID, "all requesting clients disconnected", nil)
+	default:
+		r.journal.Record("build_failed", e.ID, e.reqID, buildErr.Error(), nil)
 	}
 	close(e.ready)
 	r.demoteEvicted(evicted)
@@ -573,6 +618,11 @@ func (r *Registry) demoteEvicted(evicted []*Entry) {
 			r.demoteDropped++
 		}
 		r.mu.Unlock()
+		if demoted {
+			r.journal.Record("demote", v.ID, "", "evicted past the cache budget; snapshot retained on disk", nil)
+		} else {
+			r.journal.Record("evict", v.ID, "", "evicted past the cache budget; no disk copy survives", nil)
+		}
 		if r.onEvict != nil {
 			r.onEvict(v.ID, demoted)
 		}
@@ -597,6 +647,9 @@ const maxConcurrentRestores = 4
 // misnamed — publishes errRestoreFailed, which sends GetOrBuild
 // waiters back around the loop to build from source.
 func (r *Registry) restoreEntry(e *Entry) {
+	op := r.beginOp("restore", e.ID, "", e.reqID, e)
+	op.total.Store(1)
+	defer r.endOp(op)
 	waitStart := time.Now()
 	r.restoreSem <- struct{}{}
 	defer func() { <-r.restoreSem }()
@@ -641,7 +694,13 @@ func (r *Registry) restoreEntry(e *Entry) {
 	}
 	r.mu.Unlock()
 	if err == nil {
+		op.noteProgress(1, 1)
+		op.sink.Rows.Store(int64(snap.Space.Size()))
 		r.observePhases(e.phases)
+		r.noteRestore(e.ID, e.Bytes)
+		r.journal.Record("restore", e.ID, e.reqID, "", map[string]int64{"rows": int64(snap.Space.Size())})
+	} else {
+		r.journal.Record("restore_failed", e.ID, e.reqID, err.Error(), nil)
 	}
 	close(e.ready)
 	r.demoteEvicted(evicted)
@@ -674,8 +733,9 @@ var errRestoreFailed = errors.New("service: snapshot restore failed")
 // removed and every waiter is woken with it. A nil cancel builds
 // uncancelably. When rec is non-nil the queue wait and the build
 // itself are appended to it as trace phases, the latter carrying the
-// kernel's enumeration counters.
-func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}, want int, rec *[]obs.Phase) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
+// kernel's enumeration counters. When op is non-nil the solver's task
+// progress and live node/row counters stream into it for /v1/builds.
+func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, cancel <-chan struct{}, want int, rec *[]obs.Phase, op *opEntry) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, err error) {
 	if r.buildSem != nil {
 		queueStart := time.Now()
 		select {
@@ -712,10 +772,13 @@ func (r *Registry) runBuild(def *model.Definition, method searchspace.Method, ca
 			}
 		}
 	}
+	opts := searchspace.BuildOpts{Method: method, Workers: grant, Stop: stop}
+	if op != nil {
+		opts.OnProgress = op.noteProgress
+		opts.Progress = &op.sink
+	}
 	buildStart := time.Now()
-	ss, stats, err = searchspace.FromDefinition(def).BuildWith(searchspace.BuildOpts{
-		Method: method, Workers: grant, Stop: stop,
-	})
+	ss, stats, err = searchspace.FromDefinition(def).BuildWith(opts)
 	if errors.Is(err, searchspace.ErrCanceled) {
 		err = errBuildCanceled
 	}

@@ -287,7 +287,7 @@ func (s *Server) rehydrateLocked(w http.ResponseWriter, r *http.Request, sess *S
 		return false
 	}
 	if did {
-		s.sessions.NoteRehydrated()
+		s.sessions.NoteRehydrated(sess.SpaceID)
 		obs.TraceFrom(r.Context()).AddSpan("session_rehydrate", start, time.Since(start), nil)
 	}
 	return true

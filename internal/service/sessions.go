@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"searchspace/internal/obs"
 	"searchspace/internal/tuner"
 )
 
@@ -115,6 +116,9 @@ func (sess *Session) rehydrateLocked(sp tuner.Space) (bool, error) {
 type Sessions struct {
 	cfg     SessionConfig
 	metrics *Metrics
+	// journal, when set, records session kill/dehydrate/rehydrate
+	// events; Record is nil-safe.
+	journal *obs.Journal
 
 	mu    sync.Mutex
 	table map[string]*Session
@@ -153,6 +157,10 @@ func NewSessions(cfg SessionConfig, metrics *Metrics) *Sessions {
 	}
 }
 
+// SetJournal registers the lifecycle event journal; call before
+// serving.
+func (t *Sessions) SetJournal(j *obs.Journal) { t.journal = j }
+
 // KillBySpace removes every session bound to an evicted space,
 // releasing the stepper references that would otherwise keep the space
 // resident past the registry's byte budget, and leaves tombstones so
@@ -160,19 +168,25 @@ func NewSessions(cfg SessionConfig, metrics *Metrics) *Sessions {
 // as the registry's eviction hook.
 func (t *Sessions) KillBySpace(spaceID string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	killed := 0
 	for _, sess := range t.table {
 		if sess.SpaceID != spaceID {
 			continue
 		}
 		t.removeLocked(sess)
 		t.spaceEvicted++
+		killed++
 		t.tombstones[sess.ID] = spaceID
 		t.tombstoneOrder = append(t.tombstoneOrder, sess.ID)
 	}
 	for len(t.tombstoneOrder) > maxTombstones {
 		delete(t.tombstones, t.tombstoneOrder[0])
 		t.tombstoneOrder = t.tombstoneOrder[1:]
+	}
+	t.mu.Unlock()
+	if killed > 0 {
+		t.journal.Record("session_kill", spaceID, "", "space evicted with no snapshot to restore from",
+			map[string]int64{"sessions": int64(killed)})
 	}
 }
 
@@ -200,13 +214,19 @@ func (t *Sessions) DehydrateBySpace(spaceID string) {
 		sess.stepper = nil
 		sess.mu.Unlock()
 	}
+	if len(victims) > 0 {
+		t.journal.Record("session_dehydrate", spaceID, "", "space demoted to disk; sessions keep replayable state",
+			map[string]int64{"sessions": int64(len(victims))})
+	}
 }
 
-// NoteRehydrated counts sessions rebuilt from their histories.
-func (t *Sessions) NoteRehydrated() {
+// NoteRehydrated counts one session rebuilt from its history onto the
+// restored space.
+func (t *Sessions) NoteRehydrated(spaceID string) {
 	t.mu.Lock()
 	t.rehydrated++
 	t.mu.Unlock()
+	t.journal.Record("session_rehydrate", spaceID, "", "stepper replayed from session history", nil)
 }
 
 // KilledSpace reports whether the session id was killed by a space

@@ -16,8 +16,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.tracer != nil {
 		trace = s.tracer.Stats()
 	}
+	var journal obs.JournalStats
+	if s.journal != nil {
+		journal = s.journal.Stats()
+	}
 	var buf bytes.Buffer
-	if err := s.metrics.WritePrometheus(&buf, s.reg.Stats(), s.reg.StoreStats(), s.sessions.Stats(), trace); err != nil {
+	if err := s.metrics.WritePrometheus(&buf, s.reg.Stats(), s.reg.StoreStats(), s.sessions.Stats(), trace, journal); err != nil {
 		writeError(w, r, http.StatusInternalServerError, "rendering metrics: %v", err)
 		return
 	}

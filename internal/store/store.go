@@ -57,6 +57,39 @@ type Store struct {
 	quarantined int64 // corrupt blobs set aside
 	gcEvicted   int64 // blobs removed by the byte-budget GC
 	putErrors   int64
+
+	// scanDur is how long Open's directory scan took, retained so an IO
+	// observer attached after Open (the server wires observability once
+	// the store already exists) still learns the boot cost.
+	scanDur time.Duration
+
+	// onIO, when set, receives the duration of every completed store IO
+	// operation ("scan", "put", "get", "gc"), feeding the
+	// spaced_store_io_seconds histograms. onEvent, when set, receives
+	// lifecycle notifications ("quarantine", "gc") for the event
+	// journal. Both are set before serving and called outside the lock.
+	onIO    func(op string, d time.Duration)
+	onEvent func(kind, id string)
+}
+
+// SetIOObserver registers the IO-duration callback; call before
+// serving. The boot scan already happened by the time an observer can
+// attach, so its retained duration is replayed immediately.
+func (s *Store) SetIOObserver(fn func(op string, d time.Duration)) {
+	s.onIO = fn
+	if fn != nil && s.scanDur > 0 {
+		fn("scan", s.scanDur)
+	}
+}
+
+// SetEventHook registers the lifecycle callback; call before serving.
+func (s *Store) SetEventHook(fn func(kind, id string)) { s.onEvent = fn }
+
+// observeIO reports one completed IO operation, if an observer is set.
+func (s *Store) observeIO(op string, start time.Time) {
+	if s.onIO != nil {
+		s.onIO(op, time.Since(start))
+	}
 }
 
 // suffixes of the files the store owns.
@@ -89,6 +122,7 @@ func Open(cfg Config) (*Store, error) {
 		blobs:    make(map[string]*blob),
 		lru:      list.New(),
 	}
+	scanStart := time.Now()
 	entries, err := os.ReadDir(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -127,6 +161,7 @@ func Open(cfg Config) (*Store, error) {
 		s.blobs[f.id] = b
 		s.bytes += f.bytes
 	}
+	s.scanDur = time.Since(scanStart)
 	return s, nil
 }
 
@@ -202,8 +237,17 @@ func (s *Store) Put(id string, snap *Snapshot) error {
 	s.puts++
 	removed := s.gcLocked()
 	s.mu.Unlock()
-	for _, path := range removed {
-		_ = os.Remove(path)
+	if len(removed) > 0 {
+		gcStart := time.Now()
+		for _, victim := range removed {
+			_ = os.Remove(s.path(victim))
+		}
+		s.observeIO("gc", gcStart)
+		if s.onEvent != nil {
+			for _, victim := range removed {
+				s.onEvent("gc", victim)
+			}
+		}
 	}
 	return nil
 }
@@ -211,6 +255,7 @@ func (s *Store) Put(id string, snap *Snapshot) error {
 // writeBlob encodes snap into a temp file and renames it into place,
 // returning the blob size.
 func (s *Store) writeBlob(id string, snap *Snapshot) (int64, error) {
+	defer s.observeIO("put", time.Now())
 	tmp, err := os.CreateTemp(s.dir, tmpPrefix+id+"-")
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
@@ -261,6 +306,7 @@ func (s *Store) Get(id string) (*Snapshot, error) {
 	s.lru.MoveToFront(b.elem)
 	s.mu.Unlock()
 
+	getStart := time.Now()
 	f, err := os.Open(s.path(id))
 	if err != nil {
 		// GC or an operator removed it between index check and open.
@@ -272,6 +318,7 @@ func (s *Store) Get(id string) (*Snapshot, error) {
 	}
 	snap, derr := Decode(f)
 	f.Close()
+	s.observeIO("get", getStart)
 	switch {
 	case derr == nil:
 		s.mu.Lock()
@@ -319,6 +366,9 @@ func (s *Store) Quarantine(id string) {
 	s.mu.Lock()
 	s.quarantined++
 	s.mu.Unlock()
+	if s.onEvent != nil {
+		s.onEvent("quarantine", id)
+	}
 }
 
 // Delete removes the blob for id, reporting whether one was indexed.
@@ -344,13 +394,13 @@ func (s *Store) dropIndexed(id string) bool {
 
 // gcLocked drops least-recently-used blobs until the store fits its
 // byte budget, keeping at least the most recently touched blob. It
-// returns the file paths to remove so the caller can do IO outside the
-// lock.
+// returns the victim ids so the caller can do the file removal (and
+// event reporting) outside the lock.
 func (s *Store) gcLocked() []string {
 	if s.maxBytes <= 0 {
 		return nil
 	}
-	var paths []string
+	var ids []string
 	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
 		back := s.lru.Back()
 		victim := back.Value.(*blob)
@@ -358,9 +408,9 @@ func (s *Store) gcLocked() []string {
 		delete(s.blobs, victim.id)
 		s.bytes -= victim.bytes
 		s.gcEvicted++
-		paths = append(paths, s.path(victim.id))
+		ids = append(ids, victim.id)
 	}
-	return paths
+	return ids
 }
 
 // touchFile refreshes a blob's mtime (best-effort) so a future cold

@@ -257,11 +257,23 @@ type BuildOpts struct {
 	// and the service admission-bounds their input size. Nil never
 	// cancels. Stop may be called from several goroutines at once.
 	Stop func() bool
-	// OnProgress, when set, observes parallel enumeration progress
-	// (completed and total scheduler tasks). Calls may arrive
-	// concurrently from worker goroutines.
+	// OnProgress, when set, observes enumeration progress (completed
+	// and total scheduler tasks): one upfront call with done 0 and the
+	// total, then one per completed task. Calls may arrive concurrently
+	// from worker goroutines.
 	OnProgress func(done, total int)
+	// Progress, when set, receives live node/row counters from inside
+	// the optimized solver's enumeration kernel — finer-grained than
+	// OnProgress (which only ticks at task boundaries) and updated even
+	// by single-worker runs. Methods that do not use the kernel leave
+	// it untouched.
+	Progress *ProgressSink
 }
+
+// ProgressSink re-exports the kernel's atomic live-progress counters
+// so callers outside the internal tree can construct one and watch a
+// build move; see BuildOpts.Progress.
+type ProgressSink = core.ProgressSink
 
 // preflight is the shared Build* preamble: surface a deferred
 // accumulation error, validate the definition, and seed the stats.
@@ -318,7 +330,7 @@ func (p *Problem) BuildWith(o BuildOpts) (*SearchSpace, BuildStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	ex := core.Exec{Workers: o.Workers, Stop: o.Stop, OnProgress: o.OnProgress}
+	ex := core.Exec{Workers: o.Workers, Stop: o.Stop, OnProgress: o.OnProgress, Sink: o.Progress}
 	start := time.Now()
 	col, workers, es, err := construct(p.def, o.Method, ex)
 	stats.Duration = time.Since(start)
@@ -357,7 +369,10 @@ func construct(def *model.Definition, m Method, ex core.Exec) (*core.Columnar, i
 		}
 		compiled := prob.Compile(core.DefaultOptions())
 		if ex.EffectiveWorkers() == 1 {
-			col, es, canceled := compiled.SolveColumnarStats(ex.Stop)
+			if ex.OnProgress != nil {
+				ex.OnProgress(0, 1)
+			}
+			col, es, canceled := compiled.SolveColumnarStatsSink(ex.Stop, ex.Sink)
 			if canceled {
 				return nil, 1, none, ErrCanceled
 			}
