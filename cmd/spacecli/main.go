@@ -64,6 +64,14 @@
 //
 //	spacecli top -server http://localhost:8080 -interval 2s
 //	spacecli top -server http://localhost:8080 -once          (one frame, scriptable)
+//
+// The restrict subcommand submits a tightened definition and reports
+// whether the daemon answered it by delta-building from a cached
+// superset (incremental construction) instead of running a solver;
+// -parent asserts the expected derivation for scripting:
+//
+//	spacecli restrict -server http://localhost:8080 -in tightened.json
+//	spacecli restrict -server http://localhost:8080 -in tightened.json -parent <superset-id>
 package main
 
 import (
@@ -112,6 +120,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "top" {
 		topMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "restrict" {
+		restrictMain(os.Args[2:])
 		return
 	}
 	in := flag.String("in", "", "JSON search-space definition file")

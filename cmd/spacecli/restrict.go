@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"searchspace/internal/report"
+	"searchspace/internal/service"
+)
+
+// restrictMain implements `spacecli restrict`: submit a tightened
+// definition to a running spaced daemon and report HOW the daemon
+// answered it — served from cache, delta-built by restricting a cached
+// superset (the incremental-construction path), or built from scratch
+// by a solver. With -parent the command also asserts the derivation:
+// it exits non-zero unless the space was delta-built from exactly that
+// superset, making the fast path scriptable in CI.
+func restrictMain(args []string) {
+	fs := flag.NewFlagSet("spacecli restrict", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the spaced daemon")
+	in := fs.String("in", "", "JSON search-space definition file (the tightened definition)")
+	workload := fs.String("workload", "", "built-in workload name (e.g. Hotspot, GEMM)")
+	method := fs.String("method", "", "construction method (daemon default: optimized)")
+	parent := fs.String("parent", "", "expected superset space id; exit 1 unless delta-built from it")
+	_ = fs.Parse(args)
+
+	problem, err := loadProblemDoc(*in, *workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Minute}
+
+	var built service.BuildResponse
+	postDoc(client, *server+"/v1/spaces", service.BuildRequest{Problem: problem, Method: *method}, &built)
+
+	fmt.Printf("space:        %s\n", built.Name)
+	fmt.Printf("id:           %s\n", built.ID)
+	fmt.Printf("method:       %s\n", built.Build.Method)
+	fmt.Printf("size:         %s\n", report.Count(float64(built.Size)))
+	fmt.Printf("construction: %s\n", report.Seconds(built.Build.WallSeconds))
+	switch {
+	case built.Cached:
+		fmt.Println("answered by:  cache (space already materialized)")
+	case built.Parent != "":
+		fmt.Printf("answered by:  delta-build (restricted from cached superset %s)\n", built.Parent)
+	default:
+		fmt.Println("answered by:  full solver build (no cached superset to restrict)")
+	}
+
+	if *parent != "" {
+		if built.Cached {
+			fmt.Fprintf(os.Stderr, "restrict: space was already cached; no delta-build ran this request\n")
+			os.Exit(1)
+		}
+		if built.Parent != *parent {
+			fmt.Fprintf(os.Stderr, "restrict: expected delta-build from %s, got %q\n", *parent, built.Parent)
+			os.Exit(1)
+		}
+	}
+}

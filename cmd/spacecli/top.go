@@ -117,12 +117,13 @@ func renderTop(client *http.Client, server string, n int) (string, error) {
 				shortID(u.ID), fmt.Sprintf("%d", u.Queries),
 				fmt.Sprintf("%d", u.BatchRows), fmt.Sprintf("%d", u.Builds),
 				report.Seconds(float64(u.BuildNanos) / 1e9),
-				fmt.Sprintf("%d", u.Restores),
+				fmt.Sprintf("%d", u.Restores), fmt.Sprintf("%d", u.Restricts),
+				shortID(u.Parent),
 				residentLabel(u), fmt.Sprintf("%s ago", sinceLabel(u.LastAccess)),
 			})
 		}
 		b.WriteString(report.Table(
-			[]string{"space", "queries", "batch rows", "builds", "build time", "restores", "resident", "last access"}, rows))
+			[]string{"space", "queries", "batch rows", "builds", "build time", "restores", "restricts", "parent", "resident", "last access"}, rows))
 	}
 	b.WriteString("\n")
 

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"log"
+	"math"
+	"time"
+
+	"searchspace"
+	"searchspace/internal/workloads"
+)
+
+// runDeltaBench measures what incremental construction buys: on the
+// Hotspot workload (the paper's flagship), it builds the full space
+// once as the cached superset, then — per repetition — times producing
+// a tightened variant (one added constraint) two ways: a fresh solver
+// build, and Restrict over the cached superset's columns. Byte parity
+// between the two is asserted on EVERY repetition (the restrict path
+// must reproduce the fresh build exactly, row order included); the
+// reported ratio compares the per-side minimum over -reps runs, the
+// honest cost with GC and cold-cache noise discarded.
+func runDeltaBench(reps int) map[string]any {
+	if reps < 1 {
+		reps = 1
+	}
+
+	superset := workloads.Hotspot()
+	tightened := superset.Clone()
+	tightened.Name = "Hotspot-tightened"
+	// One realistic tightening: halve the loop-unroll range, the kind
+	// of domain-knowledge cut a tuner applies between runs. The delta
+	// changes the solver's degree ordering, so the restrict side pays
+	// its full cost too — filter plus re-sort into the new emission
+	// order — not just the fast path.
+	tightened.Constraints = append(tightened.Constraints, "loop_unroll_factor_t <= 5")
+
+	t0 := time.Now()
+	parent, parentStats, err := searchspace.FromDefinition(superset).BuildWith(
+		searchspace.BuildOpts{Method: searchspace.Optimized, Workers: 1})
+	if err != nil {
+		log.Fatalf("delta: building the superset: %v", err)
+	}
+	supersetSeconds := time.Since(t0).Seconds()
+
+	var failures int64
+	parityOK := true
+	rebuildBest, restrictBest := math.Inf(1), math.Inf(1)
+	var rowsIn, rowsKept int64
+	for rep := 0; rep < reps; rep++ {
+		t0 = time.Now()
+		fresh, _, err := searchspace.FromDefinition(tightened.Clone()).BuildWith(
+			searchspace.BuildOpts{Method: searchspace.Optimized, Workers: 1})
+		if err != nil {
+			log.Fatalf("delta: fresh build (rep %d): %v", rep, err)
+		}
+		if s := time.Since(t0).Seconds(); s < rebuildBest {
+			rebuildBest = s
+		}
+
+		t0 = time.Now()
+		restricted, rstats, err := searchspace.RestrictWith(parent,
+			searchspace.FromDefinition(tightened.Clone()),
+			searchspace.BuildOpts{Method: searchspace.Optimized})
+		if err != nil {
+			log.Fatalf("delta: restrict (rep %d): %v", rep, err)
+		}
+		if s := time.Since(t0).Seconds(); s < restrictBest {
+			restrictBest = s
+		}
+		rowsIn, rowsKept = rstats.Nodes, int64(rstats.Valid)
+
+		// Parity every repetition: same rows, same order, every cell.
+		fc, rc := fresh.Columns(), restricted.Columns()
+		same := fresh.Size() == restricted.Size() && len(fc) == len(rc)
+		for p := 0; same && p < len(fc); p++ {
+			for r := range fc[p] {
+				if fc[p][r] != rc[p][r] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			log.Printf("delta: rep %d: restrict output differs from the fresh build", rep)
+			failures++
+			parityOK = false
+		}
+	}
+
+	return map[string]any{
+		"benchmark":        "delta-build",
+		"workload":         superset.Name,
+		"reps":             reps,
+		"superset_valid":   parent.Size(),
+		"superset_build_s": supersetSeconds,
+		"superset_workers": parentStats.Workers,
+		"tightened_delta":  "loop_unroll_factor_t <= 5",
+		"rows_in":          rowsIn,
+		"rows_kept":        rowsKept,
+		"rebuild_seconds":  rebuildBest,
+		"restrict_seconds": restrictBest,
+		// The acceptance headline: restrict-vs-rebuild wall-time ratio,
+		// min over reps on both sides.
+		"speedup":  rebuildBest / restrictBest,
+		"parity":   parityOK,
+		"failures": failures,
+	}
+}

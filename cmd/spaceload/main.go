@@ -61,6 +61,14 @@
 //     populated. Writes BENCH_obs.json. (In-process only: -server is
 //     rejected.)
 //
+//   - delta: the incremental-construction benchmark — builds the full
+//     Hotspot space once as the cached superset, then races producing a
+//     tightened variant (one added constraint) by fresh solver build
+//     versus Restrict over the superset's columns (min wall time over
+//     -reps runs per side, byte parity asserted every rep), reporting
+//     the restrict-vs-rebuild speedup. In-process, no server. Writes
+//     BENCH_delta.json.
+//
 //   - batch: the batch-query-plane benchmark — resolves the same
 //     1024-genotype stream through POST batch/lookup as 1024
 //     single-genotype requests versus one batched request (min wall
@@ -86,6 +94,7 @@
 //     spaceload -mode solver -reps 3
 //     spaceload -mode obs -reps 3 -requests 2000 -workers 16
 //     spaceload -mode batch -reps 3
+//     spaceload -mode delta -reps 3
 //     spaceload -mode ops -server http://localhost:8080 -request-id ci-slow-1
 package main
 
@@ -117,7 +126,7 @@ import (
 
 func main() {
 	server := flag.String("server", "", "spaced base URL (default: in-process server)")
-	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs | batch | ops")
+	mode := flag.String("mode", "service", "workload: service | build | sessions | restart | solver | obs | batch | delta | ops")
 	reps := flag.Int("reps", 3, "build/solver modes: runs per measured point; the minimum wall time is kept")
 	storeDir := flag.String("store-dir", "", "restart mode: snapshot store directory (default: a fresh temp dir)")
 	spaces := flag.Int("spaces", 8, "distinct definitions in the workload")
@@ -131,10 +140,10 @@ func main() {
 	flag.Parse()
 
 	base := *server
-	if base == "" && *mode != "restart" && *mode != "solver" && *mode != "obs" {
+	if base == "" && *mode != "restart" && *mode != "solver" && *mode != "obs" && *mode != "delta" {
 		// restart mode manages its own pair of servers (before/after the
-		// simulated restart), solver mode benchmarks the enumeration
-		// kernel in-process, and obs mode runs a tracing-on/tracing-off
+		// simulated restart), solver and delta modes benchmark the
+		// library in-process, and obs mode runs a tracing-on/tracing-off
 		// server pair, so no default server is needed for them.
 		cfg := service.RegistryConfig{MaxEntries: 1024}
 		if *mode == "build" {
@@ -218,6 +227,14 @@ func main() {
 			outFile = "BENCH_batch.json"
 		}
 		result = runBatchLoad(client, base, *reps)
+	case "delta":
+		if *server != "" {
+			log.Fatal("delta mode benchmarks incremental construction in-process; -server is not supported")
+		}
+		if outFile == "" {
+			outFile = "BENCH_delta.json"
+		}
+		result = runDeltaBench(*reps)
 	case "ops":
 		// A driver, not a benchmark: no BENCH artifact by default.
 		if outFile == "" {
@@ -225,7 +242,7 @@ func main() {
 		}
 		result = runOpsLoad(client, base, *requestID)
 	default:
-		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, obs, batch, or ops)", *mode)
+		log.Fatalf("unknown mode %q (want service, build, sessions, restart, solver, obs, batch, delta, or ops)", *mode)
 	}
 
 	pretty, _ := json.MarshalIndent(result, "", "  ")

@@ -108,64 +108,10 @@ func BuildExec(def *model.Definition, mode Mode, ex core.Exec) (*Chain, error) {
 	}
 	n := len(def.Params)
 
-	// Scope of every constraint as parameter indices.
-	scopes := make([][]int, 0, len(nodes)+len(def.GoConstraints))
-	for _, nd := range nodes {
-		var scope []int
-		for _, name := range expr.Vars(nd) {
-			pi, _ := def.ParamIndex(name)
-			scope = append(scope, pi)
-		}
-		scopes = append(scopes, scope)
-	}
-	for _, gc := range def.GoConstraints {
-		var scope []int
-		seen := map[int]struct{}{}
-		for _, name := range gc.Vars {
-			pi, _ := def.ParamIndex(name)
-			if _, dup := seen[pi]; !dup {
-				seen[pi] = struct{}{}
-				scope = append(scope, pi)
-			}
-		}
-		scopes = append(scopes, scope)
-	}
-
-	// Union-find over parameters.
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-	for _, scope := range scopes {
-		if len(scope) < 2 {
-			continue
-		}
-		for _, pi := range scope[1:] {
-			union(scope[0], pi)
-		}
-	}
-
-	// Groups in definition order of their first parameter.
-	groupOf := make(map[int]*group)
-	var groups []*group
-	for pi := 0; pi < n; pi++ {
-		root := find(pi)
-		g, ok := groupOf[root]
-		if !ok {
-			g = &group{}
-			groupOf[root] = g
-			groups = append(groups, g)
-		}
-		g.paramIdx = append(g.paramIdx, pi)
+	scopes := constraintScopes(def, nodes)
+	groups := make([]*group, 0)
+	for _, set := range paramGroups(n, scopes) {
+		groups = append(groups, &group{paramIdx: set})
 	}
 
 	// Constant constraints decide satisfiability up front.
@@ -319,6 +265,98 @@ func BuildExec(def *model.Definition, mode Mode, ex core.Exec) (*Chain, error) {
 		g.leaves += leafCounts[t]
 	}
 	return c, nil
+}
+
+// constraintScopes returns each constraint's scope as parameter
+// indices: parsed string constraints first (in order), then Go
+// constraints with duplicate parameters removed.
+func constraintScopes(def *model.Definition, nodes []expr.Node) [][]int {
+	scopes := make([][]int, 0, len(nodes)+len(def.GoConstraints))
+	for _, nd := range nodes {
+		var scope []int
+		for _, name := range expr.Vars(nd) {
+			pi, _ := def.ParamIndex(name)
+			scope = append(scope, pi)
+		}
+		scopes = append(scopes, scope)
+	}
+	for _, gc := range def.GoConstraints {
+		var scope []int
+		seen := map[int]struct{}{}
+		for _, name := range gc.Vars {
+			pi, _ := def.ParamIndex(name)
+			if _, dup := seen[pi]; !dup {
+				seen[pi] = struct{}{}
+				scope = append(scope, pi)
+			}
+		}
+		scopes = append(scopes, scope)
+	}
+	return scopes
+}
+
+// paramGroups unions parameters that co-occur in a constraint scope
+// (union-find with path halving) and returns the interdependence
+// groups in definition order of their first parameter, parameters
+// within each group ascending — the tree/chain structure of §3.
+func paramGroups(n int, scopes [][]int) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, scope := range scopes {
+		if len(scope) < 2 {
+			continue
+		}
+		for _, pi := range scope[1:] {
+			union(scope[0], pi)
+		}
+	}
+	groupOf := make(map[int]int)
+	var groups [][]int
+	for pi := 0; pi < n; pi++ {
+		root := find(pi)
+		gi, ok := groupOf[root]
+		if !ok {
+			gi = len(groups)
+			groupOf[root] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], pi)
+	}
+	return groups
+}
+
+// OrderPermutation returns the chain's row-emission variable order for
+// def: position (depth) -> parameter index, depth 0 slowest-varying.
+// Rows enumerate as the cartesian chain of the groups (group 0
+// slowest), each group's parameters nested in definition order — so
+// the flattened group concatenation is exactly the sort order of the
+// emitted rows. Both evaluation modes share it; mode only changes how
+// constraints are checked, never the tree walk order.
+func OrderPermutation(def *model.Definition) ([]int, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	nodes, err := def.ParsedConstraints()
+	if err != nil {
+		return nil, err
+	}
+	scopes := constraintScopes(def, nodes)
+	perm := make([]int, 0, len(def.Params))
+	for _, g := range paramGroups(len(def.Params), scopes) {
+		perm = append(perm, g...)
+	}
+	return perm, nil
 }
 
 // subtreeBuilder constructs one root value's subtree depth-first with

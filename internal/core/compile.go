@@ -209,6 +209,19 @@ func (p *Problem) Compile(opt Options) *Compiled {
 	return c
 }
 
+// Order returns a copy of the solve-order permutation: position
+// (depth) -> variable index, depth 0 slowest-varying in the emitted
+// row order. The restrict path uses it as the target sort order when
+// reproducing this compilation's emission order from filtered rows.
+func (c *Compiled) Order() []int {
+	return append([]int(nil), c.order...)
+}
+
+// Empty reports whether compilation proved the space empty (constant-
+// false constraint or a domain pruned to nothing). When true, the
+// order permutation is meaningless — there are no rows to order.
+func (c *Compiled) Empty() bool { return c.empty }
+
 func makeEntry(v value.Value, orig int32) entry {
 	e := entry{val: v, orig: orig, num: math.NaN()}
 	if v.IsNumeric() {

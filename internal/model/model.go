@@ -177,10 +177,65 @@ func (d *Definition) Clone() *Definition {
 // and must be preserved: it fixes the enumeration order of the resolved
 // space and therefore row indices, sampling, and chain-of-trees
 // grouping.
+// Textually identical duplicates are also dropped: a repeated
+// constraint is a no-op to every method, so it must not perturb the
+// content address either.
 func (d *Definition) CanonicalConstraints() []string {
 	out := append([]string(nil), d.Constraints...)
 	sort.Strings(out)
-	return out
+	dedup := out[:0]
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	return dedup
+}
+
+// SameParams reports whether a and b declare the same parameters: same
+// names, same domains, in the same order. Values compare kind-
+// faithfully (int 2 and float 2.0 differ), matching the wire codec's
+// canonical encoding. This is the lattice condition under which one
+// definition's space can be restricted into another's.
+func SameParams(a, b *Definition) bool {
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		pa, pb := a.Params[i], b.Params[i]
+		if pa.Name != pb.Name || len(pa.Values) != len(pb.Values) {
+			return false
+		}
+		for j := range pa.Values {
+			va, vb := pa.Values[j], pb.Values[j]
+			if va.Kind() != vb.Kind() || va.Key() != vb.Key() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConstraintDelta reports whether parent's canonical string-constraint
+// set is a subset of child's, and if so returns the constraints child
+// adds (canonical order). Both sets are compared after canonicalization
+// (sort + dedup), so permuted or duplicated submissions of the same
+// conjunction compare equal. Go constraints are not considered — the
+// caller decides how (or whether) to compare those.
+func ConstraintDelta(parent, child *Definition) (delta []string, subset bool) {
+	pc, cc := parent.CanonicalConstraints(), child.CanonicalConstraints()
+	i := 0
+	for _, s := range cc {
+		if i < len(pc) && pc[i] == s {
+			i++
+			continue
+		}
+		delta = append(delta, s)
+	}
+	if i != len(pc) {
+		return nil, false
+	}
+	return delta, true
 }
 
 // IntsParam is a convenience constructor for integer-valued parameters.

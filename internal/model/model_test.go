@@ -178,3 +178,61 @@ func TestCanonicalConstraints(t *testing.T) {
 		t.Errorf("CanonicalConstraints mutated the definition: %v", d.Constraints)
 	}
 }
+
+func TestCanonicalConstraintsDedup(t *testing.T) {
+	d := &Definition{
+		Name:        "dedup",
+		Params:      []Param{IntsParam("a", 1), IntsParam("b", 2)},
+		Constraints: []string{"b > 1", "a < 2", "b > 1", "a < 2", "a < 2"},
+	}
+	got := d.CanonicalConstraints()
+	if len(got) != 2 || got[0] != "a < 2" || got[1] != "b > 1" {
+		t.Errorf("dedup failed: %v", got)
+	}
+	if len(d.Constraints) != 5 {
+		t.Errorf("CanonicalConstraints mutated the definition: %v", d.Constraints)
+	}
+}
+
+func TestSameParams(t *testing.T) {
+	a := &Definition{Params: []Param{IntsParam("x", 1, 2), IntsParam("y", 3)}}
+	b := &Definition{Params: []Param{IntsParam("x", 1, 2), IntsParam("y", 3)}}
+	if !SameParams(a, b) {
+		t.Error("identical params compare unequal")
+	}
+	// Parameter order is semantic.
+	c := &Definition{Params: []Param{IntsParam("y", 3), IntsParam("x", 1, 2)}}
+	if SameParams(a, c) {
+		t.Error("reordered params compare equal")
+	}
+	// Value kind is semantic: int 2 != float 2.0.
+	d := &Definition{Params: []Param{
+		{Name: "x", Values: []value.Value{value.OfInt(1), value.OfFloat(2)}},
+		IntsParam("y", 3),
+	}}
+	if SameParams(a, d) {
+		t.Error("int vs float domain compares equal")
+	}
+	e := &Definition{Params: []Param{IntsParam("x", 1, 2, 3), IntsParam("y", 3)}}
+	if SameParams(a, e) {
+		t.Error("wider domain compares equal")
+	}
+}
+
+func TestConstraintDelta(t *testing.T) {
+	parent := &Definition{Constraints: []string{"b > 1", "a < 2"}}
+	child := &Definition{Constraints: []string{"a < 2", "c == 3", "b > 1", "b > 1"}}
+	delta, ok := ConstraintDelta(parent, child)
+	if !ok || len(delta) != 1 || delta[0] != "c == 3" {
+		t.Errorf("delta = %v ok=%v, want [c == 3] true", delta, ok)
+	}
+	// Equal sets: empty delta, still a subset.
+	delta, ok = ConstraintDelta(parent, &Definition{Constraints: []string{"a < 2", "b > 1"}})
+	if !ok || len(delta) != 0 {
+		t.Errorf("equal sets: delta = %v ok=%v", delta, ok)
+	}
+	// Parent carries a constraint the child lacks: not a subset.
+	if _, ok := ConstraintDelta(parent, &Definition{Constraints: []string{"a < 2"}}); ok {
+		t.Error("missing parent constraint reported as subset")
+	}
+}

@@ -66,23 +66,7 @@ func Solve(def *model.Definition) (*core.Columnar, error) {
 		}
 	}
 
-	// Most-constrained-variable order (vanilla python-constraint sorts on
-	// (-len(vconstraints[v]), len(domain[v]), v)).
-	order := make([]int, len(def.Params))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		pa, pb := def.Params[order[a]], def.Params[order[b]]
-		ca, cb := len(vcons[pa.Name]), len(vcons[pb.Name])
-		if ca != cb {
-			return ca > cb
-		}
-		if len(pa.Values) != len(pb.Values) {
-			return len(pa.Values) < len(pb.Values)
-		}
-		return pa.Name < pb.Name
-	})
+	order := orderFor(def, vcons)
 
 	out := &core.Columnar{
 		Names: make([]string, len(def.Params)),
@@ -103,6 +87,57 @@ func Solve(def *model.Definition) (*core.Columnar, error) {
 	}
 	s.recurse(0)
 	return out, nil
+}
+
+// orderFor computes the most-constrained-variable order (vanilla
+// python-constraint sorts on (-len(vconstraints[v]), len(domain[v]), v)).
+func orderFor(def *model.Definition, vcons map[string][]int) []int {
+	order := make([]int, len(def.Params))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := def.Params[order[a]], def.Params[order[b]]
+		ca, cb := len(vcons[pa.Name]), len(vcons[pb.Name])
+		if ca != cb {
+			return ca > cb
+		}
+		if len(pa.Values) != len(pb.Values) {
+			return len(pa.Values) < len(pb.Values)
+		}
+		return pa.Name < pb.Name
+	})
+	return order
+}
+
+// OrderPermutation returns the solver's variable order for def:
+// position (depth) -> parameter index, depth 0 assigned first and
+// therefore slowest-varying in the emitted row order. The restrict
+// path sorts filtered rows under this permutation to reproduce a
+// fresh naive build's emission order.
+func OrderPermutation(def *model.Definition) ([]int, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	nodes, err := def.ParsedConstraints()
+	if err != nil {
+		return nil, err
+	}
+	vcons := make(map[string][]int, len(def.Params))
+	ci := 0
+	for _, n := range nodes {
+		for _, v := range expr.Vars(n) {
+			vcons[v] = append(vcons[v], ci)
+		}
+		ci++
+	}
+	for _, gc := range def.GoConstraints {
+		for _, v := range gc.Vars {
+			vcons[v] = append(vcons[v], ci)
+		}
+		ci++
+	}
+	return orderFor(def, vcons), nil
 }
 
 // Count returns the number of valid configurations.

@@ -200,3 +200,27 @@ func Fingerprint(def *model.Definition, method searchspace.Method) (string, erro
 	sum := sha256.Sum256(raw)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// ParamsFingerprint returns the content address of the definition's
+// parameter block alone — names and domains in declaration order, with
+// the display name, constraints, and method all excluded. It is the
+// lattice index key: every definition over the same parameters hashes
+// here identically whatever it is constrained by or built with, which
+// is exactly the family within which one cached space can be
+// restricted into another.
+func ParamsFingerprint(def *model.Definition) (string, error) {
+	canon := def.Clone()
+	canon.Name = ""
+	canon.Constraints = nil
+	canon.GoConstraints = nil
+	doc, err := EncodeProblem(canon)
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -358,11 +358,14 @@ func statsDoc(st searchspace.BuildStats) BuildStatsDoc {
 
 // BuildResponse answers POST /v1/spaces.
 type BuildResponse struct {
-	ID     string        `json:"id"`
-	Name   string        `json:"name"`
-	Size   int           `json:"size"`
-	Params int           `json:"params"`
-	Cached bool          `json:"cached"`
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Size   int    `json:"size"`
+	Params int    `json:"params"`
+	Cached bool   `json:"cached"`
+	// Parent, when set, is the id of the cached superset this space was
+	// delta-built (restricted) from instead of solved.
+	Parent string        `json:"parent,omitempty"`
 	Build  BuildStatsDoc `json:"build"`
 }
 
@@ -429,6 +432,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		Size:   entry.Space.Size(),
 		Params: entry.Space.NumParams(),
 		Cached: hit,
+		Parent: entry.ParentID,
 		Build:  statsDoc(entry.Stats),
 	})
 }
@@ -446,15 +450,18 @@ type BoundsDoc struct {
 
 // DescribeResponse answers GET /v1/spaces/{id}.
 type DescribeResponse struct {
-	ID          string        `json:"id"`
-	Name        string        `json:"name"`
-	Size        int           `json:"size"`
-	Cartesian   float64       `json:"cartesian"`
-	Params      []string      `json:"params"`
-	Constraints int           `json:"constraints"`
-	Bounds      []BoundsDoc   `json:"true_bounds"`
-	Bytes       int64         `json:"bytes"`
-	Build       BuildStatsDoc `json:"build"`
+	ID          string      `json:"id"`
+	Name        string      `json:"name"`
+	Size        int         `json:"size"`
+	Cartesian   float64     `json:"cartesian"`
+	Params      []string    `json:"params"`
+	Constraints int         `json:"constraints"`
+	Bounds      []BoundsDoc `json:"true_bounds"`
+	Bytes       int64       `json:"bytes"`
+	// Parent, when set, is the id of the cached superset this space was
+	// delta-built (restricted) from instead of solved.
+	Parent string        `json:"parent,omitempty"`
+	Build  BuildStatsDoc `json:"build"`
 }
 
 // lookup resolves {id} through both cache tiers — a demoted space is
@@ -492,6 +499,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		Constraints: entry.Def.NumConstraints(),
 		Bounds:      make([]BoundsDoc, len(bounds)),
 		Bytes:       entry.Bytes,
+		Parent:      entry.ParentID,
 		Build:       statsDoc(entry.Stats),
 	}
 	for i, b := range bounds {

@@ -498,6 +498,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache RegistryStats, diskStore *s
 		{"join", cache.Joins},
 		{"miss", cache.Misses},
 		{"build", cache.Builds},
+		{"restrict", cache.Restricts},
 		{"restore", cache.Restores},
 		{"eviction", cache.Evictions},
 		{"demotion", cache.Demotions},

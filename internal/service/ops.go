@@ -9,15 +9,16 @@ import (
 	"searchspace/internal/obs"
 )
 
-// opEntry is one in-flight registry operation (a build, restore, or
-// compare leg) as tracked for the live operations plane. The counters
+// opEntry is one in-flight registry operation (a build, restore,
+// restrict, or compare leg) as tracked for the live operations plane.
+// The counters
 // are written by the solver goroutine at its own cadence and read
 // lock-free by /v1/builds pollers; done only grows (CAS-max), so a
 // poller never observes progress moving backward even when task
 // completions race the upfront total publication.
 type opEntry struct {
 	seq     int64
-	kind    string // "build", "restore", or "compare"
+	kind    string // "build", "restore", "restrict", or "compare"
 	spaceID string
 	method  string
 	reqID   string // request id of the initiating client, links to its trace
@@ -76,6 +77,15 @@ func (r *Registry) beginOp(kind, spaceID, method, reqID string, e *Entry) *opEnt
 	r.ops[op.seq] = op
 	r.opMu.Unlock()
 	return op
+}
+
+// setOpKind relabels an in-flight operation (a miss that turns out to
+// be answerable by delta-build flips "build" → "restrict"). kind is
+// read by ActiveOps under opMu, so the flip takes the same lock.
+func (r *Registry) setOpKind(op *opEntry, kind string) {
+	r.opMu.Lock()
+	op.kind = kind
+	r.opMu.Unlock()
 }
 
 // endOp removes a finished operation from the live table.
@@ -149,7 +159,9 @@ type spaceUsage struct {
 	builds     int64
 	buildNanos int64
 	restores   int64
-	bytes      int64 // last known resident estimate
+	restricts  int64
+	parent     string // superset space id of the last delta-build, "" if none
+	bytes      int64  // last known resident estimate
 	lastAccess time.Time
 }
 
@@ -163,6 +175,8 @@ type SpaceUsageDoc struct {
 	Builds         int64            `json:"builds,omitempty"`
 	BuildNanos     int64            `json:"build_time_ns,omitempty"`
 	Restores       int64            `json:"restores,omitempty"`
+	Restricts      int64            `json:"restricts,omitempty"`
+	Parent         string           `json:"parent,omitempty"`
 	ResidentBytes  int64            `json:"resident_bytes,omitempty"`
 	Resident       bool             `json:"resident"`
 	LastAccess     time.Time        `json:"last_access"`
@@ -222,11 +236,27 @@ func (r *Registry) noteBuild(id string, buildNanos, bytes int64) {
 	r.usageMu.Unlock()
 }
 
-// noteRestore attributes one snapshot restore to the space.
-func (r *Registry) noteRestore(id string, bytes int64) {
+// noteRestore attributes one snapshot restore to the space; parent
+// carries the snapshot's recorded derivation (may be "").
+func (r *Registry) noteRestore(id, parent string, bytes int64) {
 	r.usageMu.Lock()
 	u := r.usageRowLocked(id)
 	u.restores++
+	if parent != "" {
+		u.parent = parent
+	}
+	u.bytes = bytes
+	u.lastAccess = time.Now()
+	r.usageMu.Unlock()
+}
+
+// noteRestrict attributes one completed delta-build to the space and
+// records which cached superset supplied its rows.
+func (r *Registry) noteRestrict(id, parent string, bytes int64) {
+	r.usageMu.Lock()
+	u := r.usageRowLocked(id)
+	u.restricts++
+	u.parent = parent
 	u.bytes = bytes
 	u.lastAccess = time.Now()
 	r.usageMu.Unlock()
@@ -238,8 +268,8 @@ func usageDocLocked(u *spaceUsage) SpaceUsageDoc {
 	doc := SpaceUsageDoc{
 		ID: u.id, BatchRows: u.batchRows,
 		Builds: u.builds, BuildNanos: u.buildNanos,
-		Restores: u.restores, ResidentBytes: u.bytes,
-		LastAccess: u.lastAccess,
+		Restores: u.restores, Restricts: u.restricts, Parent: u.parent,
+		ResidentBytes: u.bytes, LastAccess: u.lastAccess,
 	}
 	if len(u.queries) > 0 {
 		doc.QueriesByRoute = make(map[string]int64, len(u.queries))

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -109,6 +110,17 @@ type Entry struct {
 	Bounds []searchspace.ParamBounds
 	// Bytes is the estimated resident size used for the LRU budget.
 	Bytes int64
+	// ParentID, when non-empty, is the id of the cached superset this
+	// space was delta-built (restricted) from instead of solved; "" for
+	// solver-constructed spaces. Restored entries adopt it from the
+	// snapshot, so derivation survives demotion and restarts.
+	ParentID string
+
+	// paramsFP is the content address of the definition's parameter
+	// block alone (names+domains, no constraints) — the superset
+	// lattice index key. Set by the goroutine that materializes the
+	// entry before ready closes.
+	paramsFP string
 
 	ready chan struct{} // closed when the build (or restore) finishes
 	err   error
@@ -173,6 +185,15 @@ type Registry struct {
 	demotions     int64 // evictions that kept a disk copy
 	demoteDropped int64 // evictions with no disk copy (no store, or write failed)
 	busyRejects   int64 // builds rejected by the in-flight byte admission
+	restricts     int64 // misses answered by delta-building from a cached superset
+
+	// lattice indexes every completed space by the content address of
+	// its parameter block, so a miss can search its constraint-lattice
+	// family for a cached superset to restrict instead of solving from
+	// scratch. Candidates stay indexed while demoted to disk (a restore
+	// plus filter still beats a rebuild) and are dropped when no copy
+	// survives anywhere. Guarded by mu.
+	lattice map[string][]latticeCand
 
 	buildSem   chan struct{} // nil = unlimited concurrent builds
 	restoreSem chan struct{} // bounds parallel snapshot decodes
@@ -235,6 +256,7 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		pool:       newWorkerPool(cfg.BuildWorkers),
 		ops:        make(map[int64]*opEntry),
 		usage:      make(map[string]*spaceUsage),
+		lattice:    make(map[string][]latticeCand),
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		r.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
@@ -510,6 +532,190 @@ func (r *Registry) dropWaiter(e *Entry) {
 	}
 }
 
+// latticeCand is one completed space as indexed in the superset
+// lattice: its id, construction method, and canonical (sorted,
+// deduplicated) string-constraint set. The constraint set is what
+// subset tests run against, so it is cached here rather than
+// re-derived from the definition on every probe.
+type latticeCand struct {
+	id     string
+	method searchspace.Method
+	cons   []string
+}
+
+// registerLatticeLocked indexes a completed entry in the superset
+// lattice. Idempotent: re-registration (a restore of a space already
+// indexed) is a no-op. Caller holds mu.
+func (r *Registry) registerLatticeLocked(e *Entry) {
+	if e.paramsFP == "" || e.Def == nil {
+		return
+	}
+	for _, c := range r.lattice[e.paramsFP] {
+		if c.id == e.ID {
+			return
+		}
+	}
+	r.lattice[e.paramsFP] = append(r.lattice[e.paramsFP],
+		latticeCand{id: e.ID, method: e.Method, cons: e.Def.CanonicalConstraints()})
+}
+
+// removeLatticeLocked drops a space from the superset lattice — called
+// when its last copy is gone (evicted with no surviving disk snapshot,
+// or its blob failed to restore). Caller holds mu.
+func (r *Registry) removeLatticeLocked(paramsFP, id string) {
+	if paramsFP == "" {
+		return
+	}
+	cands := r.lattice[paramsFP]
+	for i, c := range cands {
+		if c.id == id {
+			cands = append(cands[:i], cands[i+1:]...)
+			break
+		}
+	}
+	if len(cands) == 0 {
+		delete(r.lattice, paramsFP)
+	} else {
+		r.lattice[paramsFP] = cands
+	}
+}
+
+// subsetOf reports whether sub ⊆ super; both must be canonical
+// (sorted, deduplicated), which makes this a single merge walk.
+func subsetOf(sub, super []string) bool {
+	i := 0
+	for _, s := range super {
+		if i < len(sub) && sub[i] == s {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// probeSupersets returns the lattice candidates able to answer childID
+// by restriction — same parameter block, constraint set a subset of
+// the child's — best first: resident parents before demoted ones (no
+// restore needed), then the most-constrained parent (fewest rows to
+// filter), then id for determinism.
+func (r *Registry) probeSupersets(paramsFP, childID string, childCons []string) []latticeCand {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []latticeCand
+	resident := make(map[string]bool)
+	for _, c := range r.lattice[paramsFP] {
+		if c.id == childID || !subsetOf(c.cons, childCons) {
+			continue
+		}
+		out = append(out, c)
+		if pe, ok := r.entries[c.id]; ok && pe.elem != nil {
+			resident[c.id] = true
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ri, rj := resident[out[i].id], resident[out[j].id]; ri != rj {
+			return ri
+		}
+		if len(out[i].cons) != len(out[j].cons) {
+			return len(out[i].cons) > len(out[j].cons)
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// tryRestrict attempts to answer a cache miss by delta-building: it
+// searches the superset lattice for a cached space over the same
+// parameters whose constraint set is a subset of the requested one,
+// and — going through candidates best-first — filters that parent's
+// rows through only the added constraints, re-sorted into the
+// requested method's emission order. The result is byte-identical to
+// the fresh build it replaces (the golden parity suite pins this), at
+// a linear-scan cost instead of solver time.
+//
+// A demoted candidate is restored through the normal singleflight
+// first (restore + filter still beats a rebuild); a candidate whose
+// blob is gone is dropped from the lattice and the next one tried.
+// The filter itself runs without a build slot or worker grant — it is
+// a single cheap linear pass, never solver-scale work — but honors the
+// entry's cancel channel like any build.
+//
+// decided=true means restriction determined the entry's outcome:
+// either success (ss/stats/parentID are set) or cancellation
+// (err = errBuildCanceled). decided=false means no candidate worked
+// out and the caller must fall back to a full build.
+func (r *Registry) tryRestrict(e *Entry, op *opEntry) (ss *searchspace.SearchSpace, stats searchspace.BuildStats, parentID string, decided bool, err error) {
+	if e.Def == nil {
+		return nil, stats, "", false, nil
+	}
+	paramsFP, fpErr := ParamsFingerprint(e.Def)
+	if fpErr != nil {
+		return nil, stats, "", false, nil
+	}
+	e.paramsFP = paramsFP
+	probeStart := time.Now()
+	cands := r.probeSupersets(paramsFP, e.ID, e.Def.CanonicalConstraints())
+	if len(cands) == 0 {
+		return nil, stats, "", false, nil
+	}
+	stop := func() bool {
+		select {
+		case <-e.cancelCh:
+			return true
+		default:
+			return false
+		}
+	}
+	for _, cand := range cands {
+		// Acquire the parent's materialized space: straight off a
+		// resident entry (the Space pointer is immutable, so it stays
+		// valid even if the entry is evicted underneath us), else
+		// restored via the normal singleflight path. The restore uses a
+		// background context — the parent is worth caching for its own
+		// sake even if this requester disconnects mid-way.
+		var parent *searchspace.SearchSpace
+		r.mu.Lock()
+		if pe, ok := r.entries[cand.id]; ok && pe.elem != nil {
+			parent = pe.Space
+			r.touchLocked(pe)
+		}
+		r.mu.Unlock()
+		if parent == nil {
+			pe, ok := r.LookupOrRestore(context.Background(), cand.id)
+			if !ok {
+				r.mu.Lock()
+				r.removeLatticeLocked(paramsFP, cand.id)
+				r.mu.Unlock()
+				continue
+			}
+			parent = pe.Space
+		}
+		e.phases = append(e.phases, obs.Phase{Name: "superset_probe", Start: probeStart, Dur: time.Since(probeStart)})
+
+		r.setOpKind(op, "restrict")
+		op.noteProgress(0, 1)
+		restrictStart := time.Now()
+		ss, stats, err = searchspace.RestrictWith(parent, searchspace.FromDefinition(e.Def),
+			searchspace.BuildOpts{Method: e.Method, Stop: stop, Progress: &op.sink})
+		if err == nil {
+			op.noteProgress(1, 1)
+			e.phases = append(e.phases, obs.Phase{
+				Name: "restrict", Start: restrictStart, Dur: time.Since(restrictStart),
+				Attrs: map[string]int64{"rows_in": stats.Nodes, "rows_kept": int64(stats.Valid)},
+			})
+			return ss, stats, cand.id, true, nil
+		}
+		if errors.Is(err, searchspace.ErrCanceled) {
+			return nil, stats, "", true, errBuildCanceled
+		}
+		// Unexpected — a probed candidate should always restrict. Fall
+		// back to the solver path rather than failing the request.
+		r.journal.Record("restrict_failed", e.ID, e.reqID, err.Error(), nil)
+		r.setOpKind(op, "build")
+		return nil, stats, "", false, nil
+	}
+	return nil, stats, "", false, nil
+}
+
 // buildEntry runs one registered construction to completion (or
 // cancellation) and publishes the outcome to every waiter. A
 // successful build is written through to the snapshot store BEFORE the
@@ -521,8 +727,14 @@ func (r *Registry) dropWaiter(e *Entry) {
 func (r *Registry) buildEntry(e *Entry) {
 	op := r.beginOp("build", e.ID, e.Method.String(), e.reqID, e)
 	defer r.endOp(op)
-	r.journal.Record("build_start", e.ID, e.reqID, e.Method.String(), nil)
-	ss, stats, buildErr := r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers, &e.phases, op)
+	// Before paying for a solver run, try to delta-build from a cached
+	// superset; only a full miss of the lattice (or a non-cancel
+	// restrict failure) reaches the solver.
+	ss, stats, parentID, restricted, buildErr := r.tryRestrict(e, op)
+	if !restricted {
+		r.journal.Record("build_start", e.ID, e.reqID, e.Method.String(), nil)
+		ss, stats, buildErr = r.runBuild(e.Def, e.Method, e.cancelCh, e.wantWorkers, &e.phases, op)
+	}
 
 	// The bounds scan is O(rows x params); do it outside the registry
 	// lock.
@@ -547,10 +759,19 @@ func (r *Registry) buildEntry(e *Entry) {
 		e.Space, e.Stats = ss, stats
 		e.Bounds = bounds
 		e.Bytes = EstimateBytes(ss)
+		e.ParentID = parentID
 		e.elem = r.lru.PushFront(e)
 		r.bytes += e.Bytes
-		r.builds++
-		r.buildNanos += int64(stats.Duration)
+		if restricted {
+			// A delta-build is not a construction: build count and
+			// cumulative solver time stay honest for capacity planning,
+			// and the restrict counter carries the savings story.
+			r.restricts++
+		} else {
+			r.builds++
+			r.buildNanos += int64(stats.Duration)
+		}
+		r.registerLatticeLocked(e)
 		evicted = r.evictLocked()
 	}
 	r.mu.Unlock()
@@ -562,12 +783,21 @@ func (r *Registry) buildEntry(e *Entry) {
 			e.phases = append(e.phases, obs.Phase{Name: "write_through", Start: persistStart, Dur: time.Since(persistStart)})
 		}
 		r.observePhases(e.phases)
-		r.noteBuild(e.ID, int64(stats.Duration), e.Bytes)
-		r.journal.Record("build_finish", e.ID, e.reqID, e.Method.String(), map[string]int64{
-			"duration_ms": stats.Duration.Milliseconds(),
-			"valid":       int64(stats.Valid),
-			"workers":     int64(stats.Workers),
-		})
+		if restricted {
+			r.noteRestrict(e.ID, parentID, e.Bytes)
+			r.journal.Record("restrict", e.ID, e.reqID, parentID, map[string]int64{
+				"rows_in":     stats.Nodes,
+				"rows_kept":   int64(stats.Valid),
+				"duration_ms": stats.Duration.Milliseconds(),
+			})
+		} else {
+			r.noteBuild(e.ID, int64(stats.Duration), e.Bytes)
+			r.journal.Record("build_finish", e.ID, e.reqID, e.Method.String(), map[string]int64{
+				"duration_ms": stats.Duration.Milliseconds(),
+				"valid":       int64(stats.Valid),
+				"workers":     int64(stats.Workers),
+			})
+		}
 	case errors.Is(buildErr, errBuildCanceled):
 		r.journal.Record("build_cancel", e.ID, e.reqID, "all requesting clients disconnected", nil)
 	default:
@@ -585,11 +815,12 @@ func (r *Registry) persist(e *Entry) {
 		return
 	}
 	_ = r.cfg.Store.Put(e.ID, &store.Snapshot{
-		Def:    e.Def,
-		Method: e.Method,
-		Stats:  e.Stats,
-		Bounds: e.Bounds,
-		Space:  e.Space,
+		Def:      e.Def,
+		Method:   e.Method,
+		Stats:    e.Stats,
+		Bounds:   e.Bounds,
+		Space:    e.Space,
+		ParentID: e.ParentID,
 	})
 }
 
@@ -606,7 +837,7 @@ func (r *Registry) demoteEvicted(evicted []*Entry) {
 				demoted = true
 			} else if err := r.cfg.Store.Put(v.ID, &store.Snapshot{
 				Def: v.Def, Method: v.Method, Stats: v.Stats,
-				Bounds: v.Bounds, Space: v.Space,
+				Bounds: v.Bounds, Space: v.Space, ParentID: v.ParentID,
 			}); err == nil {
 				demoted = true
 			}
@@ -615,7 +846,10 @@ func (r *Registry) demoteEvicted(evicted []*Entry) {
 		if demoted {
 			r.demotions++
 		} else {
+			// No copy survives anywhere; the space can no longer answer
+			// restricts and must leave the superset lattice.
 			r.demoteDropped++
+			r.removeLatticeLocked(v.paramsFP, v.ID)
 		}
 		r.mu.Unlock()
 		if demoted {
@@ -675,6 +909,13 @@ func (r *Registry) restoreEntry(e *Entry) {
 		})
 	}
 
+	var paramsFP string
+	if err == nil {
+		// Index the restored space in the superset lattice (outside the
+		// lock: hashing the parameter block costs an encode).
+		paramsFP, _ = ParamsFingerprint(snap.Def)
+	}
+
 	var evicted []*Entry
 	r.mu.Lock()
 	if err != nil {
@@ -687,9 +928,12 @@ func (r *Registry) restoreEntry(e *Entry) {
 		e.Stats = snap.Stats
 		e.Bounds = snap.Bounds
 		e.Bytes = EstimateBytes(snap.Space)
+		e.ParentID = snap.ParentID
+		e.paramsFP = paramsFP
 		e.elem = r.lru.PushFront(e)
 		r.bytes += e.Bytes
 		r.restores++
+		r.registerLatticeLocked(e)
 		evicted = r.evictLocked()
 	}
 	r.mu.Unlock()
@@ -697,7 +941,7 @@ func (r *Registry) restoreEntry(e *Entry) {
 		op.noteProgress(1, 1)
 		op.sink.Rows.Store(int64(snap.Space.Size()))
 		r.observePhases(e.phases)
-		r.noteRestore(e.ID, e.Bytes)
+		r.noteRestore(e.ID, snap.ParentID, e.Bytes)
 		r.journal.Record("restore", e.ID, e.reqID, "", map[string]int64{"rows": int64(snap.Space.Size())})
 	} else {
 		r.journal.Record("restore_failed", e.ID, e.reqID, err.Error(), nil)
@@ -936,11 +1180,15 @@ type RegistryStats struct {
 	// Restores counts spaces rehydrated from the snapshot store;
 	// Demotions counts evictions that kept a disk copy, DemoteDropped
 	// those that did not (no store configured, or the write failed).
-	Restores      int64   `json:"restores"`
-	Demotions     int64   `json:"demotions"`
-	DemoteDropped int64   `json:"demote_dropped"`
-	BusyRejects   int64   `json:"busy_rejects"`
-	HitRatio      float64 `json:"hit_ratio"`
+	Restores      int64 `json:"restores"`
+	Demotions     int64 `json:"demotions"`
+	DemoteDropped int64 `json:"demote_dropped"`
+	BusyRejects   int64 `json:"busy_rejects"`
+	// Restricts counts misses answered by delta-building from a cached
+	// superset (lattice hit) instead of running a solver. Disjoint from
+	// Builds: every miss lands in exactly one of the two.
+	Restricts int64   `json:"restricts"`
+	HitRatio  float64 `json:"hit_ratio"`
 	// BuildTime is cumulative construction wall time.
 	BuildTime time.Duration `json:"build_time_ns"`
 	// BuildPool snapshots the shared solver-worker pool: capacity
@@ -969,6 +1217,7 @@ func (r *Registry) Stats() RegistryStats {
 		Demotions:     r.demotions,
 		DemoteDropped: r.demoteDropped,
 		BusyRejects:   r.busyRejects,
+		Restricts:     r.restricts,
 		BuildTime:     time.Duration(r.buildNanos),
 	}
 	s.BuildPool = r.pool.stats()
@@ -990,8 +1239,8 @@ func (r *Registry) StoreStats() *store.Stats {
 
 // String renders the snapshot for logs.
 func (s RegistryStats) String() string {
-	return fmt.Sprintf("entries=%d bytes=%d builds=%d hits=%d joins=%d misses=%d evictions=%d canceled=%d restores=%d demotions=%d hit_ratio=%.3f",
-		s.Entries, s.Bytes, s.Builds, s.Hits, s.Joins, s.Misses, s.Evictions, s.Canceled, s.Restores, s.Demotions, s.HitRatio)
+	return fmt.Sprintf("entries=%d bytes=%d builds=%d restricts=%d hits=%d joins=%d misses=%d evictions=%d canceled=%d restores=%d demotions=%d hit_ratio=%.3f",
+		s.Entries, s.Bytes, s.Builds, s.Restricts, s.Hits, s.Joins, s.Misses, s.Evictions, s.Canceled, s.Restores, s.Demotions, s.HitRatio)
 }
 
 // EstimateBytes approximates the resident size of a materialized space:

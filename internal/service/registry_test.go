@@ -54,17 +54,23 @@ func TestGetOrBuildCachesByContent(t *testing.T) {
 		t.Error("identical definition did not hit the cache")
 	}
 
-	// Different method is a different address.
-	_, hit3, err := reg.GetOrBuild(context.Background(), smallDef("a"), searchspace.BruteForce)
+	// Different method is a different address — a miss, not a hit. The
+	// Optimized space is a (trivial) superset over the same parameters,
+	// so the miss is answered by restricting it into brute-force order
+	// rather than running a second solver.
+	e3, hit3, err := reg.GetOrBuild(context.Background(), smallDef("a"), searchspace.BruteForce)
 	if err != nil {
 		t.Fatalf("brute force build: %v", err)
 	}
 	if hit3 {
 		t.Error("different method should not hit")
 	}
+	if e3.ParentID != e1.ID {
+		t.Errorf("method conversion: ParentID = %q, want the optimized space %q", e3.ParentID, e1.ID)
+	}
 
 	st := reg.Stats()
-	if st.Builds != 2 || st.Hits != 1 || st.Misses != 2 {
+	if st.Builds != 1 || st.Restricts != 1 || st.Hits != 1 || st.Misses != 2 {
 		t.Errorf("stats: %+v", st)
 	}
 }

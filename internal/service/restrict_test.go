@@ -1,0 +1,181 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"searchspace"
+	"searchspace/internal/model"
+)
+
+// tightenedDef is smallDef plus one extra constraint — one lattice
+// step below it: same parameters, constraint set a strict superset.
+func tightenedDef(name string) *model.Definition {
+	def := boundedDef(name, 64)
+	def.Constraints = append(def.Constraints, "block_size_x <= 8")
+	return def
+}
+
+// sameRows asserts two materialized spaces enumerate identically.
+func sameRows(t *testing.T, want, got *searchspace.SearchSpace) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("size %d, want %d", got.Size(), want.Size())
+	}
+	wc, gc := want.Columns(), got.Columns()
+	for p := range wc {
+		for r := range wc[p] {
+			if wc[p][r] != gc[p][r] {
+				t.Fatalf("row %d param %d = %d, want %d", r, p, gc[p][r], wc[p][r])
+			}
+		}
+	}
+}
+
+// TestPermutedConstraintsShareEntry pins constraint canonicalization
+// at the registry: submissions whose constraint lists differ only in
+// order and duplication hash to one content address, so they share a
+// single cached construction.
+func TestPermutedConstraintsShareEntry(t *testing.T) {
+	a := boundedDef("a", 64)
+	a.Constraints = append(a.Constraints, "block_size_x <= 8")
+	b := boundedDef("b", 64)
+	b.Constraints = append([]string{"block_size_x <= 8"}, b.Constraints...)
+	b.Constraints = append(b.Constraints, "block_size_x <= 8") // duplicate
+
+	reg := NewRegistry(RegistryConfig{})
+	e1, _, err := reg.GetOrBuild(context.Background(), a, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("build a: %v", err)
+	}
+	e2, hit, err := reg.GetOrBuild(context.Background(), b, searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("build b: %v", err)
+	}
+	if !hit || e2 != e1 {
+		t.Errorf("permuted+duplicated constraints did not share the cache entry (hit=%v)", hit)
+	}
+	if st := reg.Stats(); st.Builds != 1 || st.Entries != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestRestrictFromResidentSuperset is the tentpole acceptance at
+// registry level: with a superset resident, a tightened definition is
+// served by delta-build — zero additional solver constructions — and
+// the result is row-identical to a fresh build of the tightened
+// definition. Derivation shows up in the entry, the write-through
+// snapshot, and the per-space attribution row.
+func TestRestrictFromResidentSuperset(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	reg := NewRegistry(RegistryConfig{Store: st})
+	parent, _, err := reg.GetOrBuild(context.Background(), smallDef("superset"), searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("build superset: %v", err)
+	}
+
+	child, hit, err := reg.GetOrBuild(context.Background(), tightenedDef("tight"), searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("build tightened: %v", err)
+	}
+	if hit {
+		t.Error("tightened definition is a different address; must not report a cache hit")
+	}
+	if child.ParentID != parent.ID {
+		t.Errorf("ParentID = %q, want %q", child.ParentID, parent.ID)
+	}
+	fresh, _, err := searchspace.FromDefinition(tightenedDef("fresh")).BuildWith(
+		searchspace.BuildOpts{Method: searchspace.Optimized, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, fresh, child.Space)
+
+	stats := reg.Stats()
+	if stats.Builds != 1 {
+		t.Errorf("builds = %d, want 1 (restrict must not run a solver)", stats.Builds)
+	}
+	if stats.Restricts != 1 {
+		t.Errorf("restricts = %d, want 1", stats.Restricts)
+	}
+	if !st.Has(child.ID) {
+		t.Error("restricted space was not written through to the store")
+	}
+	snap, err := st.Get(child.ID)
+	if err != nil {
+		t.Fatalf("read back snapshot: %v", err)
+	}
+	if snap.ParentID != parent.ID {
+		t.Errorf("snapshot ParentID = %q, want %q", snap.ParentID, parent.ID)
+	}
+	usage, ok := reg.SpaceStats(child.ID)
+	if !ok || usage.Restricts != 1 || usage.Parent != parent.ID {
+		t.Errorf("usage row = %+v ok=%v, want restricts=1 parent=%s", usage, ok, parent.ID)
+	}
+}
+
+// TestRestrictFromDemotedSuperset pins the disk leg of the lattice: a
+// superset evicted to its snapshot is restored and then restricted,
+// still with zero additional solver constructions.
+func TestRestrictFromDemotedSuperset(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	reg := NewRegistry(RegistryConfig{MaxEntries: 1, Store: st})
+	parent, _, err := reg.GetOrBuild(context.Background(), smallDef("superset"), searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("build superset: %v", err)
+	}
+	// An unrelated same-parameter space (its constraint set is not a
+	// subset of anything requested below) pushes the superset out of
+	// memory; the store keeps it restrictable.
+	if _, _, err := reg.GetOrBuild(context.Background(), boundedDef("filler", 48), searchspace.Optimized); err != nil {
+		t.Fatalf("build filler: %v", err)
+	}
+	if _, resident := reg.Lookup(parent.ID); resident {
+		t.Fatal("superset should have been demoted")
+	}
+
+	child, _, err := reg.GetOrBuild(context.Background(), tightenedDef("tight"), searchspace.Optimized)
+	if err != nil {
+		t.Fatalf("build tightened: %v", err)
+	}
+	if child.ParentID != parent.ID {
+		t.Errorf("ParentID = %q, want %q", child.ParentID, parent.ID)
+	}
+	stats := reg.Stats()
+	if stats.Builds != 2 {
+		t.Errorf("builds = %d, want 2 (superset + filler; the tightened space must not add one)", stats.Builds)
+	}
+	if stats.Restricts != 1 {
+		t.Errorf("restricts = %d, want 1", stats.Restricts)
+	}
+	if stats.Restores == 0 {
+		t.Error("restoring the demoted superset should count a restore")
+	}
+}
+
+// TestRestrictNoCandidateFallsBack pins the fallback: a definition
+// over parameters the lattice has never seen builds normally.
+func TestRestrictNoCandidateFallsBack(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	if _, _, err := reg.GetOrBuild(context.Background(), smallDef("a"), searchspace.Optimized); err != nil {
+		t.Fatal(err)
+	}
+	other := &model.Definition{
+		Name: "other-params",
+		Params: []model.Param{
+			model.IntsParam("x", 1, 2, 3),
+			model.IntsParam("y", 1, 2, 3),
+		},
+		Constraints: []string{"x <= y"},
+	}
+	e, _, err := reg.GetOrBuild(context.Background(), other, searchspace.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ParentID != "" {
+		t.Errorf("unexpected derivation: ParentID = %q", e.ParentID)
+	}
+	if st := reg.Stats(); st.Builds != 2 || st.Restricts != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

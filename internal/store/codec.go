@@ -35,6 +35,11 @@ type Snapshot struct {
 	Stats  searchspace.BuildStats
 	Bounds []searchspace.ParamBounds
 	Space  *searchspace.SearchSpace
+	// ParentID, when non-empty, is the content address of the cached
+	// superset this space was delta-built (restricted) from; "" for
+	// spaces constructed by a solver. Derivation metadata only — the
+	// space's own content is complete either way.
+	ParentID string
 }
 
 // Format: a fixed header, a length-prefixed payload, and a trailing
@@ -53,7 +58,10 @@ type Snapshot struct {
 // mismatch is ErrCorrupt (quarantine it).
 var magic = [6]byte{'s', 's', 'n', 'a', 'p', 0}
 
-// Version is the current snapshot format version. Version 4 added the
+// Version is the current snapshot format version. Version 5 added the
+// parent space id for restrict-derived spaces after the block count
+// (version-4 and older blobs report an empty ParentID — the delta-
+// build path did not exist when they were written). Version 4 added the
 // kernel's emitted-block count after the node count (version-3 and
 // older blobs report Blocks 0). Version 3 added the enumeration
 // kernel's visited-node count after the worker count (version-2 and
@@ -62,7 +70,7 @@ var magic = [6]byte{'s', 's', 'n', 'a', 'p', 0}
 // the valid-size field; version-1 blobs still decode (their builds
 // predate the parallel engine, so they report Workers 1, the
 // sequential path they actually ran).
-const Version uint16 = 4
+const Version uint16 = 5
 
 // maxPayloadBytes bounds a declared payload length so a corrupt header
 // cannot make the decoder attempt an absurd allocation.
@@ -206,6 +214,7 @@ func encodePayload(snap *Snapshot) ([]byte, error) {
 	le32(&b, uint32(snap.Stats.Workers)) // since version 2
 	le64(&b, uint64(snap.Stats.Nodes))   // since version 3
 	le64(&b, uint64(snap.Stats.Blocks))  // since version 4
+	str(&b, snap.ParentID)               // since version 5
 	le32(&b, uint32(len(snap.Bounds)))
 	for _, bd := range snap.Bounds {
 		str(&b, bd.Name)
@@ -291,6 +300,12 @@ func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 	if version >= 4 {
 		blocks = d.u64()
 	}
+	// Version <= 4 blobs predate delta-built spaces; none of them was
+	// derived by restricting a cached superset.
+	parentID := ""
+	if version >= 5 {
+		parentID = d.str()
+	}
 	nBounds := d.u32()
 	if d.err != nil {
 		return nil, d.err
@@ -363,8 +378,9 @@ func decodePayload(payload []byte, version uint16) (*Snapshot, error) {
 			Nodes:     int64(nodes),
 			Blocks:    int64(blocks),
 		},
-		Bounds: bounds,
-		Space:  ss,
+		Bounds:   bounds,
+		ParentID: parentID,
+		Space:    ss,
 	}, nil
 }
 

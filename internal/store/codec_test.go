@@ -256,12 +256,12 @@ func TestDecodeVersion1Blob(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Rewrite the current blob as v1: drop the 4-byte workers field
-	// (since v2), the 8-byte nodes field (since v3), and the 8-byte
-	// blocks field (since v4), all encoded right after
-	// duration+cartesian+valid, which follow the
-	// method/name/params/constraints sections, and re-stamp version,
-	// length, and checksum. Locating the fields by re-encoding the
-	// prefix keeps this test honest about the layout.
+	// (since v2), the 8-byte nodes field (since v3), the 8-byte
+	// blocks field (since v4), and the 4-byte empty parent-id string
+	// (since v5), all encoded right after duration+cartesian+valid,
+	// which follow the method/name/params/constraints sections, and
+	// re-stamp version, length, and checksum. Locating the fields by
+	// re-encoding the prefix keeps this test honest about the layout.
 	var prefix bytes.Buffer
 	str(&prefix, snap.Method.String())
 	str(&prefix, snap.Def.Name)
@@ -281,7 +281,7 @@ func TestDecodeVersion1Blob(t *testing.T) {
 	}
 	workersOff := prefix.Len() + 8 + 8 + 8 // + duration + cartesian + valid
 	payload := raw[16 : len(raw)-32]
-	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4+8+8:]...)
+	v1payload := append(append([]byte(nil), payload[:workersOff]...), payload[workersOff+4+8+8+4:]...)
 
 	var v1 bytes.Buffer
 	v1.Write(magic[:])
@@ -334,11 +334,12 @@ func TestDecodeVersion2Blob(t *testing.T) {
 	for _, c := range snap.Def.Constraints {
 		str(&prefix, c)
 	}
-	// Drop the 8-byte nodes field (right after the workers field) and
-	// the 8-byte blocks field that follows it.
+	// Drop the 8-byte nodes field (right after the workers field), the
+	// 8-byte blocks field, and the 4-byte empty parent-id string that
+	// follow it.
 	nodesOff := prefix.Len() + 8 + 8 + 8 + 4 // + duration + cartesian + valid + workers
 	payload := raw[16 : len(raw)-32]
-	v2payload := append(append([]byte(nil), payload[:nodesOff]...), payload[nodesOff+8+8:]...)
+	v2payload := append(append([]byte(nil), payload[:nodesOff]...), payload[nodesOff+8+8+4:]...)
 
 	var v2 bytes.Buffer
 	v2.Write(magic[:])
@@ -388,10 +389,11 @@ func TestDecodeVersion3Blob(t *testing.T) {
 	for _, c := range snap.Def.Constraints {
 		str(&prefix, c)
 	}
-	// Drop only the 8-byte blocks field, right after the nodes field.
+	// Drop the 8-byte blocks field (right after the nodes field) and
+	// the 4-byte empty parent-id string that follows it.
 	blocksOff := prefix.Len() + 8 + 8 + 8 + 4 + 8 // + duration + cartesian + valid + workers + nodes
 	payload := raw[16 : len(raw)-32]
-	v3payload := append(append([]byte(nil), payload[:blocksOff]...), payload[blocksOff+8:]...)
+	v3payload := append(append([]byte(nil), payload[:blocksOff]...), payload[blocksOff+8+4:]...)
 
 	var v3 bytes.Buffer
 	v3.Write(magic[:])
@@ -410,6 +412,79 @@ func TestDecodeVersion3Blob(t *testing.T) {
 	}
 	if got.Stats.Blocks != 0 {
 		t.Errorf("v3 blob decoded with Blocks %d, want 0 (stat postdates v3)", got.Stats.Blocks)
+	}
+	sameSpace(t, snap.Space, got.Space)
+}
+
+// TestDecodeVersion4Blob pins backward compatibility with the
+// immediately preceding version: a version-4 blob (written before
+// delta-built spaces recorded their parent) must still decode,
+// keeping the recorded blocks and reporting an empty ParentID.
+func TestDecodeVersion4Blob(t *testing.T) {
+	snap := buildSnapshot(t, searchspace.Optimized)
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix bytes.Buffer
+	str(&prefix, snap.Method.String())
+	str(&prefix, snap.Def.Name)
+	le32(&prefix, uint32(len(snap.Def.Params)))
+	for _, p := range snap.Def.Params {
+		str(&prefix, p.Name)
+		le32(&prefix, uint32(len(p.Values)))
+		for _, v := range p.Values {
+			if err := encodeValue(&prefix, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	le32(&prefix, uint32(len(snap.Def.Constraints)))
+	for _, c := range snap.Def.Constraints {
+		str(&prefix, c)
+	}
+	// Drop only the 4-byte empty parent-id string, right after the
+	// blocks field.
+	parentOff := prefix.Len() + 8 + 8 + 8 + 4 + 8 + 8 // + duration + cartesian + valid + workers + nodes + blocks
+	payload := raw[16 : len(raw)-32]
+	v4payload := append(append([]byte(nil), payload[:parentOff]...), payload[parentOff+4:]...)
+
+	var v4 bytes.Buffer
+	v4.Write(magic[:])
+	le16(&v4, 4)
+	le64(&v4, uint64(len(v4payload)))
+	v4.Write(v4payload)
+	sum := sha256.Sum256(v4payload)
+	v4.Write(sum[:])
+
+	got, err := DecodeBytes(v4.Bytes())
+	if err != nil {
+		t.Fatalf("decoding a v4 blob: %v", err)
+	}
+	if got.Stats.Blocks != snap.Stats.Blocks {
+		t.Errorf("v4 blob decoded with Blocks %d, want %d", got.Stats.Blocks, snap.Stats.Blocks)
+	}
+	if got.ParentID != "" {
+		t.Errorf("v4 blob decoded with ParentID %q, want empty (field postdates v4)", got.ParentID)
+	}
+	sameSpace(t, snap.Space, got.Space)
+}
+
+// TestParentIDRoundTrip pins the version-5 field: a snapshot recording
+// its derivation keeps the parent id across encode/decode.
+func TestParentIDRoundTrip(t *testing.T) {
+	snap := buildSnapshot(t, searchspace.Optimized)
+	snap.ParentID = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	raw, err := EncodeBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ParentID != snap.ParentID {
+		t.Errorf("ParentID %q, want %q", got.ParentID, snap.ParentID)
 	}
 	sameSpace(t, snap.Space, got.Space)
 }

@@ -1,0 +1,170 @@
+package searchspace
+
+import (
+	"errors"
+	"reflect"
+	"time"
+
+	"searchspace/internal/chaintrees"
+	"searchspace/internal/core"
+	"searchspace/internal/model"
+	"searchspace/internal/naive"
+	"searchspace/internal/space"
+)
+
+// This file is the incremental-construction entry point: when a
+// materialized space is a superset of the requested definition (same
+// parameters and domains, constraint set ⊆ requested), the tightened
+// space is produced by filtering the cached columns through only the
+// *delta* constraints and re-sorting the survivors into the requested
+// method's emission order — instead of re-enumerating from scratch.
+// The output is byte-identical to a fresh build of the tightened
+// definition: every construction method emits its valid rows sorted
+// lexicographically by ascending declared-domain index under a
+// method-specific variable permutation, and filter + re-sort
+// reproduces exactly that ordering.
+
+// ErrNotSuperset reports that the cached space cannot be restricted
+// into the requested definition: the parameters or domains differ, the
+// Go constraints differ, or the cached space's constraint set is not a
+// subset of the requested one.
+var ErrNotSuperset = errors.New("searchspace: cached space is not a superset of the requested definition")
+
+// Restrict resolves the problem's definition by filtering a cached
+// superset space instead of running a solver, sequentially with the
+// default (Optimized) row order. See RestrictWith.
+func Restrict(parent *SearchSpace, p *Problem) (*SearchSpace, error) {
+	ss, _, err := RestrictWith(parent, p, BuildOpts{})
+	return ss, err
+}
+
+// RestrictWith is Restrict under an execution config: o.Method selects
+// whose emission order the output must match (so the result is
+// byte-identical to BuildWith(o) on the same definition), o.Stop
+// cancels mid-filter with ErrCanceled, and o.Progress sees scanned
+// rows as Nodes and kept rows as Rows. o.Workers is ignored — the
+// columnar filter is a single linear pass, already far cheaper than
+// any parallel re-enumeration.
+//
+// The parent must declare the same parameters with the same domains in
+// the same order, carry an identical Go-constraint list, and its
+// canonical string-constraint set must be a subset of the problem's;
+// otherwise ErrNotSuperset is returned and the caller should fall back
+// to a full build. Stats report the filter pass: Nodes counts parent
+// rows scanned, Valid the surviving rows.
+func RestrictWith(parent *SearchSpace, p *Problem, o BuildOpts) (*SearchSpace, BuildStats, error) {
+	stats, err := p.preflight(o.Method)
+	if err != nil {
+		return nil, stats, err
+	}
+	child := p.def
+	pdef := parent.Definition()
+	if !model.SameParams(pdef, child) || !sameGoConstraints(pdef, child) {
+		return nil, stats, ErrNotSuperset
+	}
+	delta, subset := model.ConstraintDelta(pdef, child)
+	if !subset {
+		return nil, stats, ErrNotSuperset
+	}
+
+	start := time.Now()
+	perm, err := orderPermutation(child, o.Method)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// The delta problem: the child's declared domains with only the
+	// added string constraints. Go constraints are never part of the
+	// delta — the parent was built with the identical list, so its rows
+	// already satisfy them.
+	dp := core.NewProblem()
+	for _, prm := range child.Params {
+		if err := dp.AddVariable(prm.Name, prm.Values); err != nil {
+			return nil, stats, err
+		}
+	}
+	for _, src := range delta {
+		if err := dp.AddConstraintString(src); err != nil {
+			return nil, stats, err
+		}
+	}
+	col, rs, canceled := dp.CompileRestrict().Restrict(parent.Columns(), perm, o.Stop, o.Progress)
+	stats.Duration = time.Since(start)
+	stats.Nodes = rs.RowsIn
+	if canceled {
+		return nil, stats, ErrCanceled
+	}
+	sp, err := space.FromColumnar(child, col)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Valid = sp.Size()
+	return &SearchSpace{s: sp, def: child}, stats, nil
+}
+
+// sameGoConstraints reports whether both definitions carry the same
+// native Go constraints, in order: same variable lists and the same
+// function pointers. Closures have no canonical identity beyond their
+// pointer, so "same list, same functions" is the only subset relation
+// the restrict path can certify for them.
+func sameGoConstraints(a, b *model.Definition) bool {
+	if len(a.GoConstraints) != len(b.GoConstraints) {
+		return false
+	}
+	for i := range a.GoConstraints {
+		ga, gb := a.GoConstraints[i], b.GoConstraints[i]
+		if len(ga.Vars) != len(gb.Vars) {
+			return false
+		}
+		for j := range ga.Vars {
+			if ga.Vars[j] != gb.Vars[j] {
+				return false
+			}
+		}
+		if reflect.ValueOf(ga.Fn).Pointer() != reflect.ValueOf(gb.Fn).Pointer() {
+			return false
+		}
+	}
+	return true
+}
+
+// orderPermutation returns the method's row-emission variable order
+// for def: position (depth) -> parameter index, depth 0 slowest-
+// varying. Every method emits the valid rows sorted lexicographically
+// by ascending declared-domain index under this permutation — brute
+// force walks the definition order; the CSP solvers (optimized and
+// blocking-clause, which share the compiled problem) use the degree-
+// sorted compile order; the original solver uses python-constraint's
+// most-constrained-first order; chain-of-trees nests its
+// interdependence groups.
+func orderPermutation(def *model.Definition, m Method) ([]int, error) {
+	switch m {
+	case BruteForce:
+		perm := make([]int, len(def.Params))
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm, nil
+	case Optimized, IterativeSAT:
+		prob, err := def.ToProblem()
+		if err != nil {
+			return nil, err
+		}
+		compiled := prob.Compile(core.DefaultOptions())
+		if compiled.Empty() {
+			// A provably empty space has no rows to order; identity
+			// keeps the permutation well-formed for the (empty) sort.
+			perm := make([]int, len(def.Params))
+			for i := range perm {
+				perm[i] = i
+			}
+			return perm, nil
+		}
+		return compiled.Order(), nil
+	case Original:
+		return naive.OrderPermutation(def)
+	case ChainOfTrees, ChainOfTreesInterpreted:
+		return chaintrees.OrderPermutation(def)
+	}
+	return nil, errors.New("searchspace: unknown method " + m.String())
+}
